@@ -1,0 +1,163 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Component micro-benchmarks (google-benchmark): tokenization, n-gram
+// extraction, token diff, rewrite matching, statistics building, feature
+// extraction, logistic-regression epochs and corpus generation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "corpus/generator.h"
+#include "corpus/pair_extraction.h"
+#include "microbrowse/classifier.h"
+#include "microbrowse/rewrite.h"
+#include "microbrowse/stats_db.h"
+#include "ml/logistic_regression.h"
+#include "text/diff.h"
+#include "text/ngram.h"
+#include "text/tokenizer.h"
+
+namespace microbrowse {
+namespace {
+
+const char* const kSampleLines[3] = {
+    "XYZ Airlines - Official Site",
+    "Find cheap flights to New York today",
+    "No reservation costs. Great rates and 20% off!",
+};
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tokenizer;
+  size_t tokens = 0;
+  for (auto _ : state) {
+    for (const char* line : kSampleLines) {
+      tokens += tokenizer.Tokenize(line).size();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ExtractNGrams(benchmark::State& state) {
+  const Snippet snippet = Snippet::FromLines(
+      {kSampleLines[0], kSampleLines[1], kSampleLines[2]});
+  size_t spans = 0;
+  for (auto _ : state) {
+    spans += ExtractNGrams(snippet, static_cast<int>(state.range(0))).size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(spans));
+}
+BENCHMARK(BM_ExtractNGrams)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_TokenDiff(benchmark::State& state) {
+  Tokenizer tokenizer;
+  const auto a = tokenizer.Tokenize("find cheap flights to new york today online");
+  const auto b = tokenizer.Tokenize("get discounts on flights to new york now");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenDiff(a, b));
+  }
+}
+BENCHMARK(BM_TokenDiff);
+
+/// A realistic pair corpus for the matching / stats / extraction benches.
+PairCorpus BenchPairs(int adgroups) {
+  AdCorpusOptions options;
+  options.num_adgroups = adgroups;
+  options.seed = 12;
+  auto generated = GenerateAdCorpus(options);
+  return ExtractSignificantPairs(generated->corpus, {});
+}
+
+void BM_MatchRewrites(benchmark::State& state) {
+  const PairCorpus pairs = BenchPairs(200);
+  BuildStatsOptions stats_options;
+  stats_options.matching_passes = 1;
+  const FeatureStatsDb db = BuildFeatureStats(pairs, stats_options);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& pair = pairs.pairs[i++ % pairs.pairs.size()];
+    benchmark::DoNotOptimize(MatchRewrites(pair.r.snippet, pair.s.snippet, &db));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MatchRewrites);
+
+void BM_BuildFeatureStats(benchmark::State& state) {
+  const PairCorpus pairs = BenchPairs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildFeatureStats(pairs, {}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.pairs.size()));
+}
+BENCHMARK(BM_BuildFeatureStats)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractPairOccurrences(benchmark::State& state) {
+  const PairCorpus pairs = BenchPairs(200);
+  const FeatureStatsDb db = BuildFeatureStats(pairs, {});
+  const ClassifierConfig config = ClassifierConfig::M6();
+  FeatureRegistry t_registry, p_registry;
+  std::vector<CoupledOccurrence> occurrences;
+  size_t i = 0;
+  for (auto _ : state) {
+    occurrences.clear();
+    const auto& pair = pairs.pairs[i++ % pairs.pairs.size()];
+    ExtractPairOccurrences(pair.r.snippet, pair.s.snippet, db, config, &t_registry,
+                           &p_registry, &occurrences);
+    benchmark::DoNotOptimize(occurrences);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExtractPairOccurrences);
+
+void BM_LogisticRegressionEpoch(benchmark::State& state) {
+  // A synthetic sparse dataset: 20 features per example from a pool of 5k.
+  Dataset data;
+  data.num_features = 5000;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    Example example;
+    double signal = 0.0;
+    for (int f = 0; f < 20; ++f) {
+      const FeatureId id = static_cast<FeatureId>(rng.NextIndex(5000));
+      const double value = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      example.features.Add(id, value);
+      signal += (id % 2 == 0 ? 1.0 : -1.0) * value;
+    }
+    example.features.Finish();
+    example.label = signal > 0 ? 1.0 : 0.0;
+    data.examples.push_back(std::move(example));
+  }
+  LrOptions options;
+  options.epochs = 1;
+  options.tolerance = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainLogisticRegression(data, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 5000);
+}
+BENCHMARK(BM_LogisticRegressionEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateAdCorpus(benchmark::State& state) {
+  AdCorpusOptions options;
+  options.num_adgroups = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    options.seed++;
+    benchmark::DoNotOptimize(GenerateAdCorpus(options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GenerateAdCorpus)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_RngBinomialLargeN(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Binomial(400000, 0.05));
+  }
+}
+BENCHMARK(BM_RngBinomialLargeN);
+
+}  // namespace
+}  // namespace microbrowse
+
+BENCHMARK_MAIN();

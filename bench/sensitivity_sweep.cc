@@ -1,0 +1,82 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Sensitivity sweep over the synthetic-corpus generator: how do the
+// classifier variants respond to relevance heterogeneity (keyword jitter),
+// click-sampling noise (impressions) and the mix of move vs rewrite
+// mutations? This is the tool that was used to pick the default corpus
+// regime in eval/experiments.h, kept as an ablation bench.
+//
+// Usage: sensitivity_sweep [jitter impressions move_weight second_mut
+//                           adgroups folds]
+// With no arguments runs a default grid.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "eval/experiments.h"
+
+using namespace microbrowse;
+
+namespace {
+
+struct SweepPoint {
+  double jitter;
+  int64_t impressions;
+  double move_weight;
+  double second_mutation;
+  double creative_noise;
+};
+
+void RunPoint(const SweepPoint& point, int adgroups, int folds) {
+  ExperimentOptions options;
+  options.num_adgroups = adgroups;
+  options.folds = folds;
+  options.corpus.relevance_jitter = point.jitter;
+  options.corpus.base_impressions = point.impressions;
+  options.corpus.move_mutation_weight = point.move_weight;
+  options.corpus.mutation_continue_prob = point.second_mutation;
+  options.corpus.creative_noise_sigma = point.creative_noise;
+  options.Normalize();
+
+  auto pairs = MakePairCorpus(options, Placement::kTop);
+  if (!pairs.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n", pairs.status().ToString().c_str());
+    return;
+  }
+  std::printf("jitter=%.2f impr=%lld move=%.2f mut2=%.2f cnoise=%.2f pairs=%zu | ",
+              point.jitter, static_cast<long long>(point.impressions), point.move_weight,
+              point.second_mutation, point.creative_noise, pairs->pairs.size());
+  for (const ClassifierConfig& config : ClassifierConfig::AllPaperModels()) {
+    auto report = RunPairClassificationCv(*pairs, config, options.pipeline);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s failed\n", config.name.c_str());
+      return;
+    }
+    std::printf("%s=%.3f ", config.name.c_str(), report->metrics.accuracy());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int adgroups = static_cast<int>(EnvInt("MB_ADGROUPS", 1500));
+  const int folds = static_cast<int>(EnvInt("MB_FOLDS", 5));
+
+  if (argc == 6) {
+    RunPoint(SweepPoint{std::atof(argv[1]), std::atoll(argv[2]), std::atof(argv[3]),
+                        std::atof(argv[4]), std::atof(argv[5])},
+             adgroups, folds);
+    return 0;
+  }
+
+  const std::vector<SweepPoint> grid = {
+      {0.40, 400000, 0.30, 0.65, 0.00},  // default regime without non-text noise
+      {0.40, 400000, 0.30, 0.65, 0.05},  // the shipped default
+      {0.40, 400000, 0.30, 0.65, 0.15},  // heavy non-text noise
+  };
+  for (const SweepPoint& point : grid) RunPoint(point, adgroups, folds);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Examination heat maps: the paper's Section VI proposes comparing the
+// micro-browsing model's examination probabilities against eye-tracking
+// focus maps. This example renders the model's predicted heat map for a
+// creative as shaded ASCII, with and without the intra-snippet attention
+// cascade, and shows how moving a salient offer phrase reshapes the map.
+//
+// Run:  ./examination_heatmap
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "corpus/phrase_pool.h"
+#include "corpus/pool_relevance.h"
+#include "microbrowse/model.h"
+
+using namespace microbrowse;
+
+namespace {
+
+/// Shades p in [0,1] as a 5-level block character.
+const char* Shade(double p) {
+  if (p >= 0.8) return "█";
+  if (p >= 0.6) return "▓";
+  if (p >= 0.4) return "▒";
+  if (p >= 0.2) return "░";
+  return "·";
+}
+
+void Render(const char* title, const Snippet& snippet,
+            const std::vector<std::vector<double>>& heatmap) {
+  std::printf("%s\n", title);
+  for (int line = 0; line < snippet.num_lines(); ++line) {
+    std::printf("  line %d: ", line + 1);
+    for (size_t pos = 0; pos < snippet.line(line).size(); ++pos) {
+      const double p = heatmap[line][pos];
+      std::printf("%s%s(%.2f) ", Shade(p), snippet.line(line)[pos].c_str(), p);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Ground-truth relevance from the travel phrase pool (jitter off so the
+  // maps are exactly reproducible).
+  const PoolRelevance relevance(PhrasePool::Travel(), /*jitter=*/0.0);
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), /*base_ctr=*/0.1);
+
+  const Snippet offer_last = Snippet::FromLines(
+      {"jetscout", "find cheap flights to paris", "free cancellation and 20% off"});
+  const Snippet offer_first = Snippet::FromLines(
+      {"jetscout 20% off", "find cheap flights to paris", "free cancellation"});
+
+  std::printf("Examination probability per token (micro-browsing model, TOP placement)\n");
+  std::printf("shading: █>=0.8  ▓>=0.6  ▒>=0.4  ░>=0.2  ·<0.2\n\n");
+
+  Render("offer buried on line 3, no attention cascade:", offer_last,
+         model.ExaminationHeatmap(0, offer_last, relevance, /*absorb=*/0.0));
+  Render("offer buried on line 3, attention cascade 0.4 (salient words end the scan):",
+         offer_last, model.ExaminationHeatmap(0, offer_last, relevance, 0.4));
+  Render("offer promoted to the headline, attention cascade 0.4:", offer_first,
+         model.ExaminationHeatmap(0, offer_first, relevance, 0.4));
+
+  const double ctr_last = model.ExpectedClickProbability(0, offer_last, relevance);
+  const double ctr_first = model.ExpectedClickProbability(0, offer_first, relevance);
+  std::printf("expected CTR, offer last : %.4f\n", ctr_last);
+  std::printf("expected CTR, offer first: %.4f\n", ctr_first);
+  std::printf(
+      "\nThe same words produce different heat maps — and different CTR —\n"
+      "depending only on WHERE they sit. Note the direction: under Eq. 3\n"
+      "every examined term can only disqualify (r < 1), so raising a\n"
+      "phrase's visibility pays off exactly when it displaces *weaker* text\n"
+      "from the user's attention — position is a zero-sum budget, which is\n"
+      "why the classifier needs the position-vs-relevance coupling instead\n"
+      "of a simple 'salient words up' rule.\n");
+  return 0;
+}

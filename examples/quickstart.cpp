@@ -1,0 +1,62 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Quickstart: the full micro-browsing pipeline in ~60 lines.
+//   1. Generate a synthetic sponsored-search corpus (the ADCORPUS stand-in).
+//   2. Extract creative pairs with significantly different CTRs.
+//   3. Build the feature-statistics database (phase one, Fig. 1).
+//   4. Cross-validate the bag-of-terms baseline M1 against the full
+//      micro-browsing classifier M6 (phase two).
+//
+// Run:  ./quickstart [num_adgroups]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace microbrowse;
+
+  ExperimentOptions options;
+  options.num_adgroups = argc > 1 ? std::atoi(argv[1]) : 4000;
+  options.folds = 5;
+  options.Normalize();
+
+  // 1 + 2: corpus generation and pair extraction.
+  auto pairs = MakePairCorpus(options, Placement::kTop);
+  if (!pairs.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n", pairs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pair corpus: %zu significant creative pairs from %d adgroups\n",
+              pairs->pairs.size(), options.num_adgroups);
+  if (!pairs->pairs.empty()) {
+    const SnippetPair& example = pairs->pairs.front();
+    std::printf("example pair (adgroup %lld):\n  R (sw=%.2f): %s\n  S (sw=%.2f): %s\n",
+                static_cast<long long>(example.adgroup_id), example.r.serve_weight,
+                example.r.snippet.ToString().c_str(), example.s.serve_weight,
+                example.s.snippet.ToString().c_str());
+  }
+
+  // 3 + 4: pipeline for the baseline and the full model.
+  for (const ClassifierConfig& config :
+       {ClassifierConfig::M1(), ClassifierConfig::M6()}) {
+    auto report = RunPairClassificationCv(*pairs, config, options.pipeline);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", config.name.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%s  recall=%.3f precision=%.3f F=%.3f accuracy=%.3f auc=%.3f  "
+        "(%zu features, %.1fs)\n",
+        config.name.c_str(), report->metrics.recall(), report->metrics.precision(),
+        report->metrics.f1(), report->metrics.accuracy(), report->auc,
+        report->num_t_features, report->train_seconds);
+  }
+  std::printf(
+      "\nThe gap between M1 and M6 is the paper's headline result: knowing\n"
+      "*which words changed, and where the user actually reads*, predicts\n"
+      "which creative wins.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/cascade.h"
+
+#include <unordered_map>
+
+namespace microbrowse {
+
+Status CascadeModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("Cascade: empty click log");
+  // Under the cascade assumptions a result is examined iff no earlier result
+  // in the session was clicked, so examination is fully observed and the MLE
+  // is clicks / examinations.
+  QueryDocAccumulator acc;
+  for (const auto& session : log.sessions) {
+    for (const auto& result : session.results) {
+      acc.Add(session.query_id, result.doc_id, result.clicked ? 1.0 : 0.0, 1.0);
+      if (result.clicked) break;  // Nothing after the first click is examined.
+    }
+  }
+  attraction_ = QueryDocTable(0.5);
+  acc.Flush(attraction_, /*alpha=*/1.0, /*prior=*/0.5);
+  return Status::OK();
+}
+
+std::vector<double> CascadeModel::ConditionalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  bool examining = true;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    probs[i] = examining ? attraction_.Get(session.query_id, session.results[i].doc_id) : 0.0;
+    if (session.results[i].clicked) examining = false;
+  }
+  return probs;
+}
+
+std::vector<double> CascadeModel::MarginalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  double exam_prob = 1.0;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double alpha = attraction_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = exam_prob * alpha;
+    exam_prob *= 1.0 - alpha;  // Continue only if this result was not clicked.
+  }
+  return probs;
+}
+
+void CascadeModel::SimulateClicks(Session* session, Rng* rng) const {
+  bool examining = true;
+  for (auto& result : session->results) {
+    if (!examining) {
+      result.clicked = false;
+      continue;
+    }
+    result.clicked = rng->Bernoulli(attraction_.Get(session->query_id, result.doc_id));
+    if (result.clicked) examining = false;
+  }
+}
+
+}  // namespace microbrowse

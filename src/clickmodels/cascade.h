@@ -1,0 +1,38 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Cascade model (Craswell et al., WSDM'08). The user scans results
+// top-down without skips and stops at the first click:
+//   P(E_1) = 1;  P(E_i | E_{i-1}=1, C_{i-1}) = 1 - C_{i-1}.
+// At most one click per session; closed-form MLE.
+
+#ifndef MICROBROWSE_CLICKMODELS_CASCADE_H_
+#define MICROBROWSE_CLICKMODELS_CASCADE_H_
+
+#include "clickmodels/click_model.h"
+#include "clickmodels/param_table.h"
+
+namespace microbrowse {
+
+/// Cascade click model with closed-form maximum-likelihood estimation.
+class CascadeModel : public ClickModel {
+ public:
+  CascadeModel() : attraction_(0.5) {}
+
+  /// Generative constructor with known attractiveness.
+  explicit CascadeModel(QueryDocTable attraction) : attraction_(std::move(attraction)) {}
+
+  std::string_view name() const override { return "Cascade"; }
+  Status Fit(const ClickLog& log) override;
+  std::vector<double> ConditionalClickProbs(const Session& session) const override;
+  std::vector<double> MarginalClickProbs(const Session& session) const override;
+  void SimulateClicks(Session* session, Rng* rng) const override;
+
+  const QueryDocTable& attraction() const { return attraction_; }
+
+ private:
+  QueryDocTable attraction_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_CASCADE_H_

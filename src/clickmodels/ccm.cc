@@ -1,0 +1,143 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/ccm.h"
+
+#include <algorithm>
+#include <array>
+
+namespace microbrowse {
+
+Status ClickChainModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("CCM: empty click log");
+  relevance_ = QueryDocTable(0.5);
+  alpha1_ = options_.initial_alpha1;
+  alpha2_ = options_.initial_alpha2;
+  alpha3_ = options_.initial_alpha3;
+
+  for (int iter = 0; iter < options_.em_iterations; ++iter) {
+    QueryDocAccumulator relevance_acc;
+    double a1_num = 0.0, a1_den = 0.0;
+    double a2_num = 0.0, a2_den = 0.0;
+    double a3_num = 0.0, a3_den = 0.0;
+
+    for (const auto& session : log.sessions) {
+      const int n = static_cast<int>(session.results.size());
+      if (n == 0) continue;
+      std::vector<double> r(n);
+      std::vector<char> c(n);
+      for (int i = 0; i < n; ++i) {
+        r[i] = relevance_.Get(session.query_id, session.results[i].doc_id);
+        c[i] = session.results[i].clicked ? 1 : 0;
+      }
+
+      auto obs = [&](int i, int e) -> double {
+        if (e == 0) return c[i] ? 0.0 : 1.0;
+        return c[i] ? r[i] : 1.0 - r[i];
+      };
+      auto trans1 = [&](int i) -> double {
+        return c[i] ? ContinueAfterClick(r[i]) : alpha1_;
+      };
+
+      // Forward-backward over the latent examination chain (same structure
+      // as DBN; see dbn.cc for the derivation).
+      std::vector<std::array<double, 2>> f(n), b(n);
+      f[0] = {0.0, 1.0};
+      for (int i = 0; i + 1 < n; ++i) {
+        const double from1 = f[i][1] * obs(i, 1);
+        const double from0 = f[i][0] * obs(i, 0);
+        const double t1 = trans1(i);
+        f[i + 1][1] = from1 * t1;
+        f[i + 1][0] = from1 * (1.0 - t1) + from0;
+      }
+      b[n - 1] = {1.0, 1.0};
+      for (int i = n - 2; i >= 0; --i) {
+        const double t1 = trans1(i);
+        b[i][1] = t1 * obs(i + 1, 1) * b[i + 1][1] + (1.0 - t1) * obs(i + 1, 0) * b[i + 1][0];
+        b[i][0] = obs(i + 1, 0) * b[i + 1][0];
+      }
+      std::vector<double> exam_post(n);
+      for (int i = 0; i < n; ++i) {
+        const double w1 = f[i][1] * obs(i, 1) * b[i][1];
+        const double w0 = f[i][0] * obs(i, 0) * b[i][0];
+        exam_post[i] = (w1 + w0) > 0.0 ? w1 / (w1 + w0) : 0.0;
+      }
+
+      for (int i = 0; i < n; ++i) {
+        // Relevance update mirrors attractiveness in PBM/DBN (the effect of
+        // r on post-click continuation is handled in the alpha updates).
+        if (c[i]) {
+          relevance_acc.Add(session.query_id, session.results[i].doc_id, 1.0, 1.0);
+        } else {
+          relevance_acc.Add(session.query_id, session.results[i].doc_id,
+                            (1.0 - exam_post[i]) * r[i], 1.0);
+        }
+        if (i + 1 >= n) continue;
+        const double continued = exam_post[i + 1];
+        if (c[i]) {
+          // Split the continuation credit between the alpha2 and alpha3
+          // branches in proportion to their prior contribution.
+          const double w2 = alpha2_ * (1.0 - r[i]);
+          const double w3 = alpha3_ * r[i];
+          const double total = w2 + w3;
+          const double share2 = total > 0.0 ? w2 / total : 0.5;
+          a2_num += continued * share2;
+          a2_den += 1.0 - r[i];
+          a3_num += continued * (1.0 - share2);
+          a3_den += r[i];
+        } else {
+          a1_num += continued;
+          a1_den += exam_post[i];
+        }
+      }
+    }
+
+    relevance_acc.Flush(relevance_, options_.smoothing, 0.5);
+    const double sm = options_.smoothing;
+    alpha1_ = std::clamp((a1_num + sm * 0.5) / (a1_den + sm), 1e-6, 1.0 - 1e-6);
+    alpha2_ = std::clamp((a2_num + sm * 0.5) / (a2_den + sm), 1e-6, 1.0 - 1e-6);
+    alpha3_ = std::clamp((a3_num + sm * 0.5) / (a3_den + sm), 1e-6, 1.0 - 1e-6);
+  }
+  return Status::OK();
+}
+
+std::vector<double> ClickChainModel::ConditionalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  double exam_belief = 1.0;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double r = relevance_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = exam_belief * r;
+    if (session.results[i].clicked) {
+      exam_belief = ContinueAfterClick(r);
+    } else {
+      const double denom = 1.0 - exam_belief * r;
+      exam_belief = denom > 1e-12 ? alpha1_ * exam_belief * (1.0 - r) / denom : 0.0;
+    }
+  }
+  return probs;
+}
+
+std::vector<double> ClickChainModel::MarginalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  double exam_prob = 1.0;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double r = relevance_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = exam_prob * r;
+    exam_prob *= r * ContinueAfterClick(r) + (1.0 - r) * alpha1_;
+  }
+  return probs;
+}
+
+void ClickChainModel::SimulateClicks(Session* session, Rng* rng) const {
+  bool examining = true;
+  for (auto& result : session->results) {
+    if (!examining) {
+      result.clicked = false;
+      continue;
+    }
+    const double r = relevance_.Get(session->query_id, result.doc_id);
+    result.clicked = rng->Bernoulli(r);
+    examining = rng->Bernoulli(result.clicked ? ContinueAfterClick(r) : alpha1_);
+  }
+}
+
+}  // namespace microbrowse

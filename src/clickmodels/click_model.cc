@@ -1,0 +1,20 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/click_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microbrowse {
+
+double ClickModel::SessionLogLikelihood(const Session& session) const {
+  const std::vector<double> probs = ConditionalClickProbs(session);
+  double loglik = 0.0;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double p = std::clamp(probs[i], 1e-12, 1.0 - 1e-12);
+    loglik += session.results[i].clicked ? std::log(p) : std::log1p(-p);
+  }
+  return loglik;
+}
+
+}  // namespace microbrowse

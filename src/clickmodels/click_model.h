@@ -1,0 +1,51 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Abstract interface for the macro user-browsing models of Section II.
+// Each model can (a) fit its parameters from a click log, (b) score the
+// probability of the observed clicks in a session, (c) predict click
+// probabilities, and (d) act as a generative simulator for synthetic logs.
+
+#ifndef MICROBROWSE_CLICKMODELS_CLICK_MODEL_H_
+#define MICROBROWSE_CLICKMODELS_CLICK_MODEL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "clickmodels/session.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace microbrowse {
+
+/// Common interface for all click models.
+class ClickModel {
+ public:
+  virtual ~ClickModel() = default;
+
+  /// Short stable model name ("PBM", "UBM", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Estimates model parameters from `log`.
+  virtual Status Fit(const ClickLog& log) = 0;
+
+  /// P(C_i = 1 | C_1..C_{i-1}) for each position, conditioning on the
+  /// clicks observed in `session`. Used for log-likelihood.
+  virtual std::vector<double> ConditionalClickProbs(const Session& session) const = 0;
+
+  /// Unconditional marginal click probability P(C_i = 1) at each position
+  /// for the result list in `session` (ignoring its observed clicks). Used
+  /// for perplexity and CTR prediction.
+  virtual std::vector<double> MarginalClickProbs(const Session& session) const = 0;
+
+  /// Samples clicks into `session->results[*].clicked` from the model's
+  /// generative process.
+  virtual void SimulateClicks(Session* session, Rng* rng) const = 0;
+
+  /// Log-likelihood of the observed click pattern of `session` under the
+  /// model, computed from ConditionalClickProbs.
+  double SessionLogLikelihood(const Session& session) const;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_CLICK_MODEL_H_

@@ -1,0 +1,209 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/dbn.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace microbrowse {
+
+Status DbnModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("DBN: empty click log");
+  attraction_ = QueryDocTable(0.5);
+  satisfaction_ = QueryDocTable(0.5);
+  gamma_ = options_.initial_gamma;
+
+  for (int iter = 0; iter < options_.em_iterations; ++iter) {
+    QueryDocAccumulator attraction_acc;
+    QueryDocAccumulator satisfaction_acc;
+    double gamma_num = 0.0;
+    double gamma_den = 0.0;
+
+    for (const auto& session : log.sessions) {
+      const int n = static_cast<int>(session.results.size());
+      if (n == 0) continue;
+      std::vector<double> a(n), s(n);
+      std::vector<char> c(n);
+      for (int i = 0; i < n; ++i) {
+        a[i] = attraction_.Get(session.query_id, session.results[i].doc_id);
+        s[i] = satisfaction_.Get(session.query_id, session.results[i].doc_id);
+        c[i] = session.results[i].clicked ? 1 : 0;
+      }
+
+      // Observation likelihood o_i(e) = P(c_i | E_i = e).
+      auto obs = [&](int i, int e) -> double {
+        if (e == 0) return c[i] ? 0.0 : 1.0;
+        return c[i] ? a[i] : 1.0 - a[i];
+      };
+      // Transition P(E_{i+1} = 1 | E_i = 1, c_i).
+      auto trans1 = [&](int i) -> double {
+        return c[i] ? gamma_ * (1.0 - s[i]) : gamma_;
+      };
+
+      // Forward: f[i][e] = P(E_i = e, c_1..c_{i-1}).
+      std::vector<std::array<double, 2>> f(n);
+      f[0] = {0.0, 1.0};
+      for (int i = 0; i + 1 < n; ++i) {
+        const double from1 = f[i][1] * obs(i, 1);
+        const double from0 = f[i][0] * obs(i, 0);
+        const double t1 = trans1(i);
+        f[i + 1][1] = from1 * t1;
+        f[i + 1][0] = from1 * (1.0 - t1) + from0;
+      }
+
+      // Backward: b[i][e] = P(c_{i+1..n} | E_i = e, c_i); b includes nothing
+      // at the last position.
+      std::vector<std::array<double, 2>> b(n);
+      b[n - 1] = {1.0, 1.0};
+      for (int i = n - 2; i >= 0; --i) {
+        const double t1 = trans1(i);
+        b[i][1] = t1 * obs(i + 1, 1) * b[i + 1][1] + (1.0 - t1) * obs(i + 1, 0) * b[i + 1][0];
+        b[i][0] = obs(i + 1, 0) * b[i + 1][0];  // Unexamined stays unexamined.
+      }
+
+      // Posterior P(E_i = 1 | obs).
+      std::vector<double> exam_post(n);
+      for (int i = 0; i < n; ++i) {
+        const double w1 = f[i][1] * obs(i, 1) * b[i][1];
+        const double w0 = f[i][0] * obs(i, 0) * b[i][0];
+        exam_post[i] = (w1 + w0) > 0.0 ? w1 / (w1 + w0) : 0.0;
+      }
+
+      for (int i = 0; i < n; ++i) {
+        // Attractiveness: P(A_i = 1 | obs) = 1 for clicks; for skips the
+        // user was either unexamined (A ~ prior) or examined-and-unattracted.
+        if (c[i]) {
+          attraction_acc.Add(session.query_id, session.results[i].doc_id, 1.0, 1.0);
+        } else {
+          attraction_acc.Add(session.query_id, session.results[i].doc_id,
+                             (1.0 - exam_post[i]) * a[i], 1.0);
+        }
+
+        if (c[i]) {
+          // Satisfaction posterior: satisfied stops the chain, unsatisfied
+          // continues with perseverance gamma.
+          double sat_post;
+          if (i == n - 1) {
+            // No future evidence: posterior equals... satisfied (stop) and
+            // unsatisfied both explain the empty tail, so the prior stands
+            // against the mixture — with no tail, likelihoods are equal.
+            sat_post = s[i];
+          } else {
+            const double z1 = obs(i + 1, 1) * b[i + 1][1];  // tail | examining
+            const double z0 = obs(i + 1, 0) * b[i + 1][0];  // tail | stopped
+            const double lik_sat = z0;
+            const double lik_unsat = gamma_ * z1 + (1.0 - gamma_) * z0;
+            const double denom = s[i] * lik_sat + (1.0 - s[i]) * lik_unsat;
+            sat_post = denom > 0.0 ? s[i] * lik_sat / denom : s[i];
+          }
+          satisfaction_acc.Add(session.query_id, session.results[i].doc_id, sat_post, 1.0);
+
+          if (i + 1 < n) {
+            // Gamma: eligible iff unsatisfied.
+            gamma_den += 1.0 - sat_post;
+            gamma_num += exam_post[i + 1];
+          }
+        } else if (i + 1 < n) {
+          // Gamma: eligible iff examined.
+          gamma_den += exam_post[i];
+          gamma_num += exam_post[i + 1];
+        }
+      }
+    }
+
+    attraction_acc.Flush(attraction_, options_.smoothing, 0.5);
+    satisfaction_acc.Flush(satisfaction_, options_.smoothing, 0.5);
+    if (options_.estimate_gamma && gamma_den > 0.0) {
+      gamma_ = std::clamp((gamma_num + options_.smoothing * 0.5) /
+                              (gamma_den + options_.smoothing),
+                          1e-6, 1.0 - 1e-6);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> DbnModel::ConditionalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  double exam_belief = 1.0;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double a = attraction_.Get(session.query_id, session.results[i].doc_id);
+    const double s = satisfaction_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = exam_belief * a;
+    if (session.results[i].clicked) {
+      exam_belief = gamma_ * (1.0 - s);
+    } else {
+      const double denom = 1.0 - exam_belief * a;
+      exam_belief = denom > 1e-12 ? gamma_ * exam_belief * (1.0 - a) / denom : 0.0;
+    }
+  }
+  return probs;
+}
+
+std::vector<double> DbnModel::MarginalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  double exam_prob = 1.0;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double a = attraction_.Get(session.query_id, session.results[i].doc_id);
+    const double s = satisfaction_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = exam_prob * a;
+    exam_prob *= gamma_ * (1.0 - a * s);
+  }
+  return probs;
+}
+
+void DbnModel::SimulateClicks(Session* session, Rng* rng) const {
+  bool examining = true;
+  for (auto& result : session->results) {
+    if (!examining) {
+      result.clicked = false;
+      continue;
+    }
+    const double a = attraction_.Get(session->query_id, result.doc_id);
+    const double s = satisfaction_.Get(session->query_id, result.doc_id);
+    result.clicked = rng->Bernoulli(a);
+    if (result.clicked && rng->Bernoulli(s)) {
+      examining = false;  // Satisfied: stop.
+    } else {
+      examining = rng->Bernoulli(gamma_);
+    }
+  }
+}
+
+Status SimplifiedDbnModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("SDBN: empty click log");
+  // With gamma = 1 the user examines everything up to and including the
+  // last click, so examination is observed and the MLE is closed-form.
+  QueryDocAccumulator attraction_acc;
+  QueryDocAccumulator satisfaction_acc;
+  for (const auto& session : log.sessions) {
+    const int last_click = session.last_click_position();
+    if (last_click < 0) continue;  // SDBN learns nothing from clickless sessions.
+    for (int i = 0; i <= last_click; ++i) {
+      const auto& result = session.results[i];
+      attraction_acc.Add(session.query_id, result.doc_id, result.clicked ? 1.0 : 0.0, 1.0);
+      if (result.clicked) {
+        satisfaction_acc.Add(session.query_id, result.doc_id, i == last_click ? 1.0 : 0.0, 1.0);
+      }
+    }
+  }
+  attraction_ = QueryDocTable(0.5);
+  satisfaction_ = QueryDocTable(0.5);
+  attraction_acc.Flush(attraction_, 1.0, 0.5);
+  satisfaction_acc.Flush(satisfaction_, 1.0, 0.5);
+  return Status::OK();
+}
+
+std::vector<double> SimplifiedDbnModel::ConditionalClickProbs(const Session& session) const {
+  return DbnModel(attraction_, satisfaction_, /*gamma=*/1.0).ConditionalClickProbs(session);
+}
+
+std::vector<double> SimplifiedDbnModel::MarginalClickProbs(const Session& session) const {
+  return DbnModel(attraction_, satisfaction_, /*gamma=*/1.0).MarginalClickProbs(session);
+}
+
+void SimplifiedDbnModel::SimulateClicks(Session* session, Rng* rng) const {
+  DbnModel(attraction_, satisfaction_, /*gamma=*/1.0).SimulateClicks(session, rng);
+}
+
+}  // namespace microbrowse

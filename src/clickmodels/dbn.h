@@ -1,0 +1,89 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Dynamic Bayesian network click model (Chapelle & Zhang, WWW'09), the
+// paper's "DBM". Each result has attractiveness a (perceived relevance) and
+// satisfaction s (post-click relevance); after examining result i the user
+// continues iff she was not satisfied, with perseverance gamma:
+//   P(E_{i+1}=1 | E_i=1, C_i=0) = gamma
+//   P(E_{i+1}=1 | E_i=1, C_i=1) = gamma * (1 - s_i).
+// Fit with EM; the E-step runs an exact forward-backward pass over the
+// latent examination chain. The simplified DBN (SDBN, gamma = 1) has a
+// closed-form MLE and is provided as SimplifiedDbnModel.
+
+#ifndef MICROBROWSE_CLICKMODELS_DBN_H_
+#define MICROBROWSE_CLICKMODELS_DBN_H_
+
+#include "clickmodels/click_model.h"
+#include "clickmodels/param_table.h"
+
+namespace microbrowse {
+
+/// DBN hyper-parameters.
+struct DbnOptions {
+  int em_iterations = 30;
+  double smoothing = 1.0;
+  /// When false, gamma stays at its initial value instead of being
+  /// re-estimated each M-step.
+  bool estimate_gamma = true;
+  double initial_gamma = 0.9;
+};
+
+/// Dynamic Bayesian network click model with EM estimation.
+class DbnModel : public ClickModel {
+ public:
+  explicit DbnModel(DbnOptions options = {})
+      : options_(options), attraction_(0.5), satisfaction_(0.5), gamma_(options.initial_gamma) {}
+
+  /// Generative constructor with known parameters.
+  DbnModel(QueryDocTable attraction, QueryDocTable satisfaction, double gamma,
+           DbnOptions options = {})
+      : options_(options),
+        attraction_(std::move(attraction)),
+        satisfaction_(std::move(satisfaction)),
+        gamma_(gamma) {}
+
+  std::string_view name() const override { return "DBN"; }
+  Status Fit(const ClickLog& log) override;
+  std::vector<double> ConditionalClickProbs(const Session& session) const override;
+  std::vector<double> MarginalClickProbs(const Session& session) const override;
+  void SimulateClicks(Session* session, Rng* rng) const override;
+
+  const QueryDocTable& attraction() const { return attraction_; }
+  const QueryDocTable& satisfaction() const { return satisfaction_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  DbnOptions options_;
+  QueryDocTable attraction_;
+  QueryDocTable satisfaction_;
+  double gamma_;
+};
+
+/// Simplified DBN: gamma = 1, closed-form MLE (attractiveness from
+/// positions up to the last click, satisfaction from whether a click is the
+/// session's last).
+class SimplifiedDbnModel : public ClickModel {
+ public:
+  SimplifiedDbnModel() : attraction_(0.5), satisfaction_(0.5) {}
+
+  /// Generative constructor with known parameters.
+  SimplifiedDbnModel(QueryDocTable attraction, QueryDocTable satisfaction)
+      : attraction_(std::move(attraction)), satisfaction_(std::move(satisfaction)) {}
+
+  std::string_view name() const override { return "SDBN"; }
+  Status Fit(const ClickLog& log) override;
+  std::vector<double> ConditionalClickProbs(const Session& session) const override;
+  std::vector<double> MarginalClickProbs(const Session& session) const override;
+  void SimulateClicks(Session* session, Rng* rng) const override;
+
+  const QueryDocTable& attraction() const { return attraction_; }
+  const QueryDocTable& satisfaction() const { return satisfaction_; }
+
+ private:
+  QueryDocTable attraction_;
+  QueryDocTable satisfaction_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_DBN_H_

@@ -1,0 +1,86 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/dcm.h"
+
+#include <algorithm>
+
+namespace microbrowse {
+
+Status DependentClickModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("DCM: empty click log");
+  // Approximate MLE from Guo et al.: the user is assumed to examine every
+  // position up to the last click (or the whole list when there is no
+  // click, since DCM continues with probability one after a skip), and to
+  // stop right after the last click.
+  QueryDocAccumulator attraction_acc;
+  std::vector<double> lambda_last(log.max_positions, 0.0);   // last click at i
+  std::vector<double> lambda_total(log.max_positions, 0.0);  // any click at i
+
+  for (const auto& session : log.sessions) {
+    const int last_click = session.last_click_position();
+    const int examined_end =
+        last_click >= 0 ? last_click + 1 : static_cast<int>(session.results.size());
+    for (int i = 0; i < examined_end; ++i) {
+      const auto& result = session.results[i];
+      attraction_acc.Add(session.query_id, result.doc_id, result.clicked ? 1.0 : 0.0, 1.0);
+      if (result.clicked) {
+        lambda_total[i] += 1.0;
+        if (i == last_click) lambda_last[i] += 1.0;
+      }
+    }
+  }
+
+  attraction_ = QueryDocTable(0.5);
+  attraction_acc.Flush(attraction_, /*alpha=*/1.0, /*prior=*/0.5);
+  lambdas_.assign(log.max_positions, 0.5);
+  for (int i = 0; i < log.max_positions; ++i) {
+    // lambda_i ~= P(continue after click at i) = 1 - P(click at i is last).
+    lambdas_[i] = 1.0 - (lambda_last[i] + 0.5) / (lambda_total[i] + 1.0);
+  }
+  return Status::OK();
+}
+
+std::vector<double> DependentClickModel::ConditionalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  double exam_belief = 1.0;  // P(E_i = 1 | observed history).
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double alpha = attraction_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = exam_belief * alpha;
+    if (session.results[i].clicked) {
+      // Click reveals E_i = 1; user continues with probability lambda_i.
+      exam_belief = Lambda(static_cast<int>(i));
+    } else {
+      // Skip: posterior that the user examined but was not attracted, then
+      // continued with probability one.
+      const double denom = 1.0 - exam_belief * alpha;
+      exam_belief = denom > 1e-12 ? exam_belief * (1.0 - alpha) / denom : 0.0;
+    }
+  }
+  return probs;
+}
+
+std::vector<double> DependentClickModel::MarginalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  double exam_prob = 1.0;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const double alpha = attraction_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = exam_prob * alpha;
+    exam_prob *= alpha * Lambda(static_cast<int>(i)) + (1.0 - alpha);
+  }
+  return probs;
+}
+
+void DependentClickModel::SimulateClicks(Session* session, Rng* rng) const {
+  bool examining = true;
+  for (size_t i = 0; i < session->results.size(); ++i) {
+    auto& result = session->results[i];
+    if (!examining) {
+      result.clicked = false;
+      continue;
+    }
+    result.clicked = rng->Bernoulli(attraction_.Get(session->query_id, result.doc_id));
+    if (result.clicked) examining = rng->Bernoulli(Lambda(static_cast<int>(i)));
+  }
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,50 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Dependent click model (Guo et al., WSDM'09), the multi-click
+// generalisation of the cascade model:
+//   P(E_i | E_{i-1}=1, C_{i-1}=1) = lambda_{i-1}
+//   P(E_i | E_{i-1}=1, C_{i-1}=0) = 1.
+// Fit with the original paper's approximate MLE: positions up to the last
+// click are treated as examined.
+
+#ifndef MICROBROWSE_CLICKMODELS_DCM_H_
+#define MICROBROWSE_CLICKMODELS_DCM_H_
+
+#include <vector>
+
+#include "clickmodels/click_model.h"
+#include "clickmodels/param_table.h"
+
+namespace microbrowse {
+
+/// Dependent click model.
+class DependentClickModel : public ClickModel {
+ public:
+  DependentClickModel() : attraction_(0.5) {}
+
+  /// Generative constructor; `lambdas[i]` is the probability the user keeps
+  /// examining after a click at position i.
+  DependentClickModel(QueryDocTable attraction, std::vector<double> lambdas)
+      : attraction_(std::move(attraction)), lambdas_(std::move(lambdas)) {}
+
+  std::string_view name() const override { return "DCM"; }
+  Status Fit(const ClickLog& log) override;
+  std::vector<double> ConditionalClickProbs(const Session& session) const override;
+  std::vector<double> MarginalClickProbs(const Session& session) const override;
+  void SimulateClicks(Session* session, Rng* rng) const override;
+
+  const QueryDocTable& attraction() const { return attraction_; }
+  const std::vector<double>& lambdas() const { return lambdas_; }
+
+ private:
+  double Lambda(int position) const {
+    return position < static_cast<int>(lambdas_.size()) ? lambdas_[position] : 0.5;
+  }
+
+  QueryDocTable attraction_;
+  std::vector<double> lambdas_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_DCM_H_

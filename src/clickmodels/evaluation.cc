@@ -1,0 +1,52 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microbrowse {
+
+ClickModelEvaluation EvaluateClickModel(const ClickModel& model, const ClickLog& log) {
+  ClickModelEvaluation eval;
+  const int max_rank = log.max_positions;
+  std::vector<double> log2_sum(max_rank, 0.0);
+  std::vector<int64_t> rank_count(max_rank, 0);
+  int64_t observations = 0;
+  double brier_sum = 0.0;
+
+  for (const auto& session : log.sessions) {
+    const auto conditional = model.ConditionalClickProbs(session);
+    const auto marginal = model.MarginalClickProbs(session);
+    for (size_t i = 0; i < session.results.size(); ++i) {
+      const bool clicked = session.results[i].clicked;
+      const double pc = std::clamp(conditional[i], 1e-10, 1.0 - 1e-10);
+      eval.log_likelihood += clicked ? std::log(pc) : std::log1p(-pc);
+      ++observations;
+
+      const double pm = std::clamp(marginal[i], 1e-10, 1.0 - 1e-10);
+      log2_sum[i] += clicked ? std::log2(pm) : std::log2(1.0 - pm);
+      ++rank_count[i];
+      const double err = (clicked ? 1.0 : 0.0) - pm;
+      brier_sum += err * err;
+    }
+  }
+
+  eval.avg_log_likelihood =
+      observations > 0 ? eval.log_likelihood / static_cast<double>(observations) : 0.0;
+  eval.ctr_mse = observations > 0 ? brier_sum / static_cast<double>(observations) : 0.0;
+  eval.perplexity_at_rank.resize(max_rank, 0.0);
+  double perplexity_total = 0.0;
+  int ranks_with_data = 0;
+  for (int r = 0; r < max_rank; ++r) {
+    if (rank_count[r] == 0) continue;
+    eval.perplexity_at_rank[r] =
+        std::exp2(-log2_sum[r] / static_cast<double>(rank_count[r]));
+    perplexity_total += eval.perplexity_at_rank[r];
+    ++ranks_with_data;
+  }
+  eval.perplexity = ranks_with_data > 0 ? perplexity_total / ranks_with_data : 0.0;
+  return eval;
+}
+
+}  // namespace microbrowse

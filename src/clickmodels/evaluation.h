@@ -1,0 +1,31 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Click-model evaluation: held-out log-likelihood, per-rank perplexity and
+// CTR prediction error — the standard yardsticks in the click-model
+// literature (and in PyClick-style toolkits).
+
+#ifndef MICROBROWSE_CLICKMODELS_EVALUATION_H_
+#define MICROBROWSE_CLICKMODELS_EVALUATION_H_
+
+#include <vector>
+
+#include "clickmodels/click_model.h"
+#include "clickmodels/session.h"
+
+namespace microbrowse {
+
+/// Aggregate evaluation of one model on one log.
+struct ClickModelEvaluation {
+  double log_likelihood = 0.0;       ///< Total conditional log-likelihood.
+  double avg_log_likelihood = 0.0;   ///< Per click-observation average.
+  double perplexity = 0.0;           ///< Mean of the per-rank perplexities.
+  std::vector<double> perplexity_at_rank;
+  double ctr_mse = 0.0;              ///< Brier score of marginal click probs.
+};
+
+/// Evaluates `model` on `log`. The model must already be fitted.
+ClickModelEvaluation EvaluateClickModel(const ClickModel& model, const ClickLog& log);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_EVALUATION_H_

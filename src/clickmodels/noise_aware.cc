@@ -1,0 +1,110 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/noise_aware.h"
+
+#include <algorithm>
+
+namespace microbrowse {
+
+Status NoiseAwareClickModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("NCM: empty click log");
+  const int positions = log.max_positions;
+  position_probs_.assign(positions, 0.5);
+  noise_rates_.assign(positions, 0.05);
+  attraction_ = QueryDocTable(0.5);
+  eta_ = options_.initial_eta;
+
+  for (int iter = 0; iter < options_.em_iterations; ++iter) {
+    QueryDocAccumulator attraction_acc;
+    std::vector<double> gamma_num(positions, 0.0), gamma_den(positions, 0.0);
+    std::vector<double> beta_num(positions, 0.0), beta_den(positions, 0.0);
+    double eta_num = 0.0;
+    double eta_den = 0.0;
+
+    for (const auto& session : log.sessions) {
+      for (size_t i = 0; i < session.results.size(); ++i) {
+        const auto& result = session.results[i];
+        const int pos = static_cast<int>(i);
+        const double gamma = PositionProb(pos);
+        const double alpha = attraction_.Get(session.query_id, result.doc_id);
+        const double beta = NoiseRate(pos);
+
+        // E-step: posterior over the channel (real vs noise) given the
+        // observation, then the usual PBM posteriors inside the real
+        // channel.
+        const double p_real = (1.0 - eta_) * (result.clicked ? gamma * alpha
+                                                             : 1.0 - gamma * alpha);
+        const double p_noise = eta_ * (result.clicked ? beta : 1.0 - beta);
+        const double denom = p_real + p_noise;
+        const double w_noise = denom > 0.0 ? p_noise / denom : eta_;
+        const double w_real = 1.0 - w_noise;
+
+        eta_num += w_noise;
+        eta_den += 1.0;
+        beta_num[pos] += w_noise * (result.clicked ? 1.0 : 0.0);
+        beta_den[pos] += w_noise;
+
+        if (result.clicked) {
+          attraction_acc.Add(session.query_id, result.doc_id, w_real, w_real);
+          gamma_num[pos] += w_real;
+          gamma_den[pos] += w_real;
+        } else {
+          const double p_no_click = 1.0 - gamma * alpha;
+          const double p_attracted_unexamined =
+              p_no_click > 0.0 ? (1.0 - gamma) * alpha / p_no_click : 0.0;
+          const double p_examined =
+              p_no_click > 0.0 ? gamma * (1.0 - alpha) / p_no_click : 0.0;
+          attraction_acc.Add(session.query_id, result.doc_id,
+                             w_real * p_attracted_unexamined, w_real);
+          gamma_num[pos] += w_real * p_examined;
+          gamma_den[pos] += w_real;
+        }
+      }
+    }
+
+    attraction_acc.Flush(attraction_, options_.smoothing, 0.5);
+    for (int i = 0; i < positions; ++i) {
+      position_probs_[i] = (gamma_num[i] + options_.smoothing * 0.5) /
+                           (gamma_den[i] + options_.smoothing);
+      noise_rates_[i] =
+          (beta_num[i] + options_.smoothing * 0.05) / (beta_den[i] + options_.smoothing);
+    }
+    if (options_.estimate_eta && eta_den > 0.0) {
+      eta_ = std::clamp((eta_num + options_.smoothing * options_.initial_eta) /
+                            (eta_den + options_.smoothing),
+                        1e-6, 0.9);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> NoiseAwareClickModel::ConditionalClickProbs(const Session& session) const {
+  // Positions are independent; conditional == marginal.
+  return MarginalClickProbs(session);
+}
+
+std::vector<double> NoiseAwareClickModel::MarginalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const int pos = static_cast<int>(i);
+    const double real = PositionProb(pos) *
+                        attraction_.Get(session.query_id, session.results[i].doc_id);
+    probs[i] = (1.0 - eta_) * real + eta_ * NoiseRate(pos);
+  }
+  return probs;
+}
+
+void NoiseAwareClickModel::SimulateClicks(Session* session, Rng* rng) const {
+  for (size_t i = 0; i < session->results.size(); ++i) {
+    const int pos = static_cast<int>(i);
+    if (rng->Bernoulli(eta_)) {
+      session->results[i].clicked = rng->Bernoulli(NoiseRate(pos));
+    } else {
+      const double p = PositionProb(pos) *
+                       attraction_.Get(session->query_id, session->results[i].doc_id);
+      session->results[i].clicked = rng->Bernoulli(p);
+    }
+  }
+}
+
+}  // namespace microbrowse

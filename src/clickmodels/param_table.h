@@ -1,0 +1,78 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Per-(query, doc) parameter storage shared by the click-model estimators.
+
+#ifndef MICROBROWSE_CLICKMODELS_PARAM_TABLE_H_
+#define MICROBROWSE_CLICKMODELS_PARAM_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "clickmodels/session.h"
+
+namespace microbrowse {
+
+/// A map from (query, doc) to a scalar parameter with a configurable
+/// default for unseen pairs (the prior mean).
+class QueryDocTable {
+ public:
+  explicit QueryDocTable(double default_value = 0.5) : default_value_(default_value) {}
+
+  /// Reads the parameter, falling back to the default for unseen pairs.
+  double Get(int32_t query_id, int32_t doc_id) const {
+    auto it = values_.find(QueryDocKey(query_id, doc_id));
+    return it != values_.end() ? it->second : default_value_;
+  }
+
+  /// Writes the parameter.
+  void Set(int32_t query_id, int32_t doc_id, double value) {
+    values_[QueryDocKey(query_id, doc_id)] = value;
+  }
+
+  /// Default returned for pairs never Set.
+  double default_value() const { return default_value_; }
+
+  /// Number of explicitly stored pairs.
+  size_t size() const { return values_.size(); }
+
+  /// Read-only access to the stored pairs (for tests and reports).
+  const std::unordered_map<uint64_t, double>& values() const { return values_; }
+
+ private:
+  double default_value_;
+  std::unordered_map<uint64_t, double> values_;
+};
+
+/// Accumulates (numerator, denominator) pairs keyed by (query, doc) during
+/// an E-step; Ratio() yields the M-step estimate with Laplace smoothing.
+class QueryDocAccumulator {
+ public:
+  /// Adds `num` to the numerator and `den` to the denominator of the pair.
+  void Add(int32_t query_id, int32_t doc_id, double num, double den) {
+    auto& cell = cells_[QueryDocKey(query_id, doc_id)];
+    cell.num += num;
+    cell.den += den;
+  }
+
+  /// Writes `num / den` (with add-`alpha` smoothing toward `prior`) for
+  /// every accumulated pair into `out`.
+  void Flush(QueryDocTable& out, double alpha = 1.0, double prior = 0.5) const {
+    for (const auto& [key, cell] : cells_) {
+      const double value = (cell.num + alpha * prior) / (cell.den + alpha);
+      out.Set(static_cast<int32_t>(key >> 32), static_cast<int32_t>(key & 0xffffffffULL), value);
+    }
+  }
+
+  void Clear() { cells_.clear(); }
+
+ private:
+  struct Cell {
+    double num = 0.0;
+    double den = 0.0;
+  };
+  std::unordered_map<uint64_t, Cell> cells_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_PARAM_TABLE_H_

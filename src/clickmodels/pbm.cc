@@ -1,0 +1,76 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/pbm.h"
+
+#include <algorithm>
+
+namespace microbrowse {
+
+Status PositionBasedModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("PBM: empty click log");
+  const int positions = log.max_positions;
+  position_probs_.assign(positions, 0.5);
+  attraction_ = QueryDocTable(0.5);
+
+  for (int iter = 0; iter < options_.em_iterations; ++iter) {
+    QueryDocAccumulator attraction_acc;
+    std::vector<double> gamma_num(positions, 0.0);
+    std::vector<double> gamma_den(positions, 0.0);
+
+    for (const auto& session : log.sessions) {
+      for (size_t i = 0; i < session.results.size(); ++i) {
+        const auto& result = session.results[i];
+        const double gamma = PositionProb(static_cast<int>(i));
+        const double alpha = attraction_.Get(session.query_id, result.doc_id);
+        if (result.clicked) {
+          // Click implies examined and attracted.
+          attraction_acc.Add(session.query_id, result.doc_id, 1.0, 1.0);
+          gamma_num[i] += 1.0;
+          gamma_den[i] += 1.0;
+        } else {
+          // Posterior over the two explanations of a skip.
+          const double p_no_click = 1.0 - gamma * alpha;
+          // Attracted but not examined.
+          const double p_attracted_unexamined = (1.0 - gamma) * alpha / p_no_click;
+          // Examined but not attracted (+ examined & attracted is impossible
+          // given no click).
+          const double p_examined = gamma * (1.0 - alpha) / p_no_click;
+          attraction_acc.Add(session.query_id, result.doc_id, p_attracted_unexamined, 1.0);
+          gamma_num[i] += p_examined;
+          gamma_den[i] += 1.0;
+        }
+      }
+    }
+
+    attraction_acc.Flush(attraction_, options_.smoothing, 0.5);
+    for (int i = 0; i < positions; ++i) {
+      position_probs_[i] = (gamma_num[i] + options_.smoothing * 0.5) /
+                           (gamma_den[i] + options_.smoothing);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> PositionBasedModel::ConditionalClickProbs(const Session& session) const {
+  // PBM positions are independent; conditional == marginal.
+  return MarginalClickProbs(session);
+}
+
+std::vector<double> PositionBasedModel::MarginalClickProbs(const Session& session) const {
+  std::vector<double> probs(session.results.size(), 0.0);
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    probs[i] = PositionProb(static_cast<int>(i)) *
+               attraction_.Get(session.query_id, session.results[i].doc_id);
+  }
+  return probs;
+}
+
+void PositionBasedModel::SimulateClicks(Session* session, Rng* rng) const {
+  for (size_t i = 0; i < session->results.size(); ++i) {
+    const double p = PositionProb(static_cast<int>(i)) *
+                     attraction_.Get(session->query_id, session->results[i].doc_id);
+    session->results[i].clicked = rng->Bernoulli(p);
+  }
+}
+
+}  // namespace microbrowse

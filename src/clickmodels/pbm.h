@@ -1,0 +1,63 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Position-based model (Richardson et al., WWW'07; formalized by Craswell
+// et al., WSDM'08). Examination depends only on the position:
+//   P(C_i = 1) = gamma_i * alpha_{q, d(i)}.
+// Fit by expectation-maximisation over the latent examination events.
+
+#ifndef MICROBROWSE_CLICKMODELS_PBM_H_
+#define MICROBROWSE_CLICKMODELS_PBM_H_
+
+#include <vector>
+
+#include "clickmodels/click_model.h"
+#include "clickmodels/param_table.h"
+
+namespace microbrowse {
+
+/// PBM hyper-parameters.
+struct PbmOptions {
+  int em_iterations = 30;
+  /// Smoothing pseudo-count applied in each M-step.
+  double smoothing = 1.0;
+};
+
+/// Position-based click model with EM estimation.
+class PositionBasedModel : public ClickModel {
+ public:
+  explicit PositionBasedModel(PbmOptions options = {})
+      : options_(options), attraction_(0.5) {}
+
+  /// Constructs a generative PBM with known parameters (for simulation and
+  /// parameter-recovery tests).
+  PositionBasedModel(std::vector<double> position_probs, QueryDocTable attraction,
+                     PbmOptions options = {})
+      : options_(options),
+        position_probs_(std::move(position_probs)),
+        attraction_(std::move(attraction)) {}
+
+  std::string_view name() const override { return "PBM"; }
+  Status Fit(const ClickLog& log) override;
+  std::vector<double> ConditionalClickProbs(const Session& session) const override;
+  std::vector<double> MarginalClickProbs(const Session& session) const override;
+  void SimulateClicks(Session* session, Rng* rng) const override;
+
+  /// Learned (or supplied) examination probability per position.
+  const std::vector<double>& position_probs() const { return position_probs_; }
+
+  /// Learned (or supplied) attractiveness table.
+  const QueryDocTable& attraction() const { return attraction_; }
+
+ private:
+  double PositionProb(int position) const {
+    return position < static_cast<int>(position_probs_.size()) ? position_probs_[position] : 0.5;
+  }
+
+  PbmOptions options_;
+  std::vector<double> position_probs_;
+  QueryDocTable attraction_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_PBM_H_

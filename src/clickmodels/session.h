@@ -1,0 +1,76 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Click-log containers. A Session is one query impression: the ranked list
+// of results the engine served and which of them the user clicked. These
+// are the sufficient statistics consumed by every macro browsing model in
+// Section II of the paper.
+
+#ifndef MICROBROWSE_CLICKMODELS_SESSION_H_
+#define MICROBROWSE_CLICKMODELS_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace microbrowse {
+
+/// One result slot in a served page.
+struct SessionResult {
+  int32_t doc_id = 0;   ///< Global document (or ad creative) id.
+  bool clicked = false;  ///< Whether the user clicked this result.
+};
+
+/// One query impression: results in display order, positions 0-based.
+struct Session {
+  int32_t query_id = 0;
+  std::vector<SessionResult> results;
+
+  /// Position of the last clicked result, or -1 when the session has no
+  /// click.
+  int last_click_position() const {
+    for (int i = static_cast<int>(results.size()) - 1; i >= 0; --i) {
+      if (results[i].clicked) return i;
+    }
+    return -1;
+  }
+
+  /// Number of clicks in the session.
+  int num_clicks() const {
+    int n = 0;
+    for (const auto& r : results) n += r.clicked ? 1 : 0;
+    return n;
+  }
+};
+
+/// A collection of sessions plus the ranges of ids appearing in them.
+struct ClickLog {
+  std::vector<Session> sessions;
+  int32_t num_queries = 0;  ///< query_id values lie in [0, num_queries).
+  int32_t num_docs = 0;     ///< doc_id values lie in [0, num_docs).
+  int max_positions = 0;    ///< Longest result list across sessions.
+
+  /// Recomputes num_queries / num_docs / max_positions from the sessions.
+  void RecomputeBounds() {
+    num_queries = 0;
+    num_docs = 0;
+    max_positions = 0;
+    for (const auto& s : sessions) {
+      if (s.query_id >= num_queries) num_queries = s.query_id + 1;
+      if (static_cast<int>(s.results.size()) > max_positions) {
+        max_positions = static_cast<int>(s.results.size());
+      }
+      for (const auto& r : s.results) {
+        if (r.doc_id >= num_docs) num_docs = r.doc_id + 1;
+      }
+    }
+  }
+};
+
+/// Packs a (query, doc) pair into one 64-bit key for parameter tables.
+inline uint64_t QueryDocKey(int32_t query_id, int32_t doc_id) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(query_id)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(doc_id));
+}
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_SESSION_H_

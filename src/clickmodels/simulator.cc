@@ -1,0 +1,77 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace microbrowse {
+
+namespace {
+
+/// Kumaraswamy(a, b) sample by inverse CDF: Beta-like on (0, 1).
+double SampleKumaraswamy(double a, double b, Rng* rng) {
+  const double u = rng->NextDouble();
+  return std::pow(1.0 - std::pow(1.0 - u, 1.0 / b), 1.0 / a);
+}
+
+}  // namespace
+
+SerpGroundTruth MakeSerpGroundTruth(const SerpSimulatorOptions& options, Rng* rng) {
+  SerpGroundTruth truth;
+  truth.query_docs.resize(options.num_queries);
+  int32_t next_doc = 0;
+  for (int q = 0; q < options.num_queries; ++q) {
+    truth.query_docs[q].resize(options.docs_per_query);
+    for (int d = 0; d < options.docs_per_query; ++d) {
+      const int32_t doc_id = next_doc++;
+      truth.query_docs[q][d] = doc_id;
+      truth.attraction.Set(q, doc_id,
+                           SampleKumaraswamy(options.attraction_shape_a,
+                                             options.attraction_shape_b, rng));
+    }
+  }
+  return truth;
+}
+
+Result<ClickLog> SimulateSerpLog(const SerpSimulatorOptions& options,
+                                 const SerpGroundTruth& truth, const ClickModel& model,
+                                 Rng* rng) {
+  if (options.positions > options.docs_per_query) {
+    return Status::InvalidArgument("SimulateSerpLog: positions exceeds docs_per_query");
+  }
+  if (options.num_queries <= 0 || options.num_sessions <= 0) {
+    return Status::InvalidArgument("SimulateSerpLog: non-positive counts");
+  }
+
+  ClickLog log;
+  log.sessions.reserve(options.num_sessions);
+  std::vector<int32_t> slate(options.docs_per_query);
+  for (int s = 0; s < options.num_sessions; ++s) {
+    Session session;
+    session.query_id = static_cast<int32_t>(
+        rng->Zipf(static_cast<size_t>(options.num_queries), options.query_zipf_exponent));
+    // Either serve ranked by true attractiveness (position-biased, like a
+    // production engine) or shuffle the pool so every doc visits every
+    // position.
+    slate = truth.query_docs[session.query_id];
+    rng->Shuffle(slate);
+    if (options.ranked_serving_prob > 0.0 && rng->Bernoulli(options.ranked_serving_prob)) {
+      std::sort(slate.begin(), slate.end(), [&](int32_t a, int32_t b) {
+        return truth.attraction.Get(session.query_id, a) >
+               truth.attraction.Get(session.query_id, b);
+      });
+    }
+    session.results.resize(options.positions);
+    for (int i = 0; i < options.positions; ++i) {
+      session.results[i].doc_id = slate[i];
+    }
+    model.SimulateClicks(&session, rng);
+    log.sessions.push_back(std::move(session));
+  }
+  log.RecomputeBounds();
+  return log;
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,60 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Synthetic SERP click-log generation. A ground-truth generative click
+// model (any ClickModel) is driven over randomly composed result pages to
+// produce logs for estimator parameter-recovery tests and the click-model
+// comparison bench.
+
+#ifndef MICROBROWSE_CLICKMODELS_SIMULATOR_H_
+#define MICROBROWSE_CLICKMODELS_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "clickmodels/click_model.h"
+#include "clickmodels/param_table.h"
+#include "clickmodels/session.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace microbrowse {
+
+/// Configuration for the SERP log simulator.
+struct SerpSimulatorOptions {
+  int num_queries = 100;
+  int docs_per_query = 20;       ///< Size of each query's candidate pool.
+  int positions = 10;            ///< Results shown per session.
+  int num_sessions = 100000;
+  double query_zipf_exponent = 0.9;  ///< Skew of the query frequency distribution.
+  /// Probability that a session's slate is served ranked by true
+  /// attractiveness (as a production engine would) instead of uniformly
+  /// shuffled. Ranked serving induces position bias: naive CTR conflates
+  /// relevance with position, which is what the click models exist to
+  /// untangle (Srikant et al., KDD'10 — reference [16] of the paper).
+  double ranked_serving_prob = 0.0;
+  /// Attractiveness prior: Kumaraswamy(a, b) — Beta-like, cheap to sample.
+  double attraction_shape_a = 1.0;
+  double attraction_shape_b = 3.0;
+  uint64_t seed = 42;
+};
+
+/// The ground-truth parameter tables drawn by the simulator.
+struct SerpGroundTruth {
+  QueryDocTable attraction{0.5};
+  /// Doc pools per query: docs_per_query global doc ids for each query.
+  std::vector<std::vector<int32_t>> query_docs;
+};
+
+/// Draws ground-truth attractiveness tables and per-query doc pools.
+SerpGroundTruth MakeSerpGroundTruth(const SerpSimulatorOptions& options, Rng* rng);
+
+/// Simulates a click log by serving `num_sessions` pages (random slates of
+/// `positions` docs from the query's pool, shuffled each time so position
+/// effects are identifiable) and sampling clicks from `model`.
+Result<ClickLog> SimulateSerpLog(const SerpSimulatorOptions& options,
+                                 const SerpGroundTruth& truth, const ClickModel& model,
+                                 Rng* rng);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_SIMULATOR_H_

@@ -1,0 +1,116 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/ubm.h"
+
+namespace microbrowse {
+
+double UserBrowsingModel::Gamma(int position, int prev) const {
+  const int d = position - prev;  // In [1, position + 1].
+  if (position < static_cast<int>(gammas_.size()) &&
+      d - 1 < static_cast<int>(gammas_[position].size())) {
+    return gammas_[position][d - 1];
+  }
+  return 0.5;
+}
+
+Status UserBrowsingModel::Fit(const ClickLog& log) {
+  if (log.sessions.empty()) return Status::InvalidArgument("UBM: empty click log");
+  const int positions = log.max_positions;
+  gammas_.assign(positions, {});
+  for (int i = 0; i < positions; ++i) gammas_[i].assign(i + 1, 0.5);
+  attraction_ = QueryDocTable(0.5);
+
+  for (int iter = 0; iter < options_.em_iterations; ++iter) {
+    QueryDocAccumulator attraction_acc;
+    std::vector<std::vector<double>> gamma_num(positions), gamma_den(positions);
+    for (int i = 0; i < positions; ++i) {
+      gamma_num[i].assign(i + 1, 0.0);
+      gamma_den[i].assign(i + 1, 0.0);
+    }
+
+    for (const auto& session : log.sessions) {
+      int prev = -1;
+      for (size_t i = 0; i < session.results.size(); ++i) {
+        const auto& result = session.results[i];
+        const int pos = static_cast<int>(i);
+        const int d = pos - prev;
+        const double gamma = Gamma(pos, prev);
+        const double alpha = attraction_.Get(session.query_id, result.doc_id);
+        if (result.clicked) {
+          attraction_acc.Add(session.query_id, result.doc_id, 1.0, 1.0);
+          gamma_num[pos][d - 1] += 1.0;
+          gamma_den[pos][d - 1] += 1.0;
+          prev = pos;
+        } else {
+          const double p_no_click = 1.0 - gamma * alpha;
+          const double p_attracted_unexamined = (1.0 - gamma) * alpha / p_no_click;
+          const double p_examined = gamma * (1.0 - alpha) / p_no_click;
+          attraction_acc.Add(session.query_id, result.doc_id, p_attracted_unexamined, 1.0);
+          gamma_num[pos][d - 1] += p_examined;
+          gamma_den[pos][d - 1] += 1.0;
+        }
+      }
+    }
+
+    attraction_acc.Flush(attraction_, options_.smoothing, 0.5);
+    for (int i = 0; i < positions; ++i) {
+      for (int d = 0; d <= i; ++d) {
+        gammas_[i][d] = (gamma_num[i][d] + options_.smoothing * 0.5) /
+                        (gamma_den[i][d] + options_.smoothing);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> UserBrowsingModel::ConditionalClickProbs(const Session& session) const {
+  // Given the observed click history, the previous-click position is known,
+  // so the click probability at each rank is gamma * alpha exactly.
+  std::vector<double> probs(session.results.size(), 0.0);
+  int prev = -1;
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    const int pos = static_cast<int>(i);
+    probs[i] = Gamma(pos, prev) * attraction_.Get(session.query_id, session.results[i].doc_id);
+    if (session.results[i].clicked) prev = pos;
+  }
+  return probs;
+}
+
+std::vector<double> UserBrowsingModel::MarginalClickProbs(const Session& session) const {
+  // Dynamic program over the distribution of the previous-click position.
+  const size_t n = session.results.size();
+  std::vector<double> probs(n, 0.0);
+  // state[r + 1] = P(last click so far was at position r), r = -1..n-1.
+  std::vector<double> state(n + 1, 0.0);
+  state[0] = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double alpha = attraction_.Get(session.query_id, session.results[i].doc_id);
+    double click_prob = 0.0;
+    for (size_t s = 0; s <= i; ++s) {
+      const int prev = static_cast<int>(s) - 1;
+      click_prob += state[s] * Gamma(static_cast<int>(i), prev) * alpha;
+    }
+    probs[i] = click_prob;
+    // Transition: on click the state collapses to i; otherwise unchanged.
+    for (size_t s = 0; s <= i; ++s) {
+      const int prev = static_cast<int>(s) - 1;
+      const double p_click_here = Gamma(static_cast<int>(i), prev) * alpha;
+      state[s] *= 1.0 - p_click_here;
+    }
+    state[i + 1] = click_prob;
+  }
+  return probs;
+}
+
+void UserBrowsingModel::SimulateClicks(Session* session, Rng* rng) const {
+  int prev = -1;
+  for (size_t i = 0; i < session->results.size(); ++i) {
+    const int pos = static_cast<int>(i);
+    const double p =
+        Gamma(pos, prev) * attraction_.Get(session->query_id, session->results[i].doc_id);
+    session->results[i].clicked = rng->Bernoulli(p);
+    if (session->results[i].clicked) prev = pos;
+  }
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,60 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// User browsing model (Dupret & Piwowarski, SIGIR'08). Examination depends
+// on the position and on the distance to the previous click:
+//   P(E_i = 1 | last click at r) = gamma_{i, i-r},
+// with r = -1 when no earlier click exists. The Bayesian browsing model
+// (Liu et al., KDD'09) shares this browsing structure, so in this library
+// UBM doubles for BBM (the paper makes the same identification).
+
+#ifndef MICROBROWSE_CLICKMODELS_UBM_H_
+#define MICROBROWSE_CLICKMODELS_UBM_H_
+
+#include <vector>
+
+#include "clickmodels/click_model.h"
+#include "clickmodels/param_table.h"
+
+namespace microbrowse {
+
+/// UBM hyper-parameters.
+struct UbmOptions {
+  int em_iterations = 30;
+  double smoothing = 1.0;
+};
+
+/// User browsing model with EM estimation.
+class UserBrowsingModel : public ClickModel {
+ public:
+  explicit UserBrowsingModel(UbmOptions options = {}) : options_(options), attraction_(0.5) {}
+
+  /// Generative constructor. `gammas[i][d-1]` is the examination
+  /// probability of position i when the previous click was d positions ago
+  /// (d = i + 1 when there was no previous click).
+  UserBrowsingModel(std::vector<std::vector<double>> gammas, QueryDocTable attraction,
+                    UbmOptions options = {})
+      : options_(options), gammas_(std::move(gammas)), attraction_(std::move(attraction)) {}
+
+  std::string_view name() const override { return "UBM"; }
+  Status Fit(const ClickLog& log) override;
+  std::vector<double> ConditionalClickProbs(const Session& session) const override;
+  std::vector<double> MarginalClickProbs(const Session& session) const override;
+  void SimulateClicks(Session* session, Rng* rng) const override;
+
+  /// gamma_{position, distance}; see the generative constructor for layout.
+  const std::vector<std::vector<double>>& gammas() const { return gammas_; }
+  const QueryDocTable& attraction() const { return attraction_; }
+
+ private:
+  /// Examination probability for `position` given previous click position
+  /// `prev` (-1 for none).
+  double Gamma(int position, int prev) const;
+
+  UbmOptions options_;
+  std::vector<std::vector<double>> gammas_;
+  QueryDocTable attraction_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CLICKMODELS_UBM_H_

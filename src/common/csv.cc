@@ -1,0 +1,49 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/csv.h"
+
+namespace microbrowse {
+
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quoting = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Status CsvWriter::Open(const std::string& path) {
+  if (out_.is_open()) {
+    return Status::FailedPrecondition("CsvWriter already open for " + path_);
+  }
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) return Status::IOError("cannot open " + path);
+  path_ = path;
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return Status::FailedPrecondition("CsvWriter not open");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << CsvEscape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IOError("write failed for " + path_);
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (!out_.is_open()) return Status::OK();
+  out_.close();
+  if (out_.fail()) return Status::IOError("close failed for " + path_);
+  return Status::OK();
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,46 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// CSV output for experiment artefacts. Every repro_* bench writes its table
+// as CSV next to stdout output so results can be diffed and plotted.
+
+#ifndef MICROBROWSE_COMMON_CSV_H_
+#define MICROBROWSE_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace microbrowse {
+
+/// Quotes a CSV field per RFC 4180 when it contains separators, quotes or
+/// newlines; otherwise returns it unchanged.
+std::string CsvEscape(std::string_view field);
+
+/// Streams rows to a CSV file. Not thread-safe.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Opens `path` for writing, truncating any existing file.
+  Status Open(const std::string& path);
+
+  /// Writes one row; each cell is escaped as needed.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes. Safe to call when never opened.
+  Status Close();
+
+  /// True while a file is open.
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_CSV_H_

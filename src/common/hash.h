@@ -1,0 +1,48 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Hashing utilities shared by the vocabulary, feature registry and
+// statistics database. All hashes are deterministic across runs (no
+// per-process salting) so that feature ids are stable in logs and tests.
+
+#ifndef MICROBROWSE_COMMON_HASH_H_
+#define MICROBROWSE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace microbrowse {
+
+/// 64-bit FNV-1a over a byte string.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (MurmurHash3 fmix64).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hashes a string then combines it into `seed`.
+inline uint64_t HashCombine(uint64_t seed, std::string_view value) {
+  return HashCombine(seed, Fnv1a64(value));
+}
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_HASH_H_

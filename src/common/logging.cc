@@ -1,0 +1,68 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace microbrowse {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+double SecondsSinceStart() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "[%s %9.3f %s:%d] %s\n", LevelTag(level_), SecondsSinceStart(),
+               Basename(file_), line_, stream_.str().c_str());
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition)
+    : file_(file), line_(line), condition_(condition) {}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "[CHECK FAILED %s:%d] %s %s\n", Basename(file_), line_, condition_,
+               stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace microbrowse

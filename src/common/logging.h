@@ -1,0 +1,86 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Minimal leveled logging to stderr. Long-running experiment drivers use
+// this for progress reporting; library code logs sparingly (warnings on
+// recoverable oddities only — errors are reported through Status).
+
+#ifndef MICROBROWSE_COMMON_LOGGING_H_
+#define MICROBROWSE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace microbrowse {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects a message and emits it (with timestamp, level and location) on
+/// destruction. Use via the MB_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level.
+class NullLogStream {
+ public:
+  template <typename T>
+  NullLogStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define MB_LOG(level)                                                       \
+  if (::microbrowse::LogLevel::level < ::microbrowse::GetLogLevel()) {      \
+  } else                                                                    \
+    ::microbrowse::internal::LogMessage(::microbrowse::LogLevel::level,     \
+                                        __FILE__, __LINE__)                 \
+        .stream()
+
+/// Fatal check macro: aborts with a message when `cond` is false. Used for
+/// programmer errors (contract violations), not data errors.
+#define MB_CHECK(cond)                                                        \
+  if (cond) {                                                                 \
+  } else                                                                      \
+    ::microbrowse::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+/// Prints the failed condition and aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/math_util.h"
+
+#include <limits>
+
+namespace microbrowse {
+
+double LogSumExp(const std::vector<double>& values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double max_value = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(max_value)) return max_value;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+TwoProportionTest TwoProportionZTest(int64_t successes1, int64_t trials1, int64_t successes2,
+                                     int64_t trials2) {
+  TwoProportionTest out;
+  if (trials1 <= 0 || trials2 <= 0) return out;
+  const double n1 = static_cast<double>(trials1);
+  const double n2 = static_cast<double>(trials2);
+  const double p1 = static_cast<double>(successes1) / n1;
+  const double p2 = static_cast<double>(successes2) / n2;
+  const double pooled = static_cast<double>(successes1 + successes2) / (n1 + n2);
+  const double variance = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+  if (variance <= 0.0) return out;
+  out.z = (p1 - p2) / std::sqrt(variance);
+  out.p_value = 2.0 * (1.0 - StdNormalCdf(std::fabs(out.z)));
+  return out;
+}
+
+double WilsonLowerBound(int64_t successes, int64_t trials, double z) {
+  if (trials <= 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt((p * (1.0 - p) + z2 / (4.0 * n)) / n);
+  return std::max(0.0, (center - margin) / denom);
+}
+
+}  // namespace microbrowse

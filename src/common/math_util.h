@@ -1,0 +1,98 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Numerics shared by the learners, click models and statistics database:
+// stable logistic transforms, streaming moments, and the two-proportion
+// z-test used to gate creative pairs into the corpus.
+
+#ifndef MICROBROWSE_COMMON_MATH_UTIL_H_
+#define MICROBROWSE_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace microbrowse {
+
+/// Numerically stable logistic function 1 / (1 + exp(-x)).
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// Stable log(1 + exp(x)).
+inline double Log1pExp(double x) {
+  if (x > 35.0) return x;
+  if (x < -35.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+/// log(p / (1-p)) with clamping away from the boundaries.
+inline double Logit(double p, double epsilon = 1e-12) {
+  p = std::clamp(p, epsilon, 1.0 - epsilon);
+  return std::log(p / (1.0 - p));
+}
+
+/// Binary cross-entropy for a single prediction, with probability clamping.
+inline double LogLoss(double label, double predicted, double epsilon = 1e-12) {
+  predicted = std::clamp(predicted, epsilon, 1.0 - epsilon);
+  return -(label * std::log(predicted) + (1.0 - label) * std::log(1.0 - predicted));
+}
+
+/// Stable log(sum_i exp(x_i)); returns -inf for an empty input.
+double LogSumExp(const std::vector<double>& values);
+
+/// Standard-normal cumulative distribution function.
+inline double StdNormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Welford streaming mean/variance accumulator.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of a two-proportion z-test.
+struct TwoProportionTest {
+  double z = 0.0;        ///< Signed z statistic (positive when p1 > p2).
+  double p_value = 1.0;  ///< Two-sided p-value.
+};
+
+/// Tests H0: p1 == p2 given successes/trials for two samples. Degenerate
+/// inputs (zero trials, pooled variance zero) return z = 0, p = 1.
+TwoProportionTest TwoProportionZTest(int64_t successes1, int64_t trials1, int64_t successes2,
+                                     int64_t trials2);
+
+/// Wilson score interval lower bound for a binomial proportion — a robust
+/// small-sample CTR estimate used in ranking diagnostics.
+double WilsonLowerBound(int64_t successes, int64_t trials, double z = 1.96);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_MATH_UTIL_H_

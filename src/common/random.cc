@@ -1,0 +1,87 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/random.h"
+
+#include <algorithm>
+
+namespace microbrowse {
+
+int64_t Rng::Binomial(int64_t n, double p) {
+  if (n <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double variance = static_cast<double>(n) * p * (1.0 - p);
+  if (n <= 64 || variance < 25.0) {
+    // Exact: sum of Bernoullis for small n; for larger n with tiny variance,
+    // fall back to counting in blocks via the geometric trick.
+    if (n <= 512) {
+      int64_t count = 0;
+      for (int64_t i = 0; i < n; ++i) count += Bernoulli(p) ? 1 : 0;
+      return count;
+    }
+    // Waiting-time method: number of successes equals the number of
+    // geometric inter-arrival gaps that fit in n trials.
+    const double log1mp = std::log1p(-p);
+    int64_t count = 0;
+    int64_t trials = 0;
+    while (true) {
+      double u = 0.0;
+      while (u <= 1e-300) u = NextDouble();
+      trials += static_cast<int64_t>(std::floor(std::log(u) / log1mp)) + 1;
+      if (trials > n) break;
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction, clamped to [0, n].
+  const double mean = static_cast<double>(n) * p;
+  const double draw = Gaussian(mean, std::sqrt(variance));
+  const double rounded = std::floor(draw + 0.5);
+  return static_cast<int64_t>(std::clamp(rounded, 0.0, static_cast<double>(n)));
+}
+
+int64_t Rng::Poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double product = NextDouble();
+    int64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+  const double draw = Gaussian(lambda, std::sqrt(lambda));
+  return static_cast<int64_t>(std::max(0.0, std::floor(draw + 0.5)));
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  assert(n > 0);
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return Categorical(weights);
+}
+
+}  // namespace microbrowse

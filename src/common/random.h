@@ -1,0 +1,152 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Deterministic pseudo-random number generation. Every stochastic component
+// in the library (corpus generation, click simulation, k-fold shuffling,
+// SGD example order) draws from an explicitly seeded Rng so that experiments
+// reproduce bit-for-bit across runs and platforms.
+
+#ifndef MICROBROWSE_COMMON_RANDOM_H_
+#define MICROBROWSE_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace microbrowse {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state, and as a cheap standalone mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with convenience distributions. Not thread-safe;
+/// create one Rng per thread/stream (see Fork()).
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed = 0x1234abcdULL) { Seed(seed); }
+
+  /// Re-seeds in place.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64 bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextIndex(uint64_t n) {
+    assert(n > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(NextIndex(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+  /// Binomial(n, p) sample. Exact inversion for small n, Gaussian
+  /// approximation with continuity correction for large n*p(1-p).
+  int64_t Binomial(int64_t n, double p);
+
+  /// Poisson(lambda) sample (Knuth for small lambda, PTRS-style normal
+  /// approximation for large lambda).
+  int64_t Poisson(double lambda);
+
+  /// Samples an index from an unnormalised non-negative weight vector.
+  /// The weights need not sum to one; at least one must be positive.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s` (>0), via inverse
+  /// CDF over precomputed weights — suitable for modest n.
+  size_t Zipf(size_t n, double s);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextIndex(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; the (seed, salt) pair fully
+  /// determines the child's stream.
+  Rng Fork(uint64_t salt) {
+    uint64_t mix = NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(SplitMix64(mix));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_RANDOM_H_

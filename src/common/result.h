@@ -1,0 +1,85 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Result<T>: a value-or-Status union, the return type of fallible factory
+// functions and parsers throughout the library.
+
+#ifndef MICROBROWSE_COMMON_RESULT_H_
+#define MICROBROWSE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace microbrowse {
+
+/// Holds either a `T` or a non-OK Status explaining why no value exists.
+///
+/// Usage:
+///   Result<Corpus> r = Corpus::Load(path);
+///   if (!r.ok()) return r.status();
+///   Corpus corpus = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors StatusOr.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without a value");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` if this result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on error,
+/// otherwise assigning the value to `lhs`.
+#define MB_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto MB_CONCAT_(_mb_result_, __LINE__) = (rexpr);                \
+  if (!MB_CONCAT_(_mb_result_, __LINE__).ok())                     \
+    return MB_CONCAT_(_mb_result_, __LINE__).status();             \
+  lhs = std::move(MB_CONCAT_(_mb_result_, __LINE__)).value()
+
+#define MB_CONCAT_INNER_(a, b) a##b
+#define MB_CONCAT_(a, b) MB_CONCAT_INNER_(a, b)
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_RESULT_H_

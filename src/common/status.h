@@ -1,0 +1,110 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Error handling primitives. Public APIs that can fail return Status (or
+// Result<T>, see result.h) instead of throwing: the codebase is built and
+// consumed with exceptions conceptually disabled, following the conventions
+// of production database code.
+
+#ifndef MICROBROWSE_COMMON_STATUS_H_
+#define MICROBROWSE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace microbrowse {
+
+/// Canonical error space, a deliberately small subset of the usual
+/// absl/gRPC codes — enough to express every failure mode in this library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIOError = 8,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
+/// ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK status carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a descriptive `message`.
+  /// `message` is ignored for kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  /// Named constructors, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error code (kOk for success).
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Two statuses compare equal iff code and message match.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates an error status out of the enclosing function.
+#define MB_RETURN_IF_ERROR(expr)                         \
+  do {                                                   \
+    ::microbrowse::Status _mb_status = (expr);           \
+    if (!_mb_status.ok()) return _mb_status;             \
+  } while (false)
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Small string helpers used across the library. These deliberately cover
+// only what the codebase needs; they are not a general-purpose string
+// library.
+
+#ifndef MICROBROWSE_COMMON_STRING_UTIL_H_
+#define MICROBROWSE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microbrowse {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on ASCII whitespace runs, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLowerAscii(std::string_view text);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// True iff `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a fraction in [0,1] as a percentage string, e.g. 0.5832 -> "58.3%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_STRING_UTIL_H_

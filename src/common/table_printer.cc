@@ -1,0 +1,52 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace microbrowse {
+
+void TablePrinter::Print(std::ostream& os) const {
+  const size_t columns = header_.size();
+  std::vector<size_t> widths(columns, 0);
+  for (size_t c = 0; c < columns; ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_cell = [&os, &widths](size_t c, const std::string& cell) {
+    if (c == 0) {
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+    } else {
+      os << std::string(widths[c] - cell.size(), ' ') << cell;
+    }
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  for (size_t c = 0; c < columns; ++c) {
+    if (c > 0) os << "  ";
+    print_cell(c, header_[c]);
+  }
+  os << '\n';
+  size_t total = 0;
+  for (size_t c = 0; c < columns; ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns; ++c) {
+      if (c > 0) os << "  ";
+      print_cell(c, c < row.size() ? row[c] : std::string());
+    }
+    os << '\n';
+  }
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,43 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Fixed-width text table rendering for the repro_* binaries, so that
+// experiment output visually matches the paper's tables.
+
+#ifndef MICROBROWSE_COMMON_TABLE_PRINTER_H_
+#define MICROBROWSE_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace microbrowse {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table with
+/// a header rule. Left-aligns the first column, right-aligns the rest
+/// (matching how the paper lays out model-name vs metric columns).
+class TablePrinter {
+ public:
+  /// Creates a printer with a title printed above the table (may be empty).
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before Print.
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table into a string.
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,60 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// A small fixed-size thread pool. Cross-validation folds and corpus shards
+// are embarrassingly parallel; the pool keeps that parallelism explicit and
+// bounded. On single-core hosts a pool of one thread degenerates gracefully.
+
+#ifndef MICROBROWSE_COMMON_THREAD_POOL_H_
+#define MICROBROWSE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace microbrowse {
+
+/// Fixed-size worker pool executing std::function tasks FIFO.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution. Must not be called after Wait began
+  /// destruction. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, count) across the pool and waits. `fn` must
+  /// be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_THREAD_POOL_H_

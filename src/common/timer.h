@@ -1,0 +1,35 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Wall-clock timing for experiment drivers and benchmarks.
+
+#ifndef MICROBROWSE_COMMON_TIMER_H_
+#define MICROBROWSE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace microbrowse {
+
+/// Measures elapsed wall time from construction (or the last Reset).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_TIMER_H_

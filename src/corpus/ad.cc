@@ -1,0 +1,11 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "corpus/ad.h"
+
+namespace microbrowse {
+
+const char* PlacementName(Placement placement) {
+  return placement == Placement::kRhs ? "rhs" : "top";
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,82 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Sponsored-search corpus records (the ADCORPUS substitute). Terminology
+// follows Section V of the paper: a *creative* is the displayed ad text, an
+// *adgroup* groups alternative creatives targeting the same keyword, an
+// *impression* is one display and a *clickthrough* one click.
+
+#ifndef MICROBROWSE_CORPUS_AD_H_
+#define MICROBROWSE_CORPUS_AD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/snippet.h"
+
+namespace microbrowse {
+
+/// Where the ad block was rendered on the results page (Table 4 compares
+/// top-of-page against right-hand-side ads).
+enum class Placement { kTop, kRhs };
+
+/// Returns "top" or "rhs".
+const char* PlacementName(Placement placement);
+
+/// One ad creative with its serving statistics.
+struct Creative {
+  int64_t id = 0;
+  Snippet snippet;
+  int64_t impressions = 0;
+  int64_t clicks = 0;
+  /// Ground-truth expected CTR from the generative micro-browsing model.
+  /// Only populated by the synthetic generator; classifiers never read it.
+  double true_ctr = 0.0;
+
+  double ctr() const {
+    return impressions > 0 ? static_cast<double>(clicks) / static_cast<double>(impressions)
+                           : 0.0;
+  }
+};
+
+/// A set of alternative creatives targeting one keyword.
+struct AdGroup {
+  int64_t id = 0;
+  int32_t keyword_id = 0;
+  std::string keyword;
+  std::vector<Creative> creatives;
+
+  int64_t total_impressions() const {
+    int64_t total = 0;
+    for (const auto& c : creatives) total += c.impressions;
+    return total;
+  }
+  int64_t total_clicks() const {
+    int64_t total = 0;
+    for (const auto& c : creatives) total += c.clicks;
+    return total;
+  }
+  /// Mean CTR pooled over the adgroup's creatives.
+  double mean_ctr() const {
+    const int64_t impressions = total_impressions();
+    return impressions > 0
+               ? static_cast<double>(total_clicks()) / static_cast<double>(impressions)
+               : 0.0;
+  }
+};
+
+/// A full synthetic ADCORPUS.
+struct AdCorpus {
+  std::vector<AdGroup> adgroups;
+  Placement placement = Placement::kTop;
+
+  size_t num_creatives() const {
+    size_t total = 0;
+    for (const auto& g : adgroups) total += g.creatives.size();
+    return total;
+  }
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CORPUS_AD_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Pair extraction (Section V-A): within each adgroup, emit creative pairs
+// whose observed CTRs differ significantly. Because the keyword is shared,
+// any CTR difference is attributable to the creative text.
+
+#ifndef MICROBROWSE_CORPUS_PAIR_EXTRACTION_H_
+#define MICROBROWSE_CORPUS_PAIR_EXTRACTION_H_
+
+#include "corpus/ad.h"
+#include "microbrowse/pair.h"
+
+namespace microbrowse {
+
+/// Pair-extraction configuration.
+struct PairExtractionOptions {
+  /// Creatives below these floors never enter pairs.
+  int64_t min_impressions = 500;
+  int64_t min_clicks = 1;
+  /// Two-sided two-proportion z-test threshold on the CTR difference.
+  double significance_level = 0.05;
+  /// Cap on pairs emitted per adgroup (0 = unlimited).
+  int max_pairs_per_adgroup = 6;
+};
+
+/// Extracts significant same-adgroup creative pairs from `corpus`. Pair
+/// order (r, s) preserves creative order within the adgroup; labels are
+/// derived later from the serve weights.
+PairCorpus ExtractSignificantPairs(const AdCorpus& corpus,
+                                   const PairExtractionOptions& options = {});
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CORPUS_PAIR_EXTRACTION_H_

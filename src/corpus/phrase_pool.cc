@@ -1,0 +1,363 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "corpus/phrase_pool.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace microbrowse {
+
+const char* SlotTypeName(SlotType slot) {
+  switch (slot) {
+    case SlotType::kBrand:
+      return "brand";
+    case SlotType::kAction:
+      return "action";
+    case SlotType::kObject:
+      return "object";
+    case SlotType::kQuality:
+      return "quality";
+    case SlotType::kOffer:
+      return "offer";
+    case SlotType::kCallToAction:
+      return "cta";
+  }
+  return "unknown";
+}
+
+void PhrasePool::Add(SlotType slot, std::string text, double appeal) {
+  slots_[static_cast<int>(slot)].push_back(Phrase{std::move(text), appeal});
+}
+
+size_t PhrasePool::SampleIndex(SlotType slot, Rng* rng) const {
+  const auto& phrases = PhrasesFor(slot);
+  assert(!phrases.empty());
+  return static_cast<size_t>(rng->NextIndex(phrases.size()));
+}
+
+size_t PhrasePool::SampleIndexExcluding(SlotType slot, size_t exclude, Rng* rng) const {
+  const auto& phrases = PhrasesFor(slot);
+  if (exclude >= phrases.size()) return SampleIndex(slot, rng);
+  assert(phrases.size() >= 2);
+  size_t idx = static_cast<size_t>(rng->NextIndex(phrases.size() - 1));
+  if (idx >= exclude) ++idx;
+  return idx;
+}
+
+size_t PhrasePool::total_phrases() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) total += slot.size();
+  return total;
+}
+
+PhrasePool PhrasePool::Travel() {
+  PhrasePool pool;
+  pool.Add(SlotType::kBrand, "xyz airlines", 0.90);
+  pool.Add(SlotType::kBrand, "acme travel", 0.88);
+  pool.Add(SlotType::kBrand, "globewings", 0.86);
+  pool.Add(SlotType::kBrand, "skyjet deals", 0.89);
+  pool.Add(SlotType::kBrand, "sunway voyages", 0.85);
+  pool.Add(SlotType::kBrand, "pacific escapes", 0.87);
+  pool.Add(SlotType::kBrand, "nimbus air", 0.84);
+  pool.Add(SlotType::kBrand, "tripmaven", 0.86);
+  pool.Add(SlotType::kBrand, "atlas journeys", 0.83);
+  pool.Add(SlotType::kBrand, "jetscout", 0.88);
+
+  pool.Add(SlotType::kAction, "find cheap", 0.82);
+  pool.Add(SlotType::kAction, "get discounts on", 0.90);
+  pool.Add(SlotType::kAction, "book", 0.74);
+  pool.Add(SlotType::kAction, "compare", 0.78);
+  pool.Add(SlotType::kAction, "search", 0.68);
+  pool.Add(SlotType::kAction, "save big on", 0.88);
+  pool.Add(SlotType::kAction, "browse", 0.62);
+  pool.Add(SlotType::kAction, "reserve", 0.70);
+  pool.Add(SlotType::kAction, "find deals on", 0.86);
+  pool.Add(SlotType::kAction, "get cheap", 0.80);
+  pool.Add(SlotType::kAction, "grab discounted", 0.79);
+  pool.Add(SlotType::kAction, "unlock savings on", 0.84);
+  pool.Add(SlotType::kAction, "discover", 0.66);
+  pool.Add(SlotType::kAction, "plan", 0.64);
+  pool.Add(SlotType::kAction, "snag low fares on", 0.87);
+  pool.Add(SlotType::kAction, "shop", 0.65);
+
+  pool.Add(SlotType::kObject, "flights to new york", 0.85);
+  pool.Add(SlotType::kObject, "flights to paris", 0.85);
+  pool.Add(SlotType::kObject, "flights to london", 0.84);
+  pool.Add(SlotType::kObject, "flights to tokyo", 0.83);
+  pool.Add(SlotType::kObject, "flights to miami", 0.82);
+  pool.Add(SlotType::kObject, "flights to rome", 0.83);
+  pool.Add(SlotType::kObject, "hotel rooms", 0.80);
+  pool.Add(SlotType::kObject, "beach resorts", 0.81);
+  pool.Add(SlotType::kObject, "vacation packages", 0.82);
+  pool.Add(SlotType::kObject, "car rentals", 0.78);
+  pool.Add(SlotType::kObject, "cruise tickets", 0.76);
+  pool.Add(SlotType::kObject, "last minute flights", 0.84);
+  pool.Add(SlotType::kObject, "business class seats", 0.79);
+  pool.Add(SlotType::kObject, "ski trips", 0.77);
+  pool.Add(SlotType::kObject, "airport transfers", 0.72);
+  pool.Add(SlotType::kObject, "train passes", 0.71);
+  pool.Add(SlotType::kObject, "city tours", 0.74);
+  pool.Add(SlotType::kObject, "family getaways", 0.80);
+  pool.Add(SlotType::kObject, "weekend escapes", 0.79);
+  pool.Add(SlotType::kObject, "round trip fares", 0.82);
+  // Destination-expanded inventory: boundary-token diversity mirrors the
+  // long tail of real travel keywords.
+  const char* const kCities[] = {"chicago",  "denver", "seattle", "austin",  "boston",
+                                 "madrid",   "berlin", "sydney",  "toronto", "cancun",
+                                 "honolulu", "lisbon", "dublin",  "oslo",    "athens"};
+  const double kCityAppeal[] = {0.81, 0.79, 0.80, 0.78, 0.82, 0.83, 0.80, 0.84,
+                                0.79, 0.85, 0.86, 0.81, 0.80, 0.77, 0.82};
+  for (size_t i = 0; i < std::size(kCities); ++i) {
+    pool.Add(SlotType::kObject, StrFormat("flights to %s", kCities[i]), kCityAppeal[i]);
+  }
+  for (size_t i = 0; i < std::size(kCities); i += 2) {
+    pool.Add(SlotType::kObject, StrFormat("hotels in %s", kCities[i]),
+             kCityAppeal[i] - 0.03);
+  }
+
+  pool.Add(SlotType::kQuality, "no reservation costs", 0.86);
+  pool.Add(SlotType::kQuality, "great rates", 0.84);
+  pool.Add(SlotType::kQuality, "more legroom", 0.88);
+  pool.Add(SlotType::kQuality, "free cancellation", 0.90);
+  pool.Add(SlotType::kQuality, "trusted by millions", 0.76);
+  pool.Add(SlotType::kQuality, "award winning service", 0.74);
+  pool.Add(SlotType::kQuality, "24 7 support", 0.72);
+  pool.Add(SlotType::kQuality, "no hidden charges", 0.85);
+  pool.Add(SlotType::kQuality, "instant confirmation", 0.83);
+  pool.Add(SlotType::kQuality, "flexible dates", 0.82);
+  pool.Add(SlotType::kQuality, "best price on every route", 0.87);
+  pool.Add(SlotType::kQuality, "handpicked partner airlines", 0.73);
+  pool.Add(SlotType::kQuality, "free seat selection", 0.81);
+  pool.Add(SlotType::kQuality, "pay at the hotel", 0.79);
+
+  pool.Add(SlotType::kOffer, "20% off", 0.92);
+  pool.Add(SlotType::kOffer, "save $50 today", 0.90);
+  pool.Add(SlotType::kOffer, "price match promise", 0.80);
+  pool.Add(SlotType::kOffer, "free upgrade", 0.86);
+  pool.Add(SlotType::kOffer, "limited time sale", 0.84);
+  pool.Add(SlotType::kOffer, "exclusive member deals", 0.78);
+  pool.Add(SlotType::kOffer, "fares from $39", 0.91);
+  pool.Add(SlotType::kOffer, "2 for 1 companion fares", 0.89);
+  pool.Add(SlotType::kOffer, "kids fly free", 0.87);
+  pool.Add(SlotType::kOffer, "extra 10% off with code save10", 0.83);
+  pool.Add(SlotType::kOffer, "free checked bag", 0.85);
+  pool.Add(SlotType::kOffer, "double miles this month", 0.77);
+
+  pool.Add(SlotType::kCallToAction, "book now", 0.82);
+  pool.Add(SlotType::kCallToAction, "start saving", 0.78);
+  pool.Add(SlotType::kCallToAction, "see all deals", 0.76);
+  pool.Add(SlotType::kCallToAction, "check prices", 0.74);
+  pool.Add(SlotType::kCallToAction, "compare fares now", 0.79);
+  pool.Add(SlotType::kCallToAction, "get your quote", 0.72);
+  pool.Add(SlotType::kCallToAction, "view schedules", 0.68);
+  pool.Add(SlotType::kCallToAction, "reserve today", 0.77);
+  return pool;
+}
+
+PhrasePool PhrasePool::Shopping() {
+  PhrasePool pool;
+  pool.Add(SlotType::kBrand, "megamart online", 0.88);
+  pool.Add(SlotType::kBrand, "shopfast", 0.86);
+  pool.Add(SlotType::kBrand, "dealhub", 0.87);
+  pool.Add(SlotType::kBrand, "pricepoint store", 0.85);
+  pool.Add(SlotType::kBrand, "urban outfit co", 0.84);
+  pool.Add(SlotType::kBrand, "gadget galaxy", 0.86);
+  pool.Add(SlotType::kBrand, "homeware haven", 0.83);
+  pool.Add(SlotType::kBrand, "the bargain barn", 0.82);
+  pool.Add(SlotType::kBrand, "cartwise", 0.85);
+  pool.Add(SlotType::kBrand, "everyday essentials", 0.81);
+
+  pool.Add(SlotType::kAction, "shop", 0.72);
+  pool.Add(SlotType::kAction, "buy", 0.76);
+  pool.Add(SlotType::kAction, "discover", 0.68);
+  pool.Add(SlotType::kAction, "order", 0.74);
+  pool.Add(SlotType::kAction, "find deals on", 0.86);
+  pool.Add(SlotType::kAction, "save on", 0.88);
+  pool.Add(SlotType::kAction, "browse", 0.62);
+  pool.Add(SlotType::kAction, "get cheap", 0.80);
+  pool.Add(SlotType::kAction, "compare prices on", 0.82);
+  pool.Add(SlotType::kAction, "grab discounted", 0.81);
+  pool.Add(SlotType::kAction, "explore", 0.64);
+  pool.Add(SlotType::kAction, "stock up on", 0.75);
+  pool.Add(SlotType::kAction, "upgrade your", 0.73);
+  pool.Add(SlotType::kAction, "unlock savings on", 0.84);
+
+  pool.Add(SlotType::kObject, "running shoes", 0.82);
+  pool.Add(SlotType::kObject, "wireless headphones", 0.84);
+  pool.Add(SlotType::kObject, "kitchen appliances", 0.78);
+  pool.Add(SlotType::kObject, "winter jackets", 0.80);
+  pool.Add(SlotType::kObject, "laptop computers", 0.83);
+  pool.Add(SlotType::kObject, "smart watches", 0.81);
+  pool.Add(SlotType::kObject, "office chairs", 0.75);
+  pool.Add(SlotType::kObject, "gaming consoles", 0.85);
+  pool.Add(SlotType::kObject, "4k televisions", 0.84);
+  pool.Add(SlotType::kObject, "robot vacuums", 0.82);
+  pool.Add(SlotType::kObject, "standing desks", 0.77);
+  pool.Add(SlotType::kObject, "air fryers", 0.80);
+  pool.Add(SlotType::kObject, "yoga mats", 0.72);
+  pool.Add(SlotType::kObject, "hiking boots", 0.78);
+  pool.Add(SlotType::kObject, "coffee makers", 0.79);
+  pool.Add(SlotType::kObject, "bluetooth speakers", 0.80);
+  pool.Add(SlotType::kObject, "phone cases", 0.70);
+  pool.Add(SlotType::kObject, "designer handbags", 0.83);
+  pool.Add(SlotType::kObject, "mattresses", 0.81);
+  pool.Add(SlotType::kObject, "patio furniture", 0.76);
+  const char* const kProducts[] = {"electric scooters", "baby strollers", "desk lamps",
+                                   "rain boots",        "pet beds",       "blenders",
+                                   "backpacks",         "monitors",       "area rugs",
+                                   "drones",            "e readers",      "toolkits",
+                                   "sunglasses",        "water bottles",  "keyboards"};
+  const double kProductAppeal[] = {0.81, 0.77, 0.72, 0.74, 0.73, 0.78, 0.76, 0.82,
+                                   0.75, 0.84, 0.79, 0.74, 0.77, 0.71, 0.78};
+  for (size_t i = 0; i < std::size(kProducts); ++i) {
+    pool.Add(SlotType::kObject, kProducts[i], kProductAppeal[i]);
+  }
+
+  pool.Add(SlotType::kQuality, "free shipping", 0.92);
+  pool.Add(SlotType::kQuality, "easy returns", 0.84);
+  pool.Add(SlotType::kQuality, "top rated", 0.80);
+  pool.Add(SlotType::kQuality, "in stock now", 0.78);
+  pool.Add(SlotType::kQuality, "authentic brands", 0.76);
+  pool.Add(SlotType::kQuality, "next day delivery", 0.90);
+  pool.Add(SlotType::kQuality, "price guarantee", 0.82);
+  pool.Add(SlotType::kQuality, "free shipping on all orders", 0.91);
+  pool.Add(SlotType::kQuality, "30 day money back", 0.87);
+  pool.Add(SlotType::kQuality, "2 year warranty included", 0.85);
+  pool.Add(SlotType::kQuality, "thousands of 5 star reviews", 0.83);
+  pool.Add(SlotType::kQuality, "curbside pickup", 0.71);
+  pool.Add(SlotType::kQuality, "new arrivals weekly", 0.73);
+  pool.Add(SlotType::kQuality, "no restocking fees", 0.79);
+
+  pool.Add(SlotType::kOffer, "up to 40% off", 0.93);
+  pool.Add(SlotType::kOffer, "clearance sale", 0.85);
+  pool.Add(SlotType::kOffer, "buy one get one", 0.89);
+  pool.Add(SlotType::kOffer, "$10 coupon", 0.83);
+  pool.Add(SlotType::kOffer, "flash deals daily", 0.81);
+  pool.Add(SlotType::kOffer, "holiday discounts", 0.79);
+  pool.Add(SlotType::kOffer, "extra 15% off at checkout", 0.88);
+  pool.Add(SlotType::kOffer, "prices from $9.99", 0.87);
+  pool.Add(SlotType::kOffer, "free gift with purchase", 0.84);
+  pool.Add(SlotType::kOffer, "weekend doorbusters", 0.82);
+  pool.Add(SlotType::kOffer, "members save twice", 0.76);
+  pool.Add(SlotType::kOffer, "bundle and save", 0.80);
+
+  pool.Add(SlotType::kCallToAction, "shop now", 0.80);
+  pool.Add(SlotType::kCallToAction, "grab yours", 0.74);
+  pool.Add(SlotType::kCallToAction, "view catalog", 0.70);
+  pool.Add(SlotType::kCallToAction, "add to cart", 0.76);
+  pool.Add(SlotType::kCallToAction, "see today's deals", 0.78);
+  pool.Add(SlotType::kCallToAction, "start browsing", 0.69);
+  pool.Add(SlotType::kCallToAction, "claim your coupon", 0.77);
+  pool.Add(SlotType::kCallToAction, "order today", 0.75);
+  return pool;
+}
+
+PhrasePool PhrasePool::Finance() {
+  PhrasePool pool;
+  pool.Add(SlotType::kBrand, "securebank", 0.88);
+  pool.Add(SlotType::kBrand, "capital direct", 0.86);
+  pool.Add(SlotType::kBrand, "truerate lending", 0.85);
+  pool.Add(SlotType::kBrand, "northstar finance", 0.84);
+  pool.Add(SlotType::kBrand, "summit credit union", 0.83);
+  pool.Add(SlotType::kBrand, "evergreen funding", 0.82);
+  pool.Add(SlotType::kBrand, "beacon mortgage", 0.85);
+  pool.Add(SlotType::kBrand, "quantum wealth", 0.81);
+  pool.Add(SlotType::kBrand, "harbor trust", 0.84);
+  pool.Add(SlotType::kBrand, "velocity loans", 0.83);
+
+  pool.Add(SlotType::kAction, "apply for", 0.76);
+  pool.Add(SlotType::kAction, "compare", 0.80);
+  pool.Add(SlotType::kAction, "refinance", 0.78);
+  pool.Add(SlotType::kAction, "get approved for", 0.84);
+  pool.Add(SlotType::kAction, "lower your", 0.86);
+  pool.Add(SlotType::kAction, "check", 0.70);
+  pool.Add(SlotType::kAction, "consolidate", 0.77);
+  pool.Add(SlotType::kAction, "prequalify for", 0.82);
+  pool.Add(SlotType::kAction, "switch to better", 0.81);
+  pool.Add(SlotType::kAction, "calculate", 0.66);
+  pool.Add(SlotType::kAction, "shop", 0.65);
+  pool.Add(SlotType::kAction, "lock in", 0.79);
+
+  pool.Add(SlotType::kObject, "personal loans", 0.82);
+  pool.Add(SlotType::kObject, "mortgage rates", 0.84);
+  pool.Add(SlotType::kObject, "credit cards", 0.83);
+  pool.Add(SlotType::kObject, "auto insurance", 0.80);
+  pool.Add(SlotType::kObject, "savings accounts", 0.78);
+  pool.Add(SlotType::kObject, "student loans", 0.79);
+  pool.Add(SlotType::kObject, "retirement plans", 0.74);
+  pool.Add(SlotType::kObject, "home equity loans", 0.81);
+  pool.Add(SlotType::kObject, "business lines of credit", 0.77);
+  pool.Add(SlotType::kObject, "high yield cds", 0.80);
+  pool.Add(SlotType::kObject, "debt consolidation loans", 0.82);
+  pool.Add(SlotType::kObject, "life insurance quotes", 0.76);
+  pool.Add(SlotType::kObject, "checking accounts", 0.73);
+  pool.Add(SlotType::kObject, "investment accounts", 0.75);
+  pool.Add(SlotType::kObject, "balance transfer cards", 0.81);
+  pool.Add(SlotType::kObject, "auto loans", 0.80);
+  const char* const kFinProducts[] = {"jumbo mortgages",      "roth iras",
+                                      "money market accounts", "travel rewards cards",
+                                      "secured credit cards",  "heloc rates",
+                                      "renters insurance",     "term life insurance",
+                                      "crypto accounts",       "brokerage accounts"};
+  const double kFinAppeal[] = {0.78, 0.76, 0.77, 0.82, 0.75, 0.80, 0.74, 0.77, 0.72, 0.76};
+  for (size_t i = 0; i < std::size(kFinProducts); ++i) {
+    pool.Add(SlotType::kObject, kFinProducts[i], kFinAppeal[i]);
+  }
+
+  pool.Add(SlotType::kQuality, "no hidden fees", 0.90);
+  pool.Add(SlotType::kQuality, "instant decision", 0.88);
+  pool.Add(SlotType::kQuality, "fdic insured", 0.80);
+  pool.Add(SlotType::kQuality, "low apr", 0.89);
+  pool.Add(SlotType::kQuality, "trusted lender", 0.76);
+  pool.Add(SlotType::kQuality, "no credit impact", 0.86);
+  pool.Add(SlotType::kQuality, "no annual fee ever", 0.87);
+  pool.Add(SlotType::kQuality, "approval in minutes", 0.85);
+  pool.Add(SlotType::kQuality, "rates that beat the big banks", 0.84);
+  pool.Add(SlotType::kQuality, "no origination fees", 0.83);
+  pool.Add(SlotType::kQuality, "award winning mobile app", 0.72);
+  pool.Add(SlotType::kQuality, "personal advisor included", 0.74);
+  pool.Add(SlotType::kQuality, "same day funding", 0.88);
+  pool.Add(SlotType::kQuality, "flexible repayment terms", 0.79);
+
+  pool.Add(SlotType::kOffer, "0% intro apr", 0.92);
+  pool.Add(SlotType::kOffer, "$200 bonus", 0.90);
+  pool.Add(SlotType::kOffer, "rates from 3.9%", 0.85);
+  pool.Add(SlotType::kOffer, "no annual fee", 0.88);
+  pool.Add(SlotType::kOffer, "cash back rewards", 0.87);
+  pool.Add(SlotType::kOffer, "5% apy on savings", 0.91);
+  pool.Add(SlotType::kOffer, "up to $500 welcome bonus", 0.89);
+  pool.Add(SlotType::kOffer, "18 months interest free", 0.88);
+  pool.Add(SlotType::kOffer, "free credit score monitoring", 0.80);
+  pool.Add(SlotType::kOffer, "waived closing costs", 0.84);
+  pool.Add(SlotType::kOffer, "double rewards first year", 0.82);
+  pool.Add(SlotType::kOffer, "no payments for 90 days", 0.86);
+
+  pool.Add(SlotType::kCallToAction, "apply today", 0.80);
+  pool.Add(SlotType::kCallToAction, "get your rate", 0.82);
+  pool.Add(SlotType::kCallToAction, "see if you qualify", 0.78);
+  pool.Add(SlotType::kCallToAction, "open an account", 0.74);
+  pool.Add(SlotType::kCallToAction, "start your application", 0.76);
+  pool.Add(SlotType::kCallToAction, "talk to an advisor", 0.70);
+  pool.Add(SlotType::kCallToAction, "check your rate now", 0.81);
+  pool.Add(SlotType::kCallToAction, "compare plans", 0.75);
+  return pool;
+}
+
+PhrasePool PhrasePool::Synthetic(int per_slot, Rng* rng) {
+  PhrasePool pool;
+  for (int s = 0; s < kNumSlotTypes; ++s) {
+    const SlotType slot = static_cast<SlotType>(s);
+    for (int i = 0; i < per_slot; ++i) {
+      const int tokens = 1 + static_cast<int>(rng->NextIndex(3));
+      std::vector<std::string> parts;
+      for (int t = 0; t < tokens; ++t) {
+        parts.push_back(StrFormat("%s%d_%d", SlotTypeName(slot), i, t));
+      }
+      pool.Add(slot, Join(parts, " "), rng->Uniform(0.55, 0.95));
+    }
+  }
+  return pool;
+}
+
+}  // namespace microbrowse

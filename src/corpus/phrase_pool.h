@@ -1,0 +1,82 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Phrase inventories for creative generation. A creative line is assembled
+// from slots (brand, action, object, quality claim, offer, call-to-action);
+// each slot draws from a pool of short phrases, each phrase carrying an
+// intrinsic appeal in (0, 1) — the ground-truth relevance signal of the
+// micro-browsing model. Rewrites within an adgroup swap phrases within the
+// same slot, exactly the "find cheap" -> "get discounts" structure of the
+// paper's Section IV-A example.
+
+#ifndef MICROBROWSE_CORPUS_PHRASE_POOL_H_
+#define MICROBROWSE_CORPUS_PHRASE_POOL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace microbrowse {
+
+/// Creative template slots.
+enum class SlotType : int {
+  kBrand = 0,
+  kAction = 1,
+  kObject = 2,
+  kQuality = 3,
+  kOffer = 4,
+  kCallToAction = 5,
+};
+
+inline constexpr int kNumSlotTypes = 6;
+
+/// Returns a stable name for a slot ("brand", "action", ...).
+const char* SlotTypeName(SlotType slot);
+
+/// A slot phrase with its intrinsic appeal.
+struct Phrase {
+  std::string text;     ///< Space-separated lowercase tokens, 1-3 of them.
+  double appeal = 0.8;  ///< Ground-truth appeal in (0, 1).
+};
+
+/// Per-slot phrase inventories.
+class PhrasePool {
+ public:
+  PhrasePool() = default;
+
+  /// Adds a phrase to a slot's pool.
+  void Add(SlotType slot, std::string text, double appeal);
+
+  /// Phrases available for `slot` (possibly empty).
+  const std::vector<Phrase>& PhrasesFor(SlotType slot) const {
+    return slots_[static_cast<int>(slot)];
+  }
+
+  /// Samples a uniform phrase index for `slot`; the slot must be non-empty.
+  size_t SampleIndex(SlotType slot, Rng* rng) const;
+
+  /// Samples a phrase index for `slot` different from `exclude` (pass
+  /// SIZE_MAX for no exclusion). The slot must have >= 2 phrases when an
+  /// exclusion is given.
+  size_t SampleIndexExcluding(SlotType slot, size_t exclude, Rng* rng) const;
+
+  /// Total number of phrases across slots.
+  size_t total_phrases() const;
+
+  /// Hand-curated pools for three advertising verticals.
+  static PhrasePool Travel();
+  static PhrasePool Shopping();
+  static PhrasePool Finance();
+
+  /// A synthetic pool with `per_slot` machine-named phrases per slot and
+  /// appeals drawn from `rng` — for scale benchmarks.
+  static PhrasePool Synthetic(int per_slot, Rng* rng);
+
+ private:
+  std::array<std::vector<Phrase>, kNumSlotTypes> slots_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CORPUS_PHRASE_POOL_H_

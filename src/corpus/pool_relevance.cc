@@ -1,0 +1,59 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "corpus/pool_relevance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace microbrowse {
+
+PoolRelevance::PoolRelevance(const PhrasePool& pool, double jitter, double default_relevance,
+                             uint64_t seed)
+    : jitter_(jitter), default_relevance_(default_relevance), seed_(seed) {
+  for (int s = 0; s < kNumSlotTypes; ++s) {
+    for (const Phrase& phrase : pool.PhrasesFor(static_cast<SlotType>(s))) {
+      const auto tokens = SplitWhitespace(phrase.text);
+      if (tokens.empty()) continue;
+      const double appeal = std::clamp(phrase.appeal, 1e-6, 1.0);
+      auto [pit, phrase_inserted] = phrase_base_.emplace(phrase.text, appeal);
+      if (!phrase_inserted) pit->second = std::max(pit->second, appeal);
+      const double per_token = std::pow(appeal, 1.0 / static_cast<double>(tokens.size()));
+      for (const auto& token : tokens) {
+        // A token shared between phrases keeps the strongest (max) value:
+        // seeing a salient word is salient regardless of which phrase it
+        // came from.
+        auto [it, inserted] = token_base_.emplace(token, per_token);
+        if (!inserted) it->second = std::max(it->second, per_token);
+      }
+    }
+  }
+}
+
+double PoolRelevance::BaseRelevance(std::string_view text) const {
+  auto pit = phrase_base_.find(std::string(text));
+  if (pit != phrase_base_.end()) return pit->second;
+  auto it = token_base_.find(std::string(text));
+  return it != token_base_.end() ? it->second : default_relevance_;
+}
+
+double PoolRelevance::Relevance(int32_t query_id, std::string_view token) const {
+  const double base = BaseRelevance(token);
+  if (jitter_ <= 0.0) return base;
+  // Deterministic per-(query, token) perturbation in logit space: the
+  // uniform draw in [-jitter, jitter] shifts logit(r), which scales the
+  // miss-mass (1 - r) multiplicatively by roughly exp(-shift). Logit space
+  // avoids the ceiling-clamping artifacts an additive perturbation has for
+  // relevances near 1 and preserves the corpus-average phrase ordering.
+  uint64_t h = HashCombine(seed_, static_cast<uint64_t>(static_cast<uint32_t>(query_id)));
+  h = HashCombine(h, token);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double shift = jitter_ * (2.0 * u - 1.0);
+  const double perturbed = Sigmoid(Logit(std::clamp(base, 0.02, 0.999)) + shift);
+  return std::clamp(perturbed, 0.02, 0.999);
+}
+
+}  // namespace microbrowse

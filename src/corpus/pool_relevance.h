@@ -1,0 +1,53 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Ground-truth term relevance derived from a PhrasePool: each token of a
+// phrase inherits appeal^(1/len) so the token product over the phrase
+// equals its appeal, plus a deterministic per-(keyword, token) jitter that
+// makes relevance mildly query-dependent — the classifier has to average
+// over this noise exactly as it would over real user idiosyncrasy.
+
+#ifndef MICROBROWSE_CORPUS_POOL_RELEVANCE_H_
+#define MICROBROWSE_CORPUS_POOL_RELEVANCE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "corpus/phrase_pool.h"
+#include "microbrowse/model.h"
+
+namespace microbrowse {
+
+/// TermRelevance implementation over a phrase pool.
+class PoolRelevance : public TermRelevance {
+ public:
+  /// An empty relevance map: every token gets the default relevance.
+  PoolRelevance() = default;
+
+  /// `jitter` is the half-width of the uniform per-(keyword, token)
+  /// perturbation of logit(r); `default_relevance` applies to tokens
+  /// outside the pool (brand words and glue).
+  PoolRelevance(const PhrasePool& pool, double jitter = 0.7, double default_relevance = 0.95,
+                uint64_t seed = 1234);
+
+  /// Relevance of `text` for `query_id`. `text` may be a full pool phrase
+  /// ("find cheap" — resolved at phrase granularity, the generator's unit)
+  /// or a single token (resolved via the per-token decomposition, used by
+  /// token-level consumers of the TermRelevance interface).
+  double Relevance(int32_t query_id, std::string_view text) const override;
+
+  /// Base (jitter-free) relevance of a phrase or token.
+  double BaseRelevance(std::string_view text) const;
+
+ private:
+  /// Full phrase text -> phrase appeal.
+  std::unordered_map<std::string, double> phrase_base_;
+  /// Token -> appeal^(1/len) fallback for token-level queries.
+  std::unordered_map<std::string, double> token_base_;
+  double jitter_ = 0.0;
+  double default_relevance_ = 0.95;
+  uint64_t seed_ = 1234;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CORPUS_POOL_RELEVANCE_H_

@@ -1,0 +1,19 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "corpus/serve_weight.h"
+
+namespace microbrowse {
+
+std::vector<double> ComputeServeWeights(const AdGroup& group) {
+  std::vector<double> weights(group.creatives.size(), 1.0);
+  const double mean_ctr = group.mean_ctr();
+  if (mean_ctr <= 0.0) return weights;
+  for (size_t i = 0; i < group.creatives.size(); ++i) {
+    const auto& creative = group.creatives[i];
+    if (creative.impressions <= 0) continue;
+    weights[i] = creative.ctr() / mean_ctr;
+  }
+  return weights;
+}
+
+}  // namespace microbrowse

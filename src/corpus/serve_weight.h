@@ -1,0 +1,23 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Serve weights (Section V-B): a creative's CTR normalised by its
+// adgroup's mean CTR, making creatives comparable across adgroups.
+
+#ifndef MICROBROWSE_CORPUS_SERVE_WEIGHT_H_
+#define MICROBROWSE_CORPUS_SERVE_WEIGHT_H_
+
+#include <vector>
+
+#include "corpus/ad.h"
+
+namespace microbrowse {
+
+/// Serve weight of each creative in `group`, in creative order:
+/// sw = ctr(creative) / mean_ctr(adgroup). Creatives with zero impressions
+/// (or an adgroup with zero clicks) get weight 1.0 — no evidence either
+/// way.
+std::vector<double> ComputeServeWeights(const AdGroup& group);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_CORPUS_SERVE_WEIGHT_H_

@@ -1,0 +1,343 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "io/serialization.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace microbrowse {
+
+namespace {
+
+constexpr char kCorpusHeader[] = "#microbrowse-adcorpus-v1";
+constexpr char kClickLogHeader[] = "#microbrowse-clicklog-v1";
+constexpr char kStatsHeader[] = "#microbrowse-stats-v1";
+constexpr char kModelHeader[] = "#microbrowse-classifier-v1";
+
+Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path, std::ios::out | std::ios::trunc);
+  if (!out->is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return Status::OK();
+}
+
+Status OpenForRead(const std::string& path, std::ifstream* in) {
+  in->open(path);
+  if (!in->is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return Status::OK();
+}
+
+Status MalformedRow(const std::string& path, int line_number, const std::string& why) {
+  return Status::InvalidArgument(
+      StrFormat("%s:%d: %s", path.c_str(), line_number, why.c_str()));
+}
+
+/// Joins a snippet's lines with " | " (tokens are whitespace-joined).
+std::string SnippetToField(const Snippet& snippet) {
+  std::vector<std::string> lines;
+  for (int l = 0; l < snippet.num_lines(); ++l) {
+    lines.push_back(Join(snippet.line(l), " "));
+  }
+  return Join(lines, " | ");
+}
+
+/// Inverse of SnippetToField.
+Snippet SnippetFromField(const std::string& field) {
+  std::vector<std::vector<std::string>> token_lines;
+  for (const std::string& line : Split(field, '|')) {
+    token_lines.push_back(SplitWhitespace(line));
+  }
+  return Snippet::FromTokens(std::move(token_lines));
+}
+
+Result<int64_t> ParseInt(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Status SaveAdCorpus(const AdCorpus& corpus, const std::string& path) {
+  std::ofstream out;
+  MB_RETURN_IF_ERROR(OpenForWrite(path, &out));
+  out << kCorpusHeader << '\t' << PlacementName(corpus.placement) << '\n';
+  for (const AdGroup& group : corpus.adgroups) {
+    for (const Creative& creative : group.creatives) {
+      out << group.id << '\t' << group.keyword_id << '\t' << group.keyword << '\t'
+          << creative.id << '\t' << creative.impressions << '\t' << creative.clicks << '\t'
+          << FormatDouble(creative.true_ctr, 8) << '\t' << SnippetToField(creative.snippet)
+          << '\n';
+    }
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<AdCorpus> LoadAdCorpus(const std::string& path) {
+  std::ifstream in;
+  MB_RETURN_IF_ERROR(OpenForRead(path, &in));
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, kCorpusHeader)) {
+    return MalformedRow(path, 1, "missing adcorpus header");
+  }
+  AdCorpus corpus;
+  {
+    const auto header_fields = Split(line, '\t');
+    corpus.placement = header_fields.size() > 1 && header_fields[1] == "rhs"
+                           ? Placement::kRhs
+                           : Placement::kTop;
+  }
+
+  // Collect adgroups in first-seen order.
+  std::map<int64_t, size_t> group_index;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 8) {
+      return MalformedRow(path, line_number, "expected 8 tab-separated fields");
+    }
+    auto group_id = ParseInt(fields[0]);
+    auto keyword_id = ParseInt(fields[1]);
+    auto creative_id = ParseInt(fields[3]);
+    auto impressions = ParseInt(fields[4]);
+    auto clicks = ParseInt(fields[5]);
+    auto true_ctr = ParseDouble(fields[6]);
+    for (const Status& status :
+         {group_id.status(), keyword_id.status(), creative_id.status(), impressions.status(),
+          clicks.status(), true_ctr.status()}) {
+      if (!status.ok()) return MalformedRow(path, line_number, status.message());
+    }
+    if (*clicks < 0 || *impressions < 0 || *clicks > *impressions) {
+      return MalformedRow(path, line_number, "invalid click/impression counts");
+    }
+
+    auto [it, inserted] = group_index.try_emplace(*group_id, corpus.adgroups.size());
+    if (inserted) {
+      AdGroup group;
+      group.id = *group_id;
+      group.keyword_id = static_cast<int32_t>(*keyword_id);
+      group.keyword = fields[2];
+      corpus.adgroups.push_back(std::move(group));
+    }
+    Creative creative;
+    creative.id = *creative_id;
+    creative.impressions = *impressions;
+    creative.clicks = *clicks;
+    creative.true_ctr = *true_ctr;
+    creative.snippet = SnippetFromField(fields[7]);
+    corpus.adgroups[it->second].creatives.push_back(std::move(creative));
+  }
+  return corpus;
+}
+
+Status SaveClickLog(const ClickLog& log, const std::string& path) {
+  std::ofstream out;
+  MB_RETURN_IF_ERROR(OpenForWrite(path, &out));
+  out << kClickLogHeader << '\n';
+  for (const Session& session : log.sessions) {
+    out << session.query_id;
+    for (const SessionResult& result : session.results) {
+      out << '\t' << result.doc_id << ':' << (result.clicked ? 1 : 0);
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ClickLog> LoadClickLog(const std::string& path) {
+  std::ifstream in;
+  MB_RETURN_IF_ERROR(OpenForRead(path, &in));
+  std::string line;
+  if (!std::getline(in, line) || line != kClickLogHeader) {
+    return MalformedRow(path, 1, "missing clicklog header");
+  }
+  ClickLog log;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    Session session;
+    auto query_id = ParseInt(fields[0]);
+    if (!query_id.ok()) return MalformedRow(path, line_number, query_id.status().message());
+    session.query_id = static_cast<int32_t>(*query_id);
+    for (size_t f = 1; f < fields.size(); ++f) {
+      const auto parts = Split(fields[f], ':');
+      if (parts.size() != 2 || (parts[1] != "0" && parts[1] != "1")) {
+        return MalformedRow(path, line_number, "expected doc_id:clicked cell");
+      }
+      auto doc_id = ParseInt(parts[0]);
+      if (!doc_id.ok()) return MalformedRow(path, line_number, doc_id.status().message());
+      session.results.push_back(
+          SessionResult{static_cast<int32_t>(*doc_id), parts[1] == "1"});
+    }
+    log.sessions.push_back(std::move(session));
+  }
+  log.RecomputeBounds();
+  return log;
+}
+
+Status SaveFeatureStats(const FeatureStatsDb& db, const std::string& path) {
+  std::ofstream out;
+  MB_RETURN_IF_ERROR(OpenForWrite(path, &out));
+  out << kStatsHeader << '\t' << FormatDouble(db.smoothing(), 6) << '\t' << db.min_count()
+      << '\n';
+  std::vector<const std::pair<const std::string, FeatureStat>*> rows;
+  rows.reserve(db.stats().size());
+  for (const auto& entry : db.stats()) rows.push_back(&entry);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* row : rows) {
+    out << row->first << '\t' << row->second.positive << '\t' << row->second.total << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<FeatureStatsDb> LoadFeatureStats(const std::string& path) {
+  std::ifstream in;
+  MB_RETURN_IF_ERROR(OpenForRead(path, &in));
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, kStatsHeader)) {
+    return MalformedRow(path, 1, "missing stats header");
+  }
+  FeatureStatsDb db;
+  {
+    const auto header_fields = Split(line, '\t');
+    if (header_fields.size() >= 3) {
+      auto smoothing = ParseDouble(header_fields[1]);
+      auto min_count = ParseInt(header_fields[2]);
+      if (!smoothing.ok()) return MalformedRow(path, 1, smoothing.status().message());
+      if (!min_count.ok()) return MalformedRow(path, 1, min_count.status().message());
+      db.set_smoothing(*smoothing);
+      db.set_min_count(*min_count);
+    }
+  }
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 3) return MalformedRow(path, line_number, "expected 3 fields");
+    auto positive = ParseInt(fields[1]);
+    auto total = ParseInt(fields[2]);
+    if (!positive.ok()) return MalformedRow(path, line_number, positive.status().message());
+    if (!total.ok()) return MalformedRow(path, line_number, total.status().message());
+    if (*positive < 0 || *total < *positive) {
+      return MalformedRow(path, line_number, "invalid stat counts");
+    }
+    // Reconstruct the counts through the public observation API.
+    for (int64_t i = 0; i < *positive; ++i) db.AddObservation(fields[0], +1);
+    for (int64_t i = 0; i < *total - *positive; ++i) db.AddObservation(fields[0], -1);
+  }
+  return db;
+}
+
+namespace {
+
+void SaveRegistry(std::ofstream& out, const char* section, const FeatureRegistry& registry,
+                  const std::vector<double>& trained_weights) {
+  out << section << '\t' << registry.size() << '\n';
+  for (FeatureId id = 0; id < registry.size(); ++id) {
+    const double trained = id < trained_weights.size() ? trained_weights[id] : 0.0;
+    out << registry.NameOf(id) << '\t' << FormatDouble(registry.InitialWeightOf(id), 9)
+        << '\t' << FormatDouble(trained, 9) << '\n';
+  }
+}
+
+Status LoadRegistry(std::ifstream& in, const std::string& path, const char* section,
+                    int* line_number, FeatureRegistry* registry,
+                    std::vector<double>* trained_weights) {
+  std::string line;
+  if (!std::getline(in, line)) return MalformedRow(path, *line_number, "truncated file");
+  ++*line_number;
+  const auto header_fields = Split(line, '\t');
+  if (header_fields.size() != 2 || header_fields[0] != section) {
+    return MalformedRow(path, *line_number, std::string("expected section ") + section);
+  }
+  auto count = ParseInt(header_fields[1]);
+  if (!count.ok()) return MalformedRow(path, *line_number, count.status().message());
+  for (int64_t i = 0; i < *count; ++i) {
+    if (!std::getline(in, line)) return MalformedRow(path, *line_number, "truncated section");
+    ++*line_number;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 3) return MalformedRow(path, *line_number, "expected 3 fields");
+    auto initial = ParseDouble(fields[1]);
+    auto trained = ParseDouble(fields[2]);
+    if (!initial.ok()) return MalformedRow(path, *line_number, initial.status().message());
+    if (!trained.ok()) return MalformedRow(path, *line_number, trained.status().message());
+    registry->Intern(fields[0], *initial);
+    trained_weights->push_back(*trained);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveClassifier(const SnippetClassifierModel& model, const FeatureRegistry& t_registry,
+                      const FeatureRegistry& p_registry, const std::string& path) {
+  if (model.t_weights.size() != t_registry.size() ||
+      model.p_weights.size() != p_registry.size()) {
+    return Status::InvalidArgument("SaveClassifier: weight/registry size mismatch");
+  }
+  std::ofstream out;
+  MB_RETURN_IF_ERROR(OpenForWrite(path, &out));
+  out << kModelHeader << '\t' << FormatDouble(model.bias, 9) << '\n';
+  SaveRegistry(out, "T", t_registry, model.t_weights);
+  SaveRegistry(out, "P", p_registry, model.p_weights);
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SavedClassifier> LoadClassifier(const std::string& path) {
+  std::ifstream in;
+  MB_RETURN_IF_ERROR(OpenForRead(path, &in));
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, kModelHeader)) {
+    return MalformedRow(path, 1, "missing classifier header");
+  }
+  SavedClassifier saved;
+  {
+    const auto header_fields = Split(line, '\t');
+    if (header_fields.size() != 2) return MalformedRow(path, 1, "expected bias in header");
+    auto bias = ParseDouble(header_fields[1]);
+    if (!bias.ok()) return MalformedRow(path, 1, bias.status().message());
+    saved.model.bias = *bias;
+  }
+  int line_number = 1;
+  MB_RETURN_IF_ERROR(LoadRegistry(in, path, "T", &line_number, &saved.t_registry,
+                                  &saved.model.t_weights));
+  MB_RETURN_IF_ERROR(LoadRegistry(in, path, "P", &line_number, &saved.p_registry,
+                                  &saved.model.p_weights));
+  return saved;
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,347 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "microbrowse/classifier.h"
+
+#include <numeric>
+
+#include "microbrowse/feature_keys.h"
+#include "text/ngram.h"
+
+namespace microbrowse {
+
+namespace {
+
+LrOptions DefaultTLr() {
+  LrOptions options;
+  options.solver = LrSolver::kAdaGrad;
+  options.l1 = 2e-3;
+  options.l2 = 1e-6;
+  options.learning_rate = 0.15;
+  options.epochs = 12;
+  return options;
+}
+
+LrOptions DefaultPLr() {
+  LrOptions options;
+  options.solver = LrSolver::kAdaGrad;
+  // The P phase trains the *delta* against the stats-database init (see
+  // BuildPDataset), so regularisation pulls toward the init, not zero:
+  // no L1 (the position space is tiny and dense), moderate L2.
+  options.l1 = 0.0;
+  options.l2 = 0.02;
+  options.learning_rate = 0.1;
+  options.epochs = 8;
+  options.fit_bias = false;  // The T phase owns the bias.
+  return options;
+}
+
+ClassifierConfig BaseConfig(std::string name) {
+  ClassifierConfig config;
+  config.name = std::move(name);
+  config.lr = DefaultTLr();
+  config.position_lr = DefaultPLr();
+  return config;
+}
+
+}  // namespace
+
+ClassifierConfig ClassifierConfig::M1() {
+  ClassifierConfig config = BaseConfig("M1");
+  config.use_term_features = true;
+  config.use_rewrite_features = false;
+  config.use_position = false;
+  return config;
+}
+
+ClassifierConfig ClassifierConfig::M2() {
+  ClassifierConfig config = BaseConfig("M2");
+  config.use_term_features = true;
+  config.use_rewrite_features = false;
+  config.use_position = true;
+  config.term_position_conjunction = true;
+  return config;
+}
+
+ClassifierConfig ClassifierConfig::M3() {
+  ClassifierConfig config = BaseConfig("M3");
+  config.use_term_features = false;
+  config.use_rewrite_features = true;
+  config.use_position = false;
+  return config;
+}
+
+ClassifierConfig ClassifierConfig::M4() {
+  ClassifierConfig config = BaseConfig("M4");
+  config.use_term_features = false;
+  config.use_rewrite_features = true;
+  config.use_position = true;
+  config.leftover_position_conjunction = true;  // Leftover terms mirror M2.
+  return config;
+}
+
+ClassifierConfig ClassifierConfig::M5() {
+  ClassifierConfig config = BaseConfig("M5");
+  config.use_term_features = true;
+  config.use_rewrite_features = true;
+  config.use_position = false;
+  return config;
+}
+
+ClassifierConfig ClassifierConfig::M6() {
+  ClassifierConfig config = BaseConfig("M6");
+  config.use_term_features = true;
+  config.use_rewrite_features = true;
+  config.use_position = true;
+  config.term_position_conjunction = true;  // The term part mirrors M2.
+  return config;
+}
+
+std::vector<ClassifierConfig> ClassifierConfig::AllPaperModels() {
+  return {M1(), M2(), M3(), M4(), M5(), M6()};
+}
+
+namespace {
+
+/// Interns a T feature with its warm-start log-odds.
+FeatureId InternT(const std::string& key, const FeatureStatsDb& db,
+                  const ClassifierConfig& config, FeatureRegistry* registry) {
+  return registry->Intern(key, config.init_from_stats ? db.LogOdds(key) : 0.0);
+}
+
+/// Interns a P feature with its warm-start odds ratio (neutral = 1).
+FeatureId InternP(const std::string& key, const FeatureStatsDb& db,
+                  const ClassifierConfig& config, FeatureRegistry* registry) {
+  return registry->Intern(key, config.init_from_stats ? db.OddsRatio(key) : 1.0);
+}
+
+}  // namespace
+
+void ExtractPairOccurrences(const Snippet& first, const Snippet& second,
+                            const FeatureStatsDb& db, const ClassifierConfig& config,
+                            FeatureRegistry* t_registry, FeatureRegistry* p_registry,
+                            std::vector<CoupledOccurrence>* occurrences) {
+  auto add_term_impl = [&](const TermSpan& span, double sign, bool conjunction) {
+    CoupledOccurrence occ;
+    if (config.use_position && conjunction) {
+      occ.t = InternT(TermConjunctionKey(span.text, MakePositionKey(span)), db, config,
+                      t_registry);
+    } else {
+      occ.t = InternT(TermKey(span.text), db, config, t_registry);
+      if (config.use_position) {
+        occ.p = InternP(TermPositionKey(MakePositionKey(span)), db, config, p_registry);
+      }
+    }
+    occ.sign = sign;
+    occurrences->push_back(occ);
+  };
+  auto add_term = [&](const TermSpan& span, double sign) {
+    add_term_impl(span, sign, config.leftover_position_conjunction);
+  };
+  auto add_full_term = [&](const TermSpan& span, double sign) {
+    add_term_impl(span, sign, config.term_position_conjunction);
+  };
+  // Emits every 1..max_ngram sub-gram of a span, mirroring the granularity
+  // of the full term extraction (a single span-level feature would be far
+  // sparser than the n-gram features the term models see).
+  auto add_span_ngrams = [&](const Snippet& snippet, const TermSpan& span, double sign) {
+    for (const TermSpan& sub :
+         ExtractNGramsInWindow(snippet, span.line, span.pos, span.len, config.max_ngram)) {
+      add_term(sub, sign);
+    }
+  };
+
+  if (config.use_term_features && !config.diff_terms_only) {
+    for (const TermSpan& span : ExtractNGrams(first, config.max_ngram)) {
+      add_full_term(span, +1.0);
+    }
+    for (const TermSpan& span : ExtractNGrams(second, config.max_ngram)) {
+      add_full_term(span, -1.0);
+    }
+  }
+  if (config.use_term_features && config.diff_terms_only) {
+    RewriteMatchOptions match_options;
+    match_options.max_ngram = config.max_ngram;
+    match_options.strategy = config.matching;
+    const PairDiff diff = MatchRewrites(first, second, &db, match_options);
+    for (const RewriteMatch& rewrite : diff.rewrites) {
+      add_span_ngrams(first, rewrite.r_span, +1.0);
+      add_span_ngrams(second, rewrite.s_span, -1.0);
+    }
+    for (const TermSpan& span : diff.r_only) add_term(span, +1.0);
+    for (const TermSpan& span : diff.s_only) add_term(span, -1.0);
+  }
+
+  if (config.use_rewrite_features) {
+    RewriteMatchOptions match_options;
+    match_options.max_ngram = config.max_ngram;
+    match_options.strategy = config.matching;
+    const PairDiff diff = MatchRewrites(first, second, &db, match_options);
+    for (const RewriteMatch& rewrite : diff.rewrites) {
+      // Raw direction: second's phrase rewritten into first's phrase.
+      const SignedKey key = RewriteKey(rewrite.s_span.text, rewrite.r_span.text);
+      const bool thin =
+          config.rewrite_min_support > 0 && db.Count(key.key) < config.rewrite_min_support;
+      if (config.drop_matched_rewrites || thin) {
+        // Decompose the matched pair into signed term occurrences:
+        // always under the drop_matched_rewrites ablation, and for tail
+        // rewrites below the support threshold (the per-phrase term
+        // statistics are far denser than the quadratic rewrite space).
+        add_span_ngrams(first, rewrite.r_span, +1.0);
+        add_span_ngrams(second, rewrite.s_span, -1.0);
+        continue;
+      }
+      CoupledOccurrence occ;
+      occ.t = InternT(key.key, db, config, t_registry);
+      if (config.use_position) {
+        occ.p = InternP(RewritePositionKey(MakePositionKey(rewrite.r_span),
+                                           MakePositionKey(rewrite.s_span)),
+                        db, config, p_registry);
+      }
+      occ.sign = key.sign;
+      occurrences->push_back(occ);
+    }
+    for (const TermSpan& span : diff.r_only) add_term(span, +1.0);
+    for (const TermSpan& span : diff.s_only) add_term(span, -1.0);
+  }
+}
+
+CoupledDataset BuildClassifierDataset(const PairCorpus& corpus, const FeatureStatsDb& db,
+                                      const ClassifierConfig& config, uint64_t seed) {
+  CoupledDataset dataset;
+  dataset.examples.reserve(corpus.pairs.size());
+  Rng rng(seed);
+  for (const SnippetPair& pair : corpus.pairs) {
+    const bool swap = rng.Bernoulli(0.5);
+    const SnippetObservation& first = swap ? pair.s : pair.r;
+    const SnippetObservation& second = swap ? pair.r : pair.s;
+    CoupledExample example;
+    example.label = first.serve_weight > second.serve_weight ? 1.0 : 0.0;
+    ExtractPairOccurrences(first.snippet, second.snippet, db, config, &dataset.t_registry,
+                           &dataset.p_registry, &example.occurrences);
+    dataset.examples.push_back(std::move(example));
+  }
+  return dataset;
+}
+
+double SnippetClassifierModel::Score(const CoupledExample& example) const {
+  double score = bias;
+  for (const CoupledOccurrence& occ : example.occurrences) {
+    const double t = occ.t < t_weights.size() ? t_weights[occ.t] : 0.0;
+    const double p =
+        occ.p == kInvalidFeatureId ? 1.0 : (occ.p < p_weights.size() ? p_weights[occ.p] : 1.0);
+    score += occ.sign * p * t;
+  }
+  return score;
+}
+
+namespace {
+
+/// Builds the T-phase dataset: features are T ids with value
+/// sign * P[p] (or sign when positionless).
+Dataset BuildTDataset(const CoupledDataset& coupled, const std::vector<size_t>& indices,
+                      const std::vector<double>& p_values) {
+  Dataset data;
+  data.num_features = coupled.t_registry.size();
+  data.examples.reserve(indices.size());
+  for (size_t idx : indices) {
+    const CoupledExample& source = coupled.examples[idx];
+    Example example;
+    example.label = source.label;
+    for (const CoupledOccurrence& occ : source.occurrences) {
+      const double p = occ.p == kInvalidFeatureId ? 1.0 : p_values[occ.p];
+      example.features.Add(occ.t, occ.sign * p);
+    }
+    example.features.Finish();
+    data.examples.push_back(std::move(example));
+  }
+  return data;
+}
+
+/// Builds the P-phase dataset in *delta* parameterisation: the effective
+/// position factor is P = P_init + delta, so each occurrence contributes
+/// sign * T * P_init to the fixed offset and exposes sign * T as the
+/// feature value whose weight is delta. Regularising delta toward zero
+/// (instead of P itself) anchors the factorisation at the statistics-
+/// database initialisation and prevents the multiplicative scale race
+/// between the P and T factors.
+Dataset BuildPDataset(const CoupledDataset& coupled, const std::vector<size_t>& indices,
+                      const std::vector<double>& t_values, const std::vector<double>& p_init,
+                      double bias) {
+  Dataset data;
+  data.num_features = coupled.p_registry.size();
+  data.examples.reserve(indices.size());
+  for (size_t idx : indices) {
+    const CoupledExample& source = coupled.examples[idx];
+    Example example;
+    example.label = source.label;
+    example.offset = bias;
+    for (const CoupledOccurrence& occ : source.occurrences) {
+      const double value = occ.sign * t_values[occ.t];
+      if (occ.p == kInvalidFeatureId) {
+        example.offset += value;
+      } else {
+        example.offset += value * p_init[occ.p];
+        example.features.Add(occ.p, value);
+      }
+    }
+    example.features.Finish();
+    data.examples.push_back(std::move(example));
+  }
+  return data;
+}
+
+}  // namespace
+
+Result<SnippetClassifierModel> TrainSnippetClassifier(const CoupledDataset& dataset,
+                                                      const ClassifierConfig& config,
+                                                      const std::vector<size_t>& train_indices) {
+  if (dataset.examples.empty()) {
+    return Status::InvalidArgument("TrainSnippetClassifier: empty dataset");
+  }
+  std::vector<size_t> indices = train_indices;
+  if (indices.empty()) {
+    indices.resize(dataset.examples.size());
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+
+  SnippetClassifierModel model;
+  model.t_weights = dataset.t_registry.InitialWeights();
+  model.p_weights = dataset.p_registry.InitialWeights();
+
+  if (!config.use_position) {
+    const Dataset t_data = BuildTDataset(dataset, indices, model.p_weights);
+    auto trained = TrainLogisticRegression(t_data, config.lr, &model.t_weights);
+    if (!trained.ok()) return trained.status();
+    model.t_weights = trained->weights();
+    model.bias = trained->bias();
+    return model;
+  }
+
+  LrOptions p_options = config.position_lr;
+  p_options.fit_bias = false;  // Enforced regardless of caller settings.
+  const std::vector<double> p_init = dataset.p_registry.InitialWeights();
+  std::vector<double> p_delta(p_init.size(), 0.0);
+  // Alternating minimisation of Eq. 9, position factor first: P is fit
+  // against the statistics-database-calibrated T, then T is retrained
+  // consistently with that P. (Ending on a T phase also keeps the bias
+  // consistent with the final factor pairing.)
+  for (int iteration = 0; iteration < std::max(1, config.coupled_iterations); ++iteration) {
+    if (!dataset.p_registry.empty()) {
+      const Dataset p_data =
+          BuildPDataset(dataset, indices, model.t_weights, p_init, model.bias);
+      auto p_trained = TrainLogisticRegression(p_data, p_options, &p_delta);
+      if (!p_trained.ok()) return p_trained.status();
+      p_delta = p_trained->weights();
+      for (size_t j = 0; j < p_init.size(); ++j) model.p_weights[j] = p_init[j] + p_delta[j];
+    }
+
+    const Dataset t_data = BuildTDataset(dataset, indices, model.p_weights);
+    auto t_trained = TrainLogisticRegression(t_data, config.lr, &model.t_weights);
+    if (!t_trained.ok()) return t_trained.status();
+    model.t_weights = t_trained->weights();
+    model.bias = t_trained->bias();
+  }
+  return model;
+}
+
+}  // namespace microbrowse

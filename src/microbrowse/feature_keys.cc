@@ -1,0 +1,51 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "microbrowse/feature_keys.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace microbrowse {
+
+PositionKey MakePositionKey(int line, int pos) {
+  PositionKey key;
+  key.line = std::clamp(line, 0, kMaxLineBucket);
+  key.bucket = std::clamp(pos, 0, kMaxPosBucket);
+  return key;
+}
+
+std::string TermKey(std::string_view text) {
+  std::string key = "t:";
+  key.append(text);
+  return key;
+}
+
+std::string TermPositionKey(const PositionKey& position) {
+  return StrFormat("p:%d:%d", position.line, position.bucket);
+}
+
+std::string TermConjunctionKey(std::string_view text, const PositionKey& position) {
+  return StrFormat("tp:%.*s@%d:%d", static_cast<int>(text.size()), text.data(), position.line,
+                   position.bucket);
+}
+
+SignedKey RewriteKey(std::string_view from, std::string_view to) {
+  SignedKey out;
+  if (to < from) {
+    out.key = StrFormat("rw:%.*s=>%.*s", static_cast<int>(to.size()), to.data(),
+                        static_cast<int>(from.size()), from.data());
+    out.sign = -1.0;
+  } else {
+    out.key = StrFormat("rw:%.*s=>%.*s", static_cast<int>(from.size()), from.data(),
+                        static_cast<int>(to.size()), to.data());
+    out.sign = 1.0;
+  }
+  return out;
+}
+
+std::string RewritePositionKey(const PositionKey& r_pos, const PositionKey& s_pos) {
+  return StrFormat("pp:%d:%d=>%d:%d", r_pos.line, r_pos.bucket, s_pos.line, s_pos.bucket);
+}
+
+}  // namespace microbrowse

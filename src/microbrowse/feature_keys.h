@@ -1,0 +1,90 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Canonical string keys for classifier features and statistics-database
+// entries. Keeping every key builder in one place guarantees that the
+// statistics phase and the classifier phase agree on naming, which is what
+// makes warm-starting work.
+//
+// Key grammar:
+//   term          t:<text>
+//   rewrite       rw:<from>=><to>        (canonicalised, see below)
+//   term position p:<line>:<bucket>
+//   rewrite pos.  pp:<line>:<bucket>=><line>:<bucket>  (canonicalised)
+//
+// Rewrites are direction-sensitive ("find cheap" -> "get discounts" raising
+// CTR means the reverse lowers it), so (from, to) pairs are canonicalised
+// to lexicographic order with a sign: a feature occurrence whose raw
+// direction was flipped during canonicalisation carries value -1 instead
+// of +1. The same sign flips the delta-sw observation when building stats.
+
+#ifndef MICROBROWSE_MICROBROWSE_FEATURE_KEYS_H_
+#define MICROBROWSE_MICROBROWSE_FEATURE_KEYS_H_
+
+#include <string>
+#include <string_view>
+
+#include "text/snippet.h"
+
+namespace microbrowse {
+
+/// Positions are bucketed to control sparsity: buckets 0..kMaxPosBucket,
+/// with everything past the last bucket collapsed into it.
+inline constexpr int kMaxPosBucket = 7;
+/// Lines past the third are collapsed into line bucket 2.
+inline constexpr int kMaxLineBucket = 2;
+
+/// Bucketed position of a span (uses the span's first token).
+struct PositionKey {
+  int line = 0;    ///< 0..kMaxLineBucket
+  int bucket = 0;  ///< 0..kMaxPosBucket
+
+  friend bool operator==(const PositionKey& a, const PositionKey& b) {
+    return a.line == b.line && a.bucket == b.bucket;
+  }
+  friend bool operator<(const PositionKey& a, const PositionKey& b) {
+    return a.line != b.line ? a.line < b.line : a.bucket < b.bucket;
+  }
+};
+
+/// Buckets a raw (line, pos) location.
+PositionKey MakePositionKey(int line, int pos);
+
+/// Buckets a span's location.
+inline PositionKey MakePositionKey(const TermSpan& span) {
+  return MakePositionKey(span.line, span.pos);
+}
+
+/// A canonicalised key plus the sign its raw direction maps to.
+struct SignedKey {
+  std::string key;
+  double sign = 1.0;
+};
+
+/// "t:<text>".
+std::string TermKey(std::string_view text);
+
+/// "p:<line>:<bucket>".
+std::string TermPositionKey(const PositionKey& position);
+
+/// Positioned-term conjunction key "tp:<text>@<line>:<bucket>" — the
+/// sparse term-x-position features of model M2 (the coupled factorisation
+/// of Eq. 8/9 is introduced for the rewrite models; plain positioned term
+/// features conjoin text and location in one key).
+std::string TermConjunctionKey(std::string_view text, const PositionKey& position);
+
+/// Canonical rewrite key for raw direction `from` -> `to`; sign is -1 when
+/// the canonical order is the reverse of the raw order. A self-rewrite
+/// (from == to, a pure move) keeps sign +1.
+SignedKey RewriteKey(std::string_view from, std::string_view to);
+
+/// Ordered position-pair key "pp:<r>=><s>" for a rewrite whose R-side span
+/// sits at `r_pos` and S-side span at `s_pos` — Eq. 8's f(v_p, w_q) with
+/// p the position in R and q the position in S. The key is direction-
+/// sensitive: presenting the same pair in the opposite order produces the
+/// mirrored key, and the two learn consistent (approximately antisymmetric
+/// in effect) weights from the randomly-ordered training pairs.
+std::string RewritePositionKey(const PositionKey& r_pos, const PositionKey& s_pos);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_MICROBROWSE_FEATURE_KEYS_H_

@@ -1,0 +1,127 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "microbrowse/model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace microbrowse {
+
+ExaminationCurve ExaminationCurve::TopPlacement() {
+  return ExaminationCurve({0.95, 0.80, 0.22}, 0.90, 0.02);
+}
+
+ExaminationCurve ExaminationCurve::RhsPlacement() {
+  return ExaminationCurve({0.55, 0.44, 0.12}, 0.88, 0.02);
+}
+
+ExaminationCurve ExaminationCurve::Scaled(double factor) const {
+  ExaminationCurve out = *this;
+  for (double& base : out.line_bases_) {
+    base = std::clamp(base * factor, floor_, 1.0);
+  }
+  return out;
+}
+
+double ExaminationCurve::Probability(int line, int pos) const {
+  if (line_bases_.empty()) return floor_;
+  const size_t idx = std::min<size_t>(static_cast<size_t>(std::max(line, 0)),
+                                      line_bases_.size() - 1);
+  const double p = line_bases_[idx] * std::pow(pos_decay_, std::max(pos, 0));
+  return std::clamp(p, floor_, 1.0);
+}
+
+double MicroBrowsingModel::ExpectedClickProbability(int32_t query_id, const Snippet& snippet,
+                                                    const TermRelevance& relevance) const {
+  double product = 1.0;
+  for (int line = 0; line < snippet.num_lines(); ++line) {
+    const auto& tokens = snippet.line(line);
+    for (size_t pos = 0; pos < tokens.size(); ++pos) {
+      const double p = curve_.Probability(line, static_cast<int>(pos));
+      const double r = relevance.Relevance(query_id, tokens[pos]);
+      // E[r^v] with v ~ Bernoulli(p): p*r + (1-p)*1.
+      product *= 1.0 - p * (1.0 - r);
+    }
+  }
+  return std::clamp(base_ctr_ * product, 0.0, 1.0);
+}
+
+double MicroBrowsingModel::RelevanceGivenExamination(int32_t query_id, const Snippet& snippet,
+                                                     const ExaminationPattern& pattern,
+                                                     const TermRelevance& relevance) const {
+  assert(static_cast<int>(pattern.size()) == snippet.num_lines());
+  double product = 1.0;
+  for (int line = 0; line < snippet.num_lines(); ++line) {
+    const auto& tokens = snippet.line(line);
+    assert(pattern[line].size() == tokens.size());
+    for (size_t pos = 0; pos < tokens.size(); ++pos) {
+      if (pattern[line][pos]) {
+        product *= relevance.Relevance(query_id, tokens[pos]);
+      }
+    }
+  }
+  return product;
+}
+
+ExaminationPattern MicroBrowsingModel::SampleExaminations(const Snippet& snippet,
+                                                          Rng* rng) const {
+  ExaminationPattern pattern(snippet.num_lines());
+  for (int line = 0; line < snippet.num_lines(); ++line) {
+    const auto& tokens = snippet.line(line);
+    pattern[line].resize(tokens.size());
+    for (size_t pos = 0; pos < tokens.size(); ++pos) {
+      pattern[line][pos] =
+          rng->Bernoulli(curve_.Probability(line, static_cast<int>(pos))) ? 1 : 0;
+    }
+  }
+  return pattern;
+}
+
+bool MicroBrowsingModel::SampleClick(int32_t query_id, const Snippet& snippet,
+                                     const TermRelevance& relevance, Rng* rng) const {
+  const ExaminationPattern pattern = SampleExaminations(snippet, rng);
+  const double p = base_ctr_ * RelevanceGivenExamination(query_id, snippet, pattern, relevance);
+  return rng->Bernoulli(p);
+}
+
+std::vector<std::vector<double>> MicroBrowsingModel::ExaminationHeatmap(
+    int32_t query_id, const Snippet& snippet, const TermRelevance& relevance,
+    double attention_absorb) const {
+  std::vector<std::vector<double>> heatmap(snippet.num_lines());
+  double attention = 1.0;  // P(user is still scanning), reading order.
+  for (int line = 0; line < snippet.num_lines(); ++line) {
+    const auto& tokens = snippet.line(line);
+    heatmap[line].resize(tokens.size());
+    for (size_t pos = 0; pos < tokens.size(); ++pos) {
+      const double p = attention * curve_.Probability(line, static_cast<int>(pos));
+      heatmap[line][pos] = p;
+      if (attention_absorb > 0.0) {
+        attention *= 1.0 - attention_absorb * p *
+                               relevance.Relevance(query_id, tokens[pos]);
+      }
+    }
+  }
+  return heatmap;
+}
+
+double MicroBrowsingModel::ScorePair(int32_t query_id, const Snippet& r,
+                                     const ExaminationPattern& vr, const Snippet& s,
+                                     const ExaminationPattern& vs,
+                                     const TermRelevance& relevance) const {
+  auto half = [&](const Snippet& snip, const ExaminationPattern& pattern) {
+    double sum = 0.0;
+    for (int line = 0; line < snip.num_lines(); ++line) {
+      const auto& tokens = snip.line(line);
+      for (size_t pos = 0; pos < tokens.size(); ++pos) {
+        if (pattern[line][pos]) {
+          sum += std::log(std::max(1e-12, relevance.Relevance(query_id, tokens[pos])));
+        }
+      }
+    }
+    return sum;
+  };
+  return half(r, vr) - half(s, vs);
+}
+
+}  // namespace microbrowse

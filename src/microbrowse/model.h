@@ -1,0 +1,158 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The micro-browsing model of Section III: within one snippet the user
+// examines the term at (line, pos) with probability p(line, pos) and judges
+// relevance only from the examined terms,
+//   Pr(R | q) = prod_i r_i ^ v_i                                  (Eq. 3)
+// with r_i the term's relevance and v_i the examination indicator. The
+// pairwise score between two snippets is the log-probability ratio
+//   score(R -> S | q) = sum_i v_i log r_i - sum_j w_j log s_j.     (Eq. 5)
+//
+// This header provides (a) the examination curve abstraction, (b) a term
+// relevance interface, and (c) the combined generative model used both to
+// *define* expected snippet CTR analytically and to *sample* examinations
+// and clicks. The corpus generator drives this model as ground truth; the
+// classifier of Section IV never sees these parameters.
+
+#ifndef MICROBROWSE_MICROBROWSE_MODEL_H_
+#define MICROBROWSE_MICROBROWSE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "text/snippet.h"
+
+namespace microbrowse {
+
+/// Examination probability per (line, position): the probability that a
+/// user reading the snippet actually reads the token at that micro-position.
+/// Parameterised as p(line, pos) = line_base[line] * pos_decay ^ pos,
+/// clamped to [floor, 1]. Line bases decrease with line number and decay
+/// < 1 makes later words in a line less likely to be read — the shape
+/// Figure 3 of the paper recovers from data.
+class ExaminationCurve {
+ public:
+  ExaminationCurve() = default;
+
+  /// `line_bases[l]` is the examination probability of the first token of
+  /// line l; tokens at position p are examined with probability
+  /// line_bases[l] * pos_decay^p (>= floor). Lines beyond the vector reuse
+  /// the last entry.
+  ExaminationCurve(std::vector<double> line_bases, double pos_decay, double floor = 0.02)
+      : line_bases_(std::move(line_bases)), pos_decay_(pos_decay), floor_(floor) {}
+
+  /// The default 3-line curve used for TOP-placement ground truth.
+  static ExaminationCurve TopPlacement();
+
+  /// A weaker curve for right-hand-side placement (users examine less).
+  static ExaminationCurve RhsPlacement();
+
+  /// Returns a copy with every probability scaled by `factor` (still
+  /// clamped to [floor, 1]).
+  ExaminationCurve Scaled(double factor) const;
+
+  /// Examination probability of token `pos` (0-based) of line `line`.
+  double Probability(int line, int pos) const;
+
+  const std::vector<double>& line_bases() const { return line_bases_; }
+  double pos_decay() const { return pos_decay_; }
+
+ private:
+  std::vector<double> line_bases_{0.9, 0.65, 0.45};
+  double pos_decay_ = 0.82;
+  double floor_ = 0.02;
+};
+
+/// Supplies the per-term relevance r_i in Eq. 3. Implementations may key on
+/// the query; the classifier-side code never implements this (relevance is
+/// latent there), only ground-truth generators do.
+class TermRelevance {
+ public:
+  virtual ~TermRelevance() = default;
+
+  /// Relevance in (0, 1] of `token` for `query_id`.
+  virtual double Relevance(int32_t query_id, std::string_view token) const = 0;
+};
+
+/// A trivial TermRelevance backed by a token -> relevance map with a
+/// default for unknown tokens. Query-independent; used in tests.
+class MapRelevance : public TermRelevance {
+ public:
+  explicit MapRelevance(double default_relevance = 0.9)
+      : default_relevance_(default_relevance) {}
+
+  void Set(std::string token, double relevance) { map_[std::move(token)] = relevance; }
+
+  double Relevance(int32_t /*query_id*/, std::string_view token) const override {
+    auto it = map_.find(std::string(token));
+    return it != map_.end() ? it->second : default_relevance_;
+  }
+
+ private:
+  double default_relevance_;
+  std::unordered_map<std::string, double> map_;
+};
+
+/// A sampled examination pattern: v[line][pos] in {0,1} per token.
+using ExaminationPattern = std::vector<std::vector<uint8_t>>;
+
+/// The generative micro-browsing model (Eq. 3) over snippets.
+class MicroBrowsingModel {
+ public:
+  /// `base_ctr` multiplies the relevance product: it models the query
+  /// intent / position-on-page effect that Eq. 3 leaves implicit (with no
+  /// examined terms the equation's empty product is 1).
+  MicroBrowsingModel(ExaminationCurve curve, double base_ctr = 0.08)
+      : curve_(std::move(curve)), base_ctr_(base_ctr) {}
+
+  /// Expected click probability of `snippet` for `query_id`:
+  ///   base_ctr * prod_i (1 - p_i * (1 - r_i)),
+  /// the closed-form expectation of Eq. 3 over independent examinations.
+  double ExpectedClickProbability(int32_t query_id, const Snippet& snippet,
+                                  const TermRelevance& relevance) const;
+
+  /// Pr(R|q) for a *fixed* examination pattern — Eq. 3 verbatim (without
+  /// base_ctr). `pattern` must match the snippet's shape.
+  double RelevanceGivenExamination(int32_t query_id, const Snippet& snippet,
+                                   const ExaminationPattern& pattern,
+                                   const TermRelevance& relevance) const;
+
+  /// Samples which tokens the user examines.
+  ExaminationPattern SampleExaminations(const Snippet& snippet, Rng* rng) const;
+
+  /// Samples a click: draws an examination pattern, then clicks with
+  /// probability base_ctr * Pr(R|q).
+  bool SampleClick(int32_t query_id, const Snippet& snippet, const TermRelevance& relevance,
+                   Rng* rng) const;
+
+  /// Pairwise log score of Eq. 5 for fixed examination patterns.
+  double ScorePair(int32_t query_id, const Snippet& r, const ExaminationPattern& vr,
+                   const Snippet& s, const ExaminationPattern& vs,
+                   const TermRelevance& relevance) const;
+
+  /// Expected examination probability of every token — the model's
+  /// prediction of an eye-tracking heat map (the paper's Section VI
+  /// proposes exactly this comparison). With `attention_absorb` > 0 an
+  /// intra-snippet cascade applies: after examining a token the user stops
+  /// reading with probability absorb * p * r, so salient early tokens dim
+  /// everything after them in reading order.
+  std::vector<std::vector<double>> ExaminationHeatmap(int32_t query_id, const Snippet& snippet,
+                                                      const TermRelevance& relevance,
+                                                      double attention_absorb = 0.0) const;
+
+  const ExaminationCurve& curve() const { return curve_; }
+  double base_ctr() const { return base_ctr_; }
+
+ private:
+  ExaminationCurve curve_;
+  double base_ctr_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_MICROBROWSE_MODEL_H_

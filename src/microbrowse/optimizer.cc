@@ -1,0 +1,187 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "microbrowse/optimizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace microbrowse {
+
+namespace {
+
+/// One point in the search space: a phrase index per block plus the
+/// arrangement (block order, how many blocks line 1 takes, and whether the
+/// first block rides on the brand line).
+struct Assignment {
+  std::vector<size_t> phrase;      ///< phrase[b] indexes candidates.blocks[b].
+  std::vector<size_t> order;       ///< Permutation of block indices.
+  int line1_blocks = 1;            ///< Blocks on line 1 (after optional line-0 block).
+  bool block_on_line0 = false;     ///< First ordered block appended to the brand line.
+};
+
+Snippet Materialize(const SnippetCandidates& candidates, const Assignment& assignment) {
+  std::vector<std::vector<std::string>> lines(3);
+  for (const std::string& token : SplitWhitespace(candidates.brand)) {
+    lines[0].push_back(token);
+  }
+  size_t index = 0;
+  auto emit = [&](int line) {
+    const size_t block = assignment.order[index++];
+    for (const std::string& token :
+         SplitWhitespace(candidates.blocks[block][assignment.phrase[block]])) {
+      lines[line].push_back(token);
+    }
+  };
+  const size_t total = assignment.order.size();
+  if (assignment.block_on_line0 && index < total) emit(0);
+  for (int i = 0; i < assignment.line1_blocks && index < total; ++i) emit(1);
+  while (index < total) emit(2);
+  return Snippet::FromTokens(std::move(lines));
+}
+
+/// Scores an example with warm-start fallback for features interned after
+/// training: ids beyond the trained weight vectors use their statistics-
+/// database initialisation instead of silently scoring zero.
+double ScoreWithFallback(const SnippetClassifierModel& model, const FeatureRegistry& t_registry,
+                         const FeatureRegistry& p_registry,
+                         const std::vector<CoupledOccurrence>& occurrences) {
+  double score = model.bias;
+  for (const CoupledOccurrence& occ : occurrences) {
+    const double t = occ.t < model.t_weights.size() ? model.t_weights[occ.t]
+                                                    : t_registry.InitialWeightOf(occ.t);
+    double p = 1.0;
+    if (occ.p != kInvalidFeatureId) {
+      p = occ.p < model.p_weights.size() ? model.p_weights[occ.p]
+                                         : p_registry.InitialWeightOf(occ.p);
+    }
+    score += occ.sign * p * t;
+  }
+  return score;
+}
+
+/// Shared mutable evaluation context: registries grow as new candidate
+/// creatives introduce unseen features.
+struct Evaluator {
+  const FeatureStatsDb& db;
+  const ClassifierConfig& config;
+  const SnippetClassifierModel& model;
+  FeatureRegistry t_registry;
+  FeatureRegistry p_registry;
+
+  double Margin(const Snippet& challenger, const Snippet& incumbent) {
+    std::vector<CoupledOccurrence> occurrences;
+    ExtractPairOccurrences(challenger, incumbent, db, config, &t_registry, &p_registry,
+                           &occurrences);
+    return ScoreWithFallback(model, t_registry, p_registry, occurrences);
+  }
+};
+
+std::vector<Assignment> EnumerateArrangements(const Assignment& base, size_t num_blocks) {
+  std::vector<Assignment> arrangements;
+  std::vector<size_t> order(num_blocks);
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    for (int line0 = 0; line0 <= 1; ++line0) {
+      const int placeable = static_cast<int>(num_blocks) - line0;
+      for (int line1 = placeable > 0 ? 1 : 0; line1 <= placeable; ++line1) {
+        Assignment arrangement = base;
+        arrangement.order = order;
+        arrangement.block_on_line0 = line0 == 1;
+        arrangement.line1_blocks = line1;
+        arrangements.push_back(std::move(arrangement));
+      }
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return arrangements;
+}
+
+}  // namespace
+
+double PredictPairMargin(const Snippet& challenger, const Snippet& incumbent,
+                         const FeatureStatsDb& db, const ClassifierConfig& config,
+                         const SnippetClassifierModel& model,
+                         const FeatureRegistry& t_registry,
+                         const FeatureRegistry& p_registry) {
+  Evaluator evaluator{db, config, model, t_registry, p_registry};
+  return evaluator.Margin(challenger, incumbent);
+}
+
+Result<OptimizedSnippet> OptimizeSnippet(const SnippetCandidates& candidates,
+                                         const Snippet& reference, const FeatureStatsDb& db,
+                                         const ClassifierConfig& config,
+                                         const SnippetClassifierModel& model,
+                                         const FeatureRegistry& t_registry,
+                                         const FeatureRegistry& p_registry,
+                                         const OptimizeOptions& options) {
+  if (candidates.blocks.empty() || candidates.blocks.size() > 4) {
+    return Status::InvalidArgument("OptimizeSnippet: need 1..4 candidate blocks");
+  }
+  for (const auto& block : candidates.blocks) {
+    if (block.empty()) {
+      return Status::InvalidArgument("OptimizeSnippet: empty candidate block");
+    }
+  }
+  if (options.beam_width < 1) {
+    return Status::InvalidArgument("OptimizeSnippet: beam_width must be positive");
+  }
+
+  Evaluator evaluator{db, config, model, t_registry, p_registry};
+  const size_t num_blocks = candidates.blocks.size();
+  Rng rng(0xbead);
+
+  Assignment best;
+  double best_margin = -1e300;
+
+  // Random-restart coordinate ascent: each restart draws an assignment,
+  // then alternates "best phrase per block" and "best arrangement" sweeps.
+  for (int restart = 0; restart < options.beam_width; ++restart) {
+    Assignment current;
+    current.phrase.resize(num_blocks);
+    current.order.resize(num_blocks);
+    std::iota(current.order.begin(), current.order.end(), 0);
+    for (size_t b = 0; b < num_blocks; ++b) {
+      current.phrase[b] = rng.NextIndex(candidates.blocks[b].size());
+    }
+    rng.Shuffle(current.order);
+    current.line1_blocks = 1 + static_cast<int>(rng.NextIndex(num_blocks));
+
+    double current_margin = evaluator.Margin(Materialize(candidates, current), reference);
+    for (int round = 0; round < std::max(1, options.refine_rounds); ++round) {
+      // Phrase sweep.
+      for (size_t b = 0; b < num_blocks; ++b) {
+        for (size_t choice = 0; choice < candidates.blocks[b].size(); ++choice) {
+          if (choice == current.phrase[b]) continue;
+          Assignment trial = current;
+          trial.phrase[b] = choice;
+          const double margin = evaluator.Margin(Materialize(candidates, trial), reference);
+          if (margin > current_margin) {
+            current = trial;
+            current_margin = margin;
+          }
+        }
+      }
+      // Arrangement sweep.
+      for (const Assignment& trial : EnumerateArrangements(current, num_blocks)) {
+        const double margin = evaluator.Margin(Materialize(candidates, trial), reference);
+        if (margin > current_margin) {
+          current = trial;
+          current_margin = margin;
+        }
+      }
+    }
+    if (current_margin > best_margin) {
+      best = current;
+      best_margin = current_margin;
+    }
+  }
+
+  OptimizedSnippet out;
+  out.snippet = Materialize(candidates, best);
+  out.margin_over_reference = best_margin;
+  return out;
+}
+
+}  // namespace microbrowse

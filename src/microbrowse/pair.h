@@ -1,0 +1,56 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Input records of the snippet-classification framework (Fig. 1 of the
+// paper): snippets observed with impression/click counts and serve weights,
+// grouped into same-adgroup pairs whose CTRs differ.
+
+#ifndef MICROBROWSE_MICROBROWSE_PAIR_H_
+#define MICROBROWSE_MICROBROWSE_PAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/snippet.h"
+
+namespace microbrowse {
+
+/// One snippet (ad creative) with its observed serving statistics.
+struct SnippetObservation {
+  Snippet snippet;
+  int64_t impressions = 0;
+  int64_t clicks = 0;
+  /// Serve weight: CTR normalised by the adgroup's mean CTR (Section V-B).
+  double serve_weight = 1.0;
+
+  /// Observed click-through rate (0 when never shown).
+  double ctr() const {
+    return impressions > 0 ? static_cast<double>(clicks) / static_cast<double>(impressions)
+                           : 0.0;
+  }
+};
+
+/// A pair of creatives from the same adgroup / keyword whose observed CTRs
+/// differ significantly. By construction `r.serve_weight > s.serve_weight`
+/// is NOT guaranteed — the pair is stored in corpus order and consumers use
+/// the serve weights to derive labels.
+struct SnippetPair {
+  int64_t adgroup_id = 0;
+  int32_t keyword_id = 0;  ///< Doubles as the query id for the pair.
+  SnippetObservation r;
+  SnippetObservation s;
+
+  /// Serve-weight difference sw(R) - sw(S).
+  double sw_diff() const { return r.serve_weight - s.serve_weight; }
+
+  /// +1 if sw-diff positive else -1 (the paper's delta-sw variable).
+  int delta_sw() const { return sw_diff() >= 0.0 ? +1 : -1; }
+};
+
+/// The pair corpus fed to both pipeline phases.
+struct PairCorpus {
+  std::vector<SnippetPair> pairs;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_MICROBROWSE_PAIR_H_

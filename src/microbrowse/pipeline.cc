@@ -1,0 +1,153 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "microbrowse/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "microbrowse/feature_keys.h"
+#include "ml/cross_validation.h"
+
+namespace microbrowse {
+
+namespace {
+
+/// Evaluates `model` on the test indices, appending scored labels.
+void ScoreFold(const CoupledDataset& dataset, const SnippetClassifierModel& model,
+               const std::vector<size_t>& test_indices, std::vector<ScoredLabel>* scored) {
+  for (size_t idx : test_indices) {
+    const CoupledExample& example = dataset.examples[idx];
+    scored->push_back(ScoredLabel{model.Score(example), example.label > 0.5});
+  }
+}
+
+}  // namespace
+
+Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
+                                            const ClassifierConfig& config,
+                                            const PipelineOptions& options) {
+  if (corpus.pairs.empty()) {
+    return Status::InvalidArgument("RunPairClassificationCv: empty pair corpus");
+  }
+  WallTimer timer;
+  ModelReport report;
+  report.model_name = config.name;
+
+  // Labels (and the fold split) depend only on the corpus and seed, so the
+  // shared and per-fold paths agree on which pairs land in which fold.
+  std::vector<bool> labels;
+  labels.reserve(corpus.pairs.size());
+  {
+    Rng rng(options.seed);
+    for (const SnippetPair& pair : corpus.pairs) {
+      const bool swap = rng.Bernoulli(0.5);
+      const double first_sw = swap ? pair.s.serve_weight : pair.r.serve_weight;
+      const double second_sw = swap ? pair.r.serve_weight : pair.s.serve_weight;
+      labels.push_back(first_sw > second_sw);
+    }
+  }
+  Result<std::vector<CvFold>> folds_result =
+      options.group_folds_by_adgroup
+          ? [&] {
+              std::vector<int64_t> groups;
+              groups.reserve(corpus.pairs.size());
+              for (const SnippetPair& pair : corpus.pairs) groups.push_back(pair.adgroup_id);
+              return MakeGroupedKFolds(groups, options.folds, options.seed ^ 0x5f5f5f5fULL);
+            }()
+          : MakeStratifiedKFolds(labels, options.folds, options.seed ^ 0x5f5f5f5fULL);
+  if (!folds_result.ok()) return folds_result.status();
+  const std::vector<CvFold>& folds = *folds_result;
+
+  std::vector<ScoredLabel> all_scored;
+  all_scored.reserve(corpus.pairs.size());
+
+  if (!options.per_fold_stats) {
+    const FeatureStatsDb db = BuildFeatureStats(corpus, options.stats);
+    const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
+    report.num_t_features = dataset.t_registry.size();
+    report.num_p_features = dataset.p_registry.size();
+    // Folds are independent given the shared dataset; train them across
+    // the pool and splice the per-fold scores back in fold order so the
+    // result is identical for any thread count.
+    std::vector<std::vector<ScoredLabel>> fold_scores(folds.size());
+    std::vector<Status> fold_status(folds.size());
+    {
+      ThreadPool pool(static_cast<size_t>(std::max(1, options.num_threads)));
+      pool.ParallelFor(folds.size(), [&](size_t f) {
+        auto model = TrainSnippetClassifier(dataset, config, folds[f].train_indices);
+        if (!model.ok()) {
+          fold_status[f] = model.status();
+          return;
+        }
+        ScoreFold(dataset, *model, folds[f].test_indices, &fold_scores[f]);
+      });
+    }
+    for (size_t f = 0; f < folds.size(); ++f) {
+      MB_RETURN_IF_ERROR(fold_status[f]);
+      all_scored.insert(all_scored.end(), fold_scores[f].begin(), fold_scores[f].end());
+    }
+  } else {
+    for (const CvFold& fold : folds) {
+      PairCorpus train_corpus;
+      train_corpus.pairs.reserve(fold.train_indices.size());
+      for (size_t idx : fold.train_indices) train_corpus.pairs.push_back(corpus.pairs[idx]);
+      const FeatureStatsDb db = BuildFeatureStats(train_corpus, options.stats);
+      const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
+      report.num_t_features = dataset.t_registry.size();
+      report.num_p_features = dataset.p_registry.size();
+      auto model = TrainSnippetClassifier(dataset, config, fold.train_indices);
+      if (!model.ok()) return model.status();
+      ScoreFold(dataset, *model, fold.test_indices, &all_scored);
+    }
+  }
+
+  report.metrics = ComputeBinaryMetrics(all_scored, /*threshold=*/0.0);
+  report.auc = ComputeAuc(all_scored);
+  report.train_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+Result<PositionWeightReport> LearnPositionWeights(const PairCorpus& corpus,
+                                                  const ClassifierConfig& config,
+                                                  const PipelineOptions& options) {
+  if (!config.use_position) {
+    return Status::InvalidArgument("LearnPositionWeights: config must use positions");
+  }
+  if (corpus.pairs.empty()) {
+    return Status::InvalidArgument("LearnPositionWeights: empty pair corpus");
+  }
+  const FeatureStatsDb db = BuildFeatureStats(corpus, options.stats);
+  CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
+  // Anchor the position factor at zero rather than at its odds-ratio
+  // initialisation: the L2 penalty of the P phase then shrinks positions
+  // with little evidence toward "not examined" instead of toward the
+  // neutral multiplier, which is the interpretable convention for the
+  // learned-weights plot (positions the data says nothing about read as
+  // invisible, exactly like Figure 3 of the paper).
+  for (FeatureId id = 0; id < dataset.p_registry.size(); ++id) {
+    dataset.p_registry.SetInitialWeight(id, 0.0);
+  }
+  auto model = TrainSnippetClassifier(dataset, config);
+  if (!model.ok()) return model.status();
+
+  PositionWeightReport report;
+  report.term_position_weights.assign(
+      kMaxLineBucket + 1,
+      std::vector<double>(kMaxPosBucket + 1, std::numeric_limits<double>::quiet_NaN()));
+  for (int line = 0; line <= kMaxLineBucket; ++line) {
+    for (int bucket = 0; bucket <= kMaxPosBucket; ++bucket) {
+      const FeatureId id =
+          dataset.p_registry.Find(TermPositionKey(PositionKey{line, bucket}));
+      if (id != kInvalidFeatureId && id < model->p_weights.size()) {
+        report.term_position_weights[line][bucket] = model->p_weights[id];
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace microbrowse

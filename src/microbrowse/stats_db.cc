@@ -1,0 +1,104 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "microbrowse/stats_db.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "microbrowse/feature_keys.h"
+#include "microbrowse/rewrite.h"
+#include "text/ngram.h"
+
+namespace microbrowse {
+
+namespace {
+
+/// Set of n-gram texts in a snippet.
+std::unordered_set<std::string> NGramTexts(const Snippet& snippet, int max_ngram) {
+  std::unordered_set<std::string> texts;
+  for (const TermSpan& span : ExtractNGrams(snippet, max_ngram)) {
+    texts.insert(span.text);
+  }
+  return texts;
+}
+
+/// Records term and term-position-conjunction observations for every
+/// n-gram of `snippet` whose text is absent from `other_texts`.
+void ObserveUniqueTerms(const Snippet& snippet,
+                        const std::unordered_set<std::string>& other_texts, int max_ngram,
+                        int delta, FeatureStatsDb* out) {
+  std::unordered_set<std::string> seen;
+  for (const TermSpan& span : ExtractNGrams(snippet, max_ngram)) {
+    if (other_texts.count(span.text) != 0) continue;
+    // One observation per distinct text for the plain term key (mirroring
+    // the set semantics of the original implementation); conjunctions are
+    // observed per occurrence since the position is part of the key.
+    if (seen.insert(span.text).second) {
+      out->AddObservation(TermKey(span.text), delta);
+    }
+    out->AddObservation(TermConjunctionKey(span.text, MakePositionKey(span)), delta);
+  }
+}
+
+/// One accumulation pass over the corpus. `db` (nullable) guides rewrite
+/// matching; results go into `out`.
+void AccumulatePass(const PairCorpus& corpus, const BuildStatsOptions& options,
+                    const FeatureStatsDb* matching_db, FeatureStatsDb* out) {
+  RewriteMatchOptions match_options;
+  match_options.max_ngram = options.max_ngram;
+
+  for (const SnippetPair& pair : corpus.pairs) {
+    const int delta = pair.delta_sw();
+
+    // --- Term statistics: n-grams unique to one side (plain and
+    // position-conjoined variants).
+    const auto r_texts = NGramTexts(pair.r.snippet, options.max_ngram);
+    const auto s_texts = NGramTexts(pair.s.snippet, options.max_ngram);
+    ObserveUniqueTerms(pair.r.snippet, s_texts, options.max_ngram, delta, out);
+    ObserveUniqueTerms(pair.s.snippet, r_texts, options.max_ngram, -delta, out);
+
+    // --- Rewrite and position statistics from the diff decomposition.
+    const PairDiff diff =
+        MatchRewrites(pair.r.snippet, pair.s.snippet, matching_db, match_options);
+    for (const RewriteMatch& rewrite : diff.rewrites) {
+      // Raw direction: S's phrase was rewritten into R's phrase.
+      const SignedKey key = RewriteKey(rewrite.s_span.text, rewrite.r_span.text);
+      out->AddObservation(key.key, static_cast<int>(key.sign) * delta);
+
+      const PositionKey r_pos = MakePositionKey(rewrite.r_span);
+      const PositionKey s_pos = MakePositionKey(rewrite.s_span);
+      if (!(r_pos == s_pos)) {
+        // Ordered position-pair statistic (source = S side, target = R
+        // side): empirical probability that a rewrite landing at r_pos
+        // coincides with R being the better creative.
+        out->AddObservation(RewritePositionKey(r_pos, s_pos), delta);
+      }
+    }
+    // Term-position statistics from the unmatched residue.
+    for (const TermSpan& span : diff.r_only) {
+      out->AddObservation(TermPositionKey(MakePositionKey(span)), delta);
+    }
+    for (const TermSpan& span : diff.s_only) {
+      out->AddObservation(TermPositionKey(MakePositionKey(span)), -delta);
+    }
+  }
+}
+
+}  // namespace
+
+FeatureStatsDb BuildFeatureStats(const PairCorpus& corpus, const BuildStatsOptions& options) {
+  FeatureStatsDb db;
+  db.set_smoothing(options.smoothing);
+  db.set_min_count(options.min_count);
+  const int passes = options.matching_passes < 1 ? 1 : options.matching_passes;
+  for (int pass = 0; pass < passes; ++pass) {
+    FeatureStatsDb next;
+    next.set_smoothing(options.smoothing);
+    next.set_min_count(options.min_count);
+    AccumulatePass(corpus, options, pass == 0 ? nullptr : &db, &next);
+    db = std::move(next);
+  }
+  return db;
+}
+
+}  // namespace microbrowse

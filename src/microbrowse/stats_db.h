@@ -1,0 +1,123 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The feature-statistics database of Section V-C. For every feature (term,
+// rewrite, term position, rewrite position pair) it accumulates how often
+// the feature's presence coincided with a positive serve-weight difference
+// (delta-sw = +1) across the pair corpus; the Laplace-smoothed odds ratio
+// of that probability is the feature's statistic, and its log is the warm-
+// start weight for the classifier.
+
+#ifndef MICROBROWSE_MICROBROWSE_STATS_DB_H_
+#define MICROBROWSE_MICROBROWSE_STATS_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/math_util.h"
+#include "microbrowse/pair.h"
+
+namespace microbrowse {
+
+/// Counts for one feature key.
+struct FeatureStat {
+  int64_t positive = 0;  ///< Observations with delta-sw = +1.
+  int64_t total = 0;
+
+  /// Laplace-smoothed P(delta-sw = +1).
+  double SmoothedP(double alpha = 1.0) const {
+    return (static_cast<double>(positive) + alpha * 0.5) /
+           (static_cast<double>(total) + alpha);
+  }
+  /// Odds ratio p / (1 - p) of the smoothed probability — the statistic the
+  /// paper records.
+  double OddsRatio(double alpha = 1.0) const {
+    const double p = SmoothedP(alpha);
+    return p / (1.0 - p);
+  }
+  /// log(p / (1 - p)); the classifier warm-start weight.
+  double LogOdds(double alpha = 1.0) const { return Logit(SmoothedP(alpha)); }
+};
+
+/// Keyed store of feature statistics. Keys come from feature_keys.h, so
+/// term / rewrite / position statistics share one namespace-prefixed map.
+class FeatureStatsDb {
+ public:
+  FeatureStatsDb() = default;
+
+  /// Records one observation: `delta_sw` must be +1 or -1; -1 increments
+  /// only the total (the feature coincided with a negative difference).
+  void AddObservation(const std::string& key, int delta_sw) {
+    FeatureStat& stat = stats_[key];
+    ++stat.total;
+    if (delta_sw > 0) ++stat.positive;
+  }
+
+  /// Stat for `key`, or nullptr when unseen.
+  const FeatureStat* Find(std::string_view key) const {
+    auto it = stats_.find(std::string(key));
+    return it != stats_.end() ? &it->second : nullptr;
+  }
+
+  /// Number of observations of `key` (0 when unseen).
+  int64_t Count(std::string_view key) const {
+    const FeatureStat* stat = Find(key);
+    return stat != nullptr ? stat->total : 0;
+  }
+
+  /// Warm-start weight: log odds of `key`; 0 (neutral) for unseen features
+  /// and for features below the min-count support threshold.
+  double LogOdds(std::string_view key) const {
+    const FeatureStat* stat = Find(key);
+    return stat != nullptr && stat->total >= min_count_ ? stat->LogOdds(smoothing_) : 0.0;
+  }
+
+  /// Odds ratio of `key`; 1 (neutral) for unseen or under-supported
+  /// features.
+  double OddsRatio(std::string_view key) const {
+    const FeatureStat* stat = Find(key);
+    return stat != nullptr && stat->total >= min_count_ ? stat->OddsRatio(smoothing_) : 1.0;
+  }
+
+  /// Laplace smoothing pseudo-count used by the accessors.
+  void set_smoothing(double alpha) { smoothing_ = alpha; }
+  double smoothing() const { return smoothing_; }
+
+  /// Features observed fewer than `n` times report neutral statistics from
+  /// LogOdds / OddsRatio. Rare features — in particular n-grams spanning a
+  /// rewrite and its surrounding context — are near-unique to single
+  /// adgroups, so their raw statistics memorise individual outcomes rather
+  /// than estimate anything.
+  void set_min_count(int64_t n) { min_count_ = n; }
+  int64_t min_count() const { return min_count_; }
+
+  size_t size() const { return stats_.size(); }
+  const std::unordered_map<std::string, FeatureStat>& stats() const { return stats_; }
+
+ private:
+  double smoothing_ = 1.0;
+  int64_t min_count_ = 0;
+  std::unordered_map<std::string, FeatureStat> stats_;
+};
+
+/// Statistics-builder configuration.
+struct BuildStatsOptions {
+  int max_ngram = 3;
+  double smoothing = 1.0;
+  /// Support threshold installed on the database (see
+  /// FeatureStatsDb::set_min_count).
+  int64_t min_count = 6;
+  /// Matching passes: pass 1 matches rewrites without a database (exact
+  /// text + positional heuristics); pass >= 2 re-matches with the previous
+  /// pass's database, sharpening phrase boundaries (Section IV-A).
+  int matching_passes = 2;
+};
+
+/// Builds the feature-statistics database from a pair corpus (phase one of
+/// the snippet-classification framework, Fig. 1).
+FeatureStatsDb BuildFeatureStats(const PairCorpus& corpus, const BuildStatsOptions& options = {});
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_MICROBROWSE_STATS_DB_H_

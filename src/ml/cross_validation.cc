@@ -1,0 +1,106 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace microbrowse {
+
+namespace {
+
+/// Builds folds from a permutation by dealing indices round-robin into k
+/// test sets.
+std::vector<CvFold> FoldsFromPermutation(const std::vector<size_t>& permutation, int k) {
+  std::vector<std::vector<size_t>> test_sets(k);
+  for (size_t i = 0; i < permutation.size(); ++i) {
+    test_sets[i % static_cast<size_t>(k)].push_back(permutation[i]);
+  }
+  std::vector<CvFold> folds(k);
+  for (int f = 0; f < k; ++f) {
+    folds[f].test_indices = test_sets[f];
+    for (int other = 0; other < k; ++other) {
+      if (other == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(), test_sets[other].begin(),
+                                    test_sets[other].end());
+    }
+    std::sort(folds[f].train_indices.begin(), folds[f].train_indices.end());
+    std::sort(folds[f].test_indices.begin(), folds[f].test_indices.end());
+  }
+  return folds;
+}
+
+}  // namespace
+
+Result<std::vector<CvFold>> MakeKFolds(size_t n, int k, uint64_t seed) {
+  if (k < 2) return Status::InvalidArgument("MakeKFolds: k must be >= 2");
+  if (static_cast<size_t>(k) > n) return Status::InvalidArgument("MakeKFolds: k exceeds n");
+  std::vector<size_t> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(permutation);
+  return FoldsFromPermutation(permutation, k);
+}
+
+Result<std::vector<CvFold>> MakeStratifiedKFolds(const std::vector<bool>& labels, int k,
+                                                 uint64_t seed) {
+  if (k < 2) return Status::InvalidArgument("MakeStratifiedKFolds: k must be >= 2");
+  if (static_cast<size_t>(k) > labels.size()) {
+    return Status::InvalidArgument("MakeStratifiedKFolds: k exceeds n");
+  }
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] ? positives : negatives).push_back(i);
+  }
+  Rng rng(seed);
+  rng.Shuffle(positives);
+  rng.Shuffle(negatives);
+  // Interleave the shuffled strata so round-robin dealing preserves the
+  // class ratio in every fold.
+  std::vector<size_t> permutation;
+  permutation.reserve(labels.size());
+  permutation.insert(permutation.end(), positives.begin(), positives.end());
+  permutation.insert(permutation.end(), negatives.begin(), negatives.end());
+  return FoldsFromPermutation(permutation, k);
+}
+
+Result<std::vector<CvFold>> MakeGroupedKFolds(const std::vector<int64_t>& group_ids, int k,
+                                              uint64_t seed) {
+  if (k < 2) return Status::InvalidArgument("MakeGroupedKFolds: k must be >= 2");
+  // Collect distinct groups with their member indices.
+  std::unordered_map<int64_t, std::vector<size_t>> members;
+  std::vector<int64_t> groups;
+  for (size_t i = 0; i < group_ids.size(); ++i) {
+    auto [it, inserted] = members.try_emplace(group_ids[i]);
+    if (inserted) groups.push_back(group_ids[i]);
+    it->second.push_back(i);
+  }
+  if (groups.size() < static_cast<size_t>(k)) {
+    return Status::InvalidArgument("MakeGroupedKFolds: fewer groups than folds");
+  }
+  Rng rng(seed);
+  rng.Shuffle(groups);
+
+  std::vector<std::vector<size_t>> test_sets(k);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    auto& test = test_sets[g % static_cast<size_t>(k)];
+    const auto& idx = members[groups[g]];
+    test.insert(test.end(), idx.begin(), idx.end());
+  }
+  std::vector<CvFold> folds(k);
+  for (int f = 0; f < k; ++f) {
+    folds[f].test_indices = test_sets[f];
+    for (int other = 0; other < k; ++other) {
+      if (other == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(), test_sets[other].begin(),
+                                    test_sets[other].end());
+    }
+    std::sort(folds[f].train_indices.begin(), folds[f].train_indices.end());
+    std::sort(folds[f].test_indices.begin(), folds[f].test_indices.end());
+  }
+  return folds;
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,42 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// K-fold cross-validation splits. The paper's evaluation is standard
+// 10-fold CV (Section V-D.2).
+
+#ifndef MICROBROWSE_ML_CROSS_VALIDATION_H_
+#define MICROBROWSE_ML_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace microbrowse {
+
+/// Index sets for one CV fold.
+struct CvFold {
+  std::vector<size_t> train_indices;
+  std::vector<size_t> test_indices;
+};
+
+/// Produces `k` folds over `n` examples after a seeded shuffle. Every index
+/// appears in exactly one test set; fold sizes differ by at most one.
+/// Requires 2 <= k <= n.
+Result<std::vector<CvFold>> MakeKFolds(size_t n, int k, uint64_t seed);
+
+/// Stratified variant: class proportions (given by `labels`, size n) are
+/// preserved within each test fold.
+Result<std::vector<CvFold>> MakeStratifiedKFolds(const std::vector<bool>& labels, int k,
+                                                 uint64_t seed);
+
+/// Grouped variant: examples sharing a group id always land in the same
+/// fold (e.g., creative pairs from one adgroup), preventing within-group
+/// memorisation from leaking into the test folds. Requires at least k
+/// distinct groups.
+Result<std::vector<CvFold>> MakeGroupedKFolds(const std::vector<int64_t>& group_ids, int k,
+                                              uint64_t seed);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_ML_CROSS_VALIDATION_H_

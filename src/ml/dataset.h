@@ -1,0 +1,53 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Labeled example containers for binary classification.
+
+#ifndef MICROBROWSE_ML_DATASET_H_
+#define MICROBROWSE_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/sparse_vector.h"
+
+namespace microbrowse {
+
+/// One binary-classification example.
+struct Example {
+  SparseVector features;
+  double label = 0.0;   ///< 0.0 or 1.0.
+  double weight = 1.0;  ///< Importance weight.
+  /// Fixed additive contribution to the example's logit, untouched by
+  /// training. Used by the coupled-LR phases, where the frozen factor's
+  /// bias enters as a constant.
+  double offset = 0.0;
+};
+
+/// A bag of examples plus the feature-space width.
+struct Dataset {
+  std::vector<Example> examples;
+  size_t num_features = 0;
+
+  size_t size() const { return examples.size(); }
+  bool empty() const { return examples.empty(); }
+
+  /// Number of positive-label examples.
+  size_t num_positives() const {
+    size_t n = 0;
+    for (const auto& e : examples) n += e.label > 0.5 ? 1 : 0;
+    return n;
+  }
+
+  /// Returns the subset of examples selected by `indices` (copying).
+  Dataset Subset(const std::vector<size_t>& indices) const {
+    Dataset out;
+    out.num_features = num_features;
+    out.examples.reserve(indices.size());
+    for (size_t idx : indices) out.examples.push_back(examples[idx]);
+    return out;
+  }
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_ML_DATASET_H_

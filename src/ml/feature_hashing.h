@@ -1,0 +1,62 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Feature hashing ("the hashing trick"). The explicit FeatureRegistry is
+// exact but stores every name; at ADCORPUS scale (tens of millions of
+// pairs, unbounded text vocabulary) production systems hash feature names
+// straight into a fixed-width weight vector and absorb the rare collision.
+// This header provides that alternative id space, with the standard signed
+// variant that makes collisions cancel in expectation.
+
+#ifndef MICROBROWSE_ML_FEATURE_HASHING_H_
+#define MICROBROWSE_ML_FEATURE_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.h"
+#include "ml/sparse_vector.h"
+
+namespace microbrowse {
+
+/// A stateless feature space of size 2^bits: names map to ids by hashing.
+/// Unlike FeatureRegistry there is nothing to store or serialise — two
+/// processes agree on ids by construction.
+class HashedFeatureSpace {
+ public:
+  /// `bits` in [1, 30]; the space holds 2^bits features. `signed_hashing`
+  /// derives a +-1 sign from an independent bit of the hash, so colliding
+  /// features cancel rather than add in expectation.
+  explicit HashedFeatureSpace(int bits, bool signed_hashing = true, uint64_t salt = 0x5eed)
+      : mask_((1u << bits) - 1u), signed_hashing_(signed_hashing), salt_(salt) {}
+
+  /// Number of slots in the space.
+  size_t size() const { return static_cast<size_t>(mask_) + 1; }
+
+  /// Id of `name` (always valid; collisions are by design).
+  FeatureId IdOf(std::string_view name) const {
+    return static_cast<FeatureId>(Hash(name) & mask_);
+  }
+
+  /// Hashing sign of `name` (+1 / -1); always +1 when signed hashing is
+  /// off.
+  double SignOf(std::string_view name) const {
+    if (!signed_hashing_) return 1.0;
+    return (Hash(name) >> 33) & 1u ? 1.0 : -1.0;
+  }
+
+  /// Adds `name` with `value` to `vector`, applying the hashing sign.
+  void Add(std::string_view name, double value, SparseVector* vector) const {
+    vector->Add(IdOf(name), SignOf(name) * value);
+  }
+
+ private:
+  uint64_t Hash(std::string_view name) const { return Mix64(Fnv1a64(name) ^ salt_); }
+
+  uint32_t mask_;
+  bool signed_hashing_;
+  uint64_t salt_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_ML_FEATURE_HASHING_H_

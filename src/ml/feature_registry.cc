@@ -1,0 +1,22 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "ml/feature_registry.h"
+
+namespace microbrowse {
+
+FeatureId FeatureRegistry::Intern(std::string_view name, double initial_weight) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const FeatureId id = static_cast<FeatureId>(names_.size());
+  names_.emplace_back(name);
+  initial_weights_.push_back(initial_weight);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+FeatureId FeatureRegistry::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it != index_.end() ? it->second : kInvalidFeatureId;
+}
+
+}  // namespace microbrowse

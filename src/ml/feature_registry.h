@@ -1,0 +1,59 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Maps human-readable feature names ("term:cheap flights@l2p1", "rw:find
+// cheap->get discounts") to dense FeatureIds, and carries each feature's
+// warm-start weight — the paper initialises classifier features from the
+// feature-statistics database (Section V-D).
+
+#ifndef MICROBROWSE_ML_FEATURE_REGISTRY_H_
+#define MICROBROWSE_ML_FEATURE_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/sparse_vector.h"
+
+namespace microbrowse {
+
+/// Sentinel for features absent from the registry.
+inline constexpr FeatureId kInvalidFeatureId = static_cast<FeatureId>(-1);
+
+/// Bidirectional feature-name <-> id map with per-feature initial weights.
+class FeatureRegistry {
+ public:
+  FeatureRegistry() = default;
+
+  /// Returns the id of `name`, registering it (with `initial_weight`) when
+  /// new. A later call with a different initial weight for an existing
+  /// feature leaves the stored weight unchanged.
+  FeatureId Intern(std::string_view name, double initial_weight = 0.0);
+
+  /// Id of `name`, or kInvalidFeatureId when absent.
+  FeatureId Find(std::string_view name) const;
+
+  /// Name of `id`; `id` must be valid.
+  const std::string& NameOf(FeatureId id) const { return names_[id]; }
+
+  /// Warm-start weight of `id`; `id` must be valid.
+  double InitialWeightOf(FeatureId id) const { return initial_weights_[id]; }
+
+  /// Overrides the warm-start weight of an existing feature.
+  void SetInitialWeight(FeatureId id, double weight) { initial_weights_[id] = weight; }
+
+  /// Dense copy of all initial weights, indexed by FeatureId.
+  std::vector<double> InitialWeights() const { return initial_weights_; }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, FeatureId> index_;
+  std::vector<std::string> names_;
+  std::vector<double> initial_weights_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_ML_FEATURE_REGISTRY_H_

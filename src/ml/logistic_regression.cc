@@ -1,0 +1,167 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace microbrowse {
+
+double LogisticModel::PredictProbability(const SparseVector& features) const {
+  return Sigmoid(Score(features));
+}
+
+size_t LogisticModel::num_zero_weights() const {
+  size_t n = 0;
+  for (double w : weights_) n += w == 0.0 ? 1 : 0;
+  return n;
+}
+
+double LogisticModel::MeanLogLoss(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double total = 0.0;
+  double weight_sum = 0.0;
+  for (const auto& example : data.examples) {
+    const double predicted = Sigmoid(Score(example.features) + example.offset);
+    total += example.weight * LogLoss(example.label, predicted);
+    weight_sum += example.weight;
+  }
+  return weight_sum > 0.0 ? total / weight_sum : 0.0;
+}
+
+namespace {
+
+/// Soft-thresholding operator for the L1 proximal step.
+double SoftThreshold(double x, double threshold) {
+  if (x > threshold) return x - threshold;
+  if (x < -threshold) return x + threshold;
+  return 0.0;
+}
+
+LogisticModel TrainAdaGrad(const Dataset& data, const LrOptions& options,
+                           std::vector<double> weights) {
+  const size_t n_features = data.num_features;
+  double bias = 0.0;
+  std::vector<double> grad_sq(n_features, 1e-8);
+  double bias_grad_sq = 1e-8;
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  double prev_loss = std::numeric_limits<double>::infinity();
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.shuffle_each_epoch) rng.Shuffle(order);
+    double loss_sum = 0.0;
+    double weight_sum = 0.0;
+    for (size_t idx : order) {
+      const Example& example = data.examples[idx];
+      double score = bias + example.offset;
+      for (const auto& entry : example.features.entries()) {
+        if (entry.id < n_features) score += entry.value * weights[entry.id];
+      }
+      const double predicted = Sigmoid(score);
+      loss_sum += example.weight * LogLoss(example.label, predicted);
+      weight_sum += example.weight;
+      const double gradient_scale = example.weight * (predicted - example.label);
+
+      for (const auto& entry : example.features.entries()) {
+        if (entry.id >= n_features) continue;
+        const double g = gradient_scale * entry.value + options.l2 * weights[entry.id];
+        grad_sq[entry.id] += g * g;
+        const double step = options.learning_rate / std::sqrt(grad_sq[entry.id]);
+        // Truncated-gradient L1: gradient step then shrink toward zero by
+        // step * l1, clipping at zero.
+        const double updated = weights[entry.id] - step * g;
+        weights[entry.id] = SoftThreshold(updated, step * options.l1);
+      }
+      if (options.fit_bias) {
+        const double g = gradient_scale;
+        bias_grad_sq += g * g;
+        bias -= options.learning_rate / std::sqrt(bias_grad_sq) * g;
+      }
+    }
+    const double mean_loss = weight_sum > 0.0 ? loss_sum / weight_sum : 0.0;
+    if (options.tolerance > 0.0 && prev_loss - mean_loss < options.tolerance) break;
+    prev_loss = mean_loss;
+  }
+  return LogisticModel(std::move(weights), bias);
+}
+
+LogisticModel TrainProximalBatch(const Dataset& data, const LrOptions& options,
+                                 std::vector<double> weights) {
+  const size_t n_features = data.num_features;
+  const size_t n = data.size();
+  double bias = 0.0;
+
+  // Lipschitz-style step size: mean squared feature norm bounds the
+  // logistic Hessian by norm^2 / 4.
+  double max_norm_sq = 1.0;
+  for (const auto& example : data.examples) {
+    max_norm_sq = std::max(max_norm_sq, example.features.SquaredNorm() + 1.0);
+  }
+  const double step = options.learning_rate * 4.0 / max_norm_sq;
+
+  double prev_loss = std::numeric_limits<double>::infinity();
+  std::vector<double> gradient(n_features, 0.0);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    double bias_gradient = 0.0;
+    double loss_sum = 0.0;
+    double weight_sum = 0.0;
+    for (const auto& example : data.examples) {
+      double score = bias + example.offset;
+      for (const auto& entry : example.features.entries()) {
+        if (entry.id < n_features) score += entry.value * weights[entry.id];
+      }
+      const double predicted = Sigmoid(score);
+      loss_sum += example.weight * LogLoss(example.label, predicted);
+      weight_sum += example.weight;
+      const double gradient_scale =
+          example.weight * (predicted - example.label) / static_cast<double>(n);
+      for (const auto& entry : example.features.entries()) {
+        if (entry.id < n_features) gradient[entry.id] += gradient_scale * entry.value;
+      }
+      bias_gradient += gradient_scale;
+    }
+    for (size_t j = 0; j < n_features; ++j) {
+      const double updated = weights[j] - step * (gradient[j] + options.l2 * weights[j]);
+      weights[j] = SoftThreshold(updated, step * options.l1);
+    }
+    if (options.fit_bias) bias -= step * bias_gradient;
+
+    const double mean_loss = weight_sum > 0.0 ? loss_sum / weight_sum : 0.0;
+    if (options.tolerance > 0.0 && prev_loss - mean_loss < options.tolerance) break;
+    prev_loss = mean_loss;
+  }
+  return LogisticModel(std::move(weights), bias);
+}
+
+}  // namespace
+
+Result<LogisticModel> TrainLogisticRegression(const Dataset& data, const LrOptions& options,
+                                              const std::vector<double>* initial_weights) {
+  if (data.empty()) return Status::InvalidArgument("TrainLogisticRegression: empty dataset");
+  if (initial_weights != nullptr && initial_weights->size() != data.num_features) {
+    return Status::InvalidArgument("TrainLogisticRegression: initial_weights size mismatch");
+  }
+  for (const auto& example : data.examples) {
+    if (example.label != 0.0 && example.label != 1.0) {
+      return Status::InvalidArgument("TrainLogisticRegression: labels must be 0 or 1");
+    }
+  }
+  std::vector<double> weights =
+      initial_weights != nullptr ? *initial_weights : std::vector<double>(data.num_features, 0.0);
+  switch (options.solver) {
+    case LrSolver::kAdaGrad:
+      return TrainAdaGrad(data, options, std::move(weights));
+    case LrSolver::kProximalBatch:
+      return TrainProximalBatch(data, options, std::move(weights));
+  }
+  return Status::Internal("TrainLogisticRegression: unknown solver");
+}
+
+}  // namespace microbrowse

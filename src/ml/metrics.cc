@@ -1,0 +1,99 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace microbrowse {
+
+double BinaryMetrics::accuracy() const {
+  const int64_t n = total();
+  return n > 0 ? static_cast<double>(true_positives + true_negatives) / static_cast<double>(n)
+               : 0.0;
+}
+
+double BinaryMetrics::precision() const {
+  const int64_t denom = true_positives + false_positives;
+  return denom > 0 ? static_cast<double>(true_positives) / static_cast<double>(denom) : 0.0;
+}
+
+double BinaryMetrics::recall() const {
+  const int64_t denom = true_positives + false_negatives;
+  return denom > 0 ? static_cast<double>(true_positives) / static_cast<double>(denom) : 0.0;
+}
+
+double BinaryMetrics::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<ScoredLabel>& scored, double threshold) {
+  BinaryMetrics m;
+  for (const auto& s : scored) {
+    const bool predicted = s.score >= threshold;
+    if (predicted) {
+      if (s.label) {
+        ++m.true_positives;
+      } else {
+        ++m.false_positives;
+      }
+    } else {
+      if (s.label) {
+        ++m.false_negatives;
+      } else {
+        ++m.true_negatives;
+      }
+    }
+  }
+  return m;
+}
+
+BinaryMetrics MergeMetrics(const BinaryMetrics& a, const BinaryMetrics& b) {
+  BinaryMetrics m = a;
+  m.true_positives += b.true_positives;
+  m.false_positives += b.false_positives;
+  m.true_negatives += b.true_negatives;
+  m.false_negatives += b.false_negatives;
+  return m;
+}
+
+double ComputeAuc(const std::vector<ScoredLabel>& scored) {
+  std::vector<ScoredLabel> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredLabel& a, const ScoredLabel& b) { return a.score < b.score; });
+  // Rank-sum with average ranks for ties.
+  const size_t n = sorted.size();
+  double positive_rank_sum = 0.0;
+  size_t positives = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && sorted[j].score == sorted[i].score) ++j;
+    const double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (sorted[k].label) {
+        positive_rank_sum += avg_rank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum - static_cast<double>(positives) *
+                                           (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double ComputeMeanLogLoss(const std::vector<ScoredLabel>& scored) {
+  if (scored.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : scored) total += LogLoss(s.label ? 1.0 : 0.0, s.score);
+  return total / static_cast<double>(scored.size());
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,83 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Sparse feature vectors for the snippet classifier. Feature ids are dense
+// 32-bit indices handed out by FeatureRegistry.
+
+#ifndef MICROBROWSE_ML_SPARSE_VECTOR_H_
+#define MICROBROWSE_ML_SPARSE_VECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace microbrowse {
+
+/// Dense feature index.
+using FeatureId = uint32_t;
+
+/// One (feature, value) pair.
+struct FeatureEntry {
+  FeatureId id = 0;
+  double value = 0.0;
+
+  friend bool operator==(const FeatureEntry& a, const FeatureEntry& b) {
+    return a.id == b.id && a.value == b.value;
+  }
+};
+
+/// An immutable-after-Finish sparse vector: entries sorted by id, unique
+/// ids, duplicate contributions summed, zero values dropped.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Adds `value` to the coefficient of `id` (pre-Finish accumulation).
+  void Add(FeatureId id, double value) { entries_.push_back(FeatureEntry{id, value}); }
+
+  /// Sorts, merges duplicates and drops zeros. Idempotent.
+  void Finish() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const FeatureEntry& a, const FeatureEntry& b) { return a.id < b.id; });
+    size_t out = 0;
+    size_t i = 0;
+    while (i < entries_.size()) {
+      FeatureId id = entries_[i].id;
+      double sum = 0.0;
+      while (i < entries_.size() && entries_[i].id == id) {
+        sum += entries_[i].value;
+        ++i;
+      }
+      if (sum != 0.0) entries_[out++] = FeatureEntry{id, sum};
+    }
+    entries_.resize(out);
+  }
+
+  const std::vector<FeatureEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Dot product with a dense weight vector; ids beyond its length
+  /// contribute zero.
+  double Dot(const std::vector<double>& weights) const {
+    double sum = 0.0;
+    for (const auto& e : entries_) {
+      if (e.id < weights.size()) sum += e.value * weights[e.id];
+    }
+    return sum;
+  }
+
+  /// Squared L2 norm of the vector.
+  double SquaredNorm() const {
+    double sum = 0.0;
+    for (const auto& e : entries_) sum += e.value * e.value;
+    return sum;
+  }
+
+ private:
+  std::vector<FeatureEntry> entries_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_ML_SPARSE_VECTOR_H_

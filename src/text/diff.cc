@@ -1,0 +1,85 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "text/diff.h"
+
+namespace microbrowse {
+
+namespace {
+
+/// Fills the (n+1) x (m+1) LCS length table for suffixes; cell (i, j) holds
+/// the LCS length of a[i:] and b[j:].
+std::vector<std::vector<int>> LcsSuffixTable(const std::vector<std::string>& a,
+                                             const std::vector<std::string>& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  std::vector<std::vector<int>> table(n + 1, std::vector<int>(m + 1, 0));
+  for (int i = n - 1; i >= 0; --i) {
+    for (int j = m - 1; j >= 0; --j) {
+      if (a[i] == b[j]) {
+        table[i][j] = table[i + 1][j + 1] + 1;
+      } else {
+        table[i][j] = std::max(table[i + 1][j], table[i][j + 1]);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+int LcsLength(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0;
+  return LcsSuffixTable(a, b)[0][0];
+}
+
+std::vector<DiffHunk> TokenDiff(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b,
+                                std::vector<TokenMatch>* matches) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const auto table = LcsSuffixTable(a, b);
+
+  std::vector<DiffHunk> hunks;
+  int i = 0;
+  int j = 0;
+  int hunk_a_start = -1;
+  int hunk_b_start = -1;
+
+  auto open_hunk = [&](int ai, int bj) {
+    if (hunk_a_start < 0) {
+      hunk_a_start = ai;
+      hunk_b_start = bj;
+    }
+  };
+  auto close_hunk = [&](int ai, int bj) {
+    if (hunk_a_start >= 0) {
+      hunks.push_back(DiffHunk{hunk_a_start, ai - hunk_a_start, hunk_b_start, bj - hunk_b_start});
+      hunk_a_start = -1;
+      hunk_b_start = -1;
+    }
+  };
+
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      close_hunk(i, j);
+      if (matches != nullptr) matches->push_back(TokenMatch{i, j});
+      ++i;
+      ++j;
+    } else if (table[i + 1][j] >= table[i][j + 1]) {
+      open_hunk(i, j);
+      ++i;  // a[i] deleted.
+    } else {
+      open_hunk(i, j);
+      ++j;  // b[j] inserted.
+    }
+  }
+  if (i < n || j < m) {
+    open_hunk(i, j);
+    i = n;
+    j = m;
+  }
+  close_hunk(i, j);
+  return hunks;
+}
+
+}  // namespace microbrowse

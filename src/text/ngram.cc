@@ -1,0 +1,36 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "text/ngram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace microbrowse {
+
+std::vector<TermSpan> ExtractNGramsInWindow(const Snippet& snippet, int line, int begin, int count,
+                                            int max_n) {
+  std::vector<TermSpan> spans;
+  assert(line >= 0 && line < snippet.num_lines());
+  const int line_size = static_cast<int>(snippet.line(line).size());
+  begin = std::clamp(begin, 0, line_size);
+  const int end = std::clamp(begin + count, begin, line_size);
+  for (int pos = begin; pos < end; ++pos) {
+    const int max_len = std::min(max_n, end - pos);
+    for (int len = 1; len <= max_len; ++len) {
+      spans.push_back(TermSpan{line, pos, len, snippet.SpanText(line, pos, len)});
+    }
+  }
+  return spans;
+}
+
+std::vector<TermSpan> ExtractNGrams(const Snippet& snippet, int max_n) {
+  std::vector<TermSpan> spans;
+  for (int line = 0; line < snippet.num_lines(); ++line) {
+    const int line_size = static_cast<int>(snippet.line(line).size());
+    auto line_spans = ExtractNGramsInWindow(snippet, line, 0, line_size, max_n);
+    spans.insert(spans.end(), line_spans.begin(), line_spans.end());
+  }
+  return spans;
+}
+
+}  // namespace microbrowse

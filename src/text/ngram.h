@@ -1,0 +1,28 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// N-gram extraction over snippets. The paper's term features are unigrams,
+// bigrams and trigrams, each carrying its line number and within-line
+// position (Section IV-A).
+
+#ifndef MICROBROWSE_TEXT_NGRAM_H_
+#define MICROBROWSE_TEXT_NGRAM_H_
+
+#include <vector>
+
+#include "text/snippet.h"
+
+namespace microbrowse {
+
+/// Extracts all n-grams of length 1..max_n from every line of `snippet`,
+/// in (line, pos, len) lexicographic order.
+std::vector<TermSpan> ExtractNGrams(const Snippet& snippet, int max_n = 3);
+
+/// Extracts n-grams of length 1..max_n from a single token window
+/// [begin, begin+count) of line `line`. Used to enumerate phrase candidates
+/// inside diff regions.
+std::vector<TermSpan> ExtractNGramsInWindow(const Snippet& snippet, int line, int begin, int count,
+                                            int max_n = 3);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_TEXT_NGRAM_H_

@@ -1,0 +1,70 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The snippet representation used throughout the micro-browsing model: a
+// result snippet (or ad creative) is a short list of lines, each line a
+// sequence of word tokens with meaningful positions. Positions are 0-based
+// internally; the paper's prose uses 1-based positions.
+
+#ifndef MICROBROWSE_TEXT_SNIPPET_H_
+#define MICROBROWSE_TEXT_SNIPPET_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace microbrowse {
+
+/// A contiguous phrase inside a snippet: `len` tokens starting at token
+/// index `pos` of line `line`. `text` is the tokens joined with spaces.
+struct TermSpan {
+  int line = 0;
+  int pos = 0;
+  int len = 1;
+  std::string text;
+
+  friend bool operator==(const TermSpan& a, const TermSpan& b) {
+    return a.line == b.line && a.pos == b.pos && a.len == b.len && a.text == b.text;
+  }
+};
+
+/// A tokenized snippet: lines of tokens.
+class Snippet {
+ public:
+  Snippet() = default;
+
+  /// Builds a snippet by tokenizing each raw text line.
+  static Snippet FromLines(const std::vector<std::string>& raw_lines,
+                           const Tokenizer& tokenizer = Tokenizer());
+
+  /// Builds a snippet from already-tokenized lines.
+  static Snippet FromTokens(std::vector<std::vector<std::string>> token_lines);
+
+  /// Number of lines.
+  int num_lines() const { return static_cast<int>(lines_.size()); }
+
+  /// Tokens of line `line` (0-based); `line` must be in range.
+  const std::vector<std::string>& line(int line) const { return lines_[line]; }
+
+  /// All lines.
+  const std::vector<std::vector<std::string>>& lines() const { return lines_; }
+
+  /// Total number of tokens across lines.
+  int num_tokens() const;
+
+  /// The phrase text for a span (tokens joined by ' '). The span must lie
+  /// within bounds.
+  std::string SpanText(int line, int pos, int len) const;
+
+  /// Renders the snippet as lines joined by " / " — for logs and tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Snippet& a, const Snippet& b) { return a.lines_ == b.lines_; }
+
+ private:
+  std::vector<std::vector<std::string>> lines_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_TEXT_SNIPPET_H_

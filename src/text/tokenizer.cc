@@ -1,0 +1,50 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace microbrowse {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '\'';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    // '$' opens a token when followed by an alphanumeric ("$99").
+    const bool dollar_start = options_.keep_offer_symbols && text[i] == '$' && i + 1 < n &&
+                              IsWordChar(text[i + 1]);
+    if (!IsWordChar(text[i]) && !dollar_start) {
+      ++i;
+      continue;
+    }
+    std::string token;
+    if (dollar_start) {
+      token.push_back('$');
+      ++i;
+    }
+    while (i < n && IsWordChar(text[i])) {
+      char c = text[i];
+      if (options_.lowercase) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      token.push_back(c);
+      ++i;
+    }
+    // '%' closes a token when it directly follows it ("20%").
+    if (options_.keep_offer_symbols && i < n && text[i] == '%') {
+      token.push_back('%');
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace microbrowse

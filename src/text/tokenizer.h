@@ -1,0 +1,42 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Snippet tokenization. Creative text like "No reservation costs. Great
+// rates!" becomes the token stream {no, reservation, costs, great, rates}.
+// Tokens such as "20%" and "$99" are kept whole because offer markers are
+// exactly the kind of salient term the micro-browsing model cares about.
+
+#ifndef MICROBROWSE_TEXT_TOKENIZER_H_
+#define MICROBROWSE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microbrowse {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Lower-case ASCII letters in tokens.
+  bool lowercase = true;
+  /// Keep '%' and '$' attached to numeric tokens ("20%", "$99").
+  bool keep_offer_symbols = true;
+};
+
+/// Splits text into word tokens. Stateless and cheap to copy.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options) : options_(options) {}
+
+  /// Tokenizes one line of snippet text.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_TEXT_TOKENIZER_H_

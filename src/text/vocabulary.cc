@@ -1,0 +1,21 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "text/vocabulary.h"
+
+namespace microbrowse {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Find(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it != index_.end() ? it->second : kInvalidTermId;
+}
+
+}  // namespace microbrowse

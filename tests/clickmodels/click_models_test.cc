@@ -1,0 +1,432 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Behavioural tests for the macro click models: generative semantics,
+// conditional/marginal probability identities, and EM / MLE parameter
+// recovery from logs simulated by the ground-truth model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "clickmodels/cascade.h"
+#include "clickmodels/ccm.h"
+#include "clickmodels/dbn.h"
+#include "clickmodels/dcm.h"
+#include "clickmodels/evaluation.h"
+#include "clickmodels/pbm.h"
+#include "clickmodels/simulator.h"
+#include "clickmodels/ubm.h"
+
+namespace microbrowse {
+namespace {
+
+SerpSimulatorOptions SmallSimOptions() {
+  SerpSimulatorOptions options;
+  options.num_queries = 20;
+  options.docs_per_query = 12;
+  options.positions = 6;
+  options.num_sessions = 60000;
+  options.seed = 7;
+  return options;
+}
+
+/// Mean absolute error between a fitted attractiveness table and the truth
+/// over all (query, doc) pairs of the ground truth.
+double AttractionMae(const QueryDocTable& fitted, const SerpGroundTruth& truth) {
+  double total = 0.0;
+  int count = 0;
+  for (size_t q = 0; q < truth.query_docs.size(); ++q) {
+    for (int32_t doc : truth.query_docs[q]) {
+      total += std::fabs(fitted.Get(static_cast<int32_t>(q), doc) -
+                         truth.attraction.Get(static_cast<int32_t>(q), doc));
+      ++count;
+    }
+  }
+  return total / count;
+}
+
+// --- Cascade
+
+TEST(CascadeModelTest, SimulationStopsAtFirstClick) {
+  QueryDocTable attraction(0.5);
+  CascadeModel model(attraction);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    Session session;
+    session.results.assign(8, SessionResult{});
+    model.SimulateClicks(&session, &rng);
+    EXPECT_LE(session.num_clicks(), 1);
+  }
+}
+
+TEST(CascadeModelTest, ConditionalProbsZeroAfterClick) {
+  QueryDocTable attraction(0.3);
+  CascadeModel model(attraction);
+  Session session;
+  session.results = {SessionResult{0, false}, SessionResult{1, true}, SessionResult{2, false}};
+  const auto probs = model.ConditionalClickProbs(session);
+  EXPECT_NEAR(probs[0], 0.3, 1e-12);
+  EXPECT_NEAR(probs[1], 0.3, 1e-12);
+  EXPECT_NEAR(probs[2], 0.0, 1e-12);
+}
+
+TEST(CascadeModelTest, MarginalProbsDecayGeometrically) {
+  QueryDocTable attraction(0.4);
+  CascadeModel model(attraction);
+  Session session;
+  session.results.assign(4, SessionResult{});
+  const auto probs = model.MarginalClickProbs(session);
+  EXPECT_NEAR(probs[0], 0.4, 1e-12);
+  EXPECT_NEAR(probs[1], 0.6 * 0.4, 1e-12);
+  EXPECT_NEAR(probs[2], 0.36 * 0.4, 1e-12);
+}
+
+TEST(CascadeModelTest, RecoversAttractiveness) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const CascadeModel generator(truth.attraction);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  CascadeModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  EXPECT_LT(AttractionMae(fitted.attraction(), truth), 0.05);
+}
+
+TEST(CascadeModelTest, FitRejectsEmptyLog) {
+  CascadeModel model;
+  EXPECT_EQ(model.Fit(ClickLog{}).code(), StatusCode::kInvalidArgument);
+}
+
+// --- PBM
+
+TEST(PbmTest, SimulationMatchesMarginals) {
+  PositionBasedModel model({0.9, 0.5, 0.2}, QueryDocTable(0.6));
+  Rng rng(11);
+  std::vector<int> clicks(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    Session session;
+    session.results.assign(3, SessionResult{});
+    model.SimulateClicks(&session, &rng);
+    for (int p = 0; p < 3; ++p) clicks[p] += session.results[p].clicked ? 1 : 0;
+  }
+  EXPECT_NEAR(clicks[0] / double(n), 0.9 * 0.6, 0.01);
+  EXPECT_NEAR(clicks[1] / double(n), 0.5 * 0.6, 0.01);
+  EXPECT_NEAR(clicks[2] / double(n), 0.2 * 0.6, 0.01);
+}
+
+TEST(PbmTest, EmRecoversPositionCurveShape) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const std::vector<double> gamma = {0.95, 0.75, 0.55, 0.4, 0.28, 0.2};
+  const PositionBasedModel generator(gamma, truth.attraction);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  PositionBasedModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  // PBM's gamma/alpha split has a well-known scale ambiguity, so check the
+  // monotone shape and the ratios rather than absolute levels.
+  const auto& learned = fitted.position_probs();
+  ASSERT_EQ(learned.size(), gamma.size());
+  for (size_t i = 1; i < learned.size(); ++i) {
+    EXPECT_LT(learned[i], learned[i - 1]) << "position " << i;
+  }
+  EXPECT_NEAR(learned[3] / learned[0], gamma[3] / gamma[0], 0.12);
+}
+
+TEST(PbmTest, ConditionalEqualsMarginal) {
+  PositionBasedModel model({0.8, 0.4}, QueryDocTable(0.5));
+  Session session;
+  session.results = {SessionResult{0, true}, SessionResult{1, false}};
+  EXPECT_EQ(model.ConditionalClickProbs(session), model.MarginalClickProbs(session));
+}
+
+// --- DCM
+
+TEST(DcmTest, SimulationAllowsMultipleClicks) {
+  DependentClickModel model(QueryDocTable(0.7), {0.9, 0.9, 0.9, 0.9});
+  Rng rng(13);
+  int multi = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Session session;
+    session.results.assign(4, SessionResult{});
+    model.SimulateClicks(&session, &rng);
+    multi += session.num_clicks() > 1 ? 1 : 0;
+  }
+  EXPECT_GT(multi, 500);
+}
+
+TEST(DcmTest, LambdaRecoveryShape) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const std::vector<double> lambdas = {0.8, 0.7, 0.6, 0.5, 0.4, 0.3};
+  const DependentClickModel generator(truth.attraction, lambdas);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  DependentClickModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  // The approximate MLE biases lambda, but the decreasing shape must hold.
+  const auto& learned = fitted.lambdas();
+  EXPECT_GT(learned[0], learned[4]);
+}
+
+TEST(DcmTest, ConditionalProbsAfterSkipStayPositive) {
+  DependentClickModel model(QueryDocTable(0.3), {0.5, 0.5, 0.5});
+  Session session;
+  session.results = {SessionResult{0, false}, SessionResult{1, false},
+                     SessionResult{2, false}};
+  const auto probs = model.ConditionalClickProbs(session);
+  for (double p : probs) EXPECT_GT(p, 0.0);
+}
+
+// --- UBM
+
+TEST(UbmTest, RecoversAttractivenessWell) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  std::vector<std::vector<double>> gammas(options.positions);
+  for (int i = 0; i < options.positions; ++i) {
+    gammas[i].assign(i + 1, 0.0);
+    for (int d = 0; d <= i; ++d) {
+      gammas[i][d] = 0.9 * std::pow(0.75, d);  // Decay with click distance.
+    }
+  }
+  const UserBrowsingModel generator(gammas, truth.attraction);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  UserBrowsingModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  // UBM's (position x distance) examination grid has many parameters, so
+  // the attraction estimates carry more shrinkage noise than PBM's.
+  EXPECT_LT(AttractionMae(fitted.attraction(), truth), 0.12);
+}
+
+TEST(UbmTest, MarginalSumsBelowOnePerPosition) {
+  UserBrowsingModel model({{0.9}, {0.8, 0.6}}, QueryDocTable(0.5));
+  Session session;
+  session.results = {SessionResult{0, false}, SessionResult{1, false}};
+  for (double p : model.MarginalClickProbs(session)) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+// --- DBN
+
+TEST(DbnTest, SatisfactionStopsSession) {
+  // Satisfaction 1: after the first click everything later is unclicked.
+  DbnModel model(QueryDocTable(0.6), QueryDocTable(1.0), /*gamma=*/1.0);
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    Session session;
+    session.results.assign(6, SessionResult{});
+    model.SimulateClicks(&session, &rng);
+    EXPECT_LE(session.num_clicks(), 1);
+  }
+}
+
+TEST(DbnTest, GammaZeroMeansOnlyFirstPosition) {
+  DbnModel model(QueryDocTable(0.5), QueryDocTable(0.0), /*gamma=*/0.0);
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    Session session;
+    session.results.assign(4, SessionResult{});
+    model.SimulateClicks(&session, &rng);
+    for (size_t p = 1; p < 4; ++p) EXPECT_FALSE(session.results[p].clicked);
+  }
+}
+
+TEST(DbnTest, EmRecoversAttractiveness) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const DbnModel generator(truth.attraction, QueryDocTable(0.4), /*gamma=*/0.85);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  DbnOptions fit_options;
+  fit_options.em_iterations = 20;
+  DbnModel fitted(fit_options);
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  EXPECT_LT(AttractionMae(fitted.attraction(), truth), 0.08);
+  EXPECT_NEAR(fitted.gamma(), 0.85, 0.1);
+}
+
+TEST(SdbnTest, ClosedFormRecovery) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const SimplifiedDbnModel generator(truth.attraction, QueryDocTable(0.5));
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  SimplifiedDbnModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  // The SDBN MLE discards clickless sessions (it learns nothing from
+  // them), a known selection bias that inflates attractiveness for weak
+  // documents; the recovery bound reflects it.
+  EXPECT_LT(AttractionMae(fitted.attraction(), truth), 0.15);
+}
+
+// --- CCM
+
+TEST(CcmTest, AbandonmentLimitsDeepClicks) {
+  // alpha1 = 0: the user abandons after any unclicked result.
+  ClickChainModel model(QueryDocTable(0.3), /*alpha1=*/0.0, /*alpha2=*/0.5, /*alpha3=*/0.9);
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    Session session;
+    session.results.assign(5, SessionResult{});
+    model.SimulateClicks(&session, &rng);
+    // A skip ends the session, so clicks must form a prefix.
+    bool skipped = false;
+    for (const auto& result : session.results) {
+      if (skipped) {
+        EXPECT_FALSE(result.clicked);
+      }
+      if (!result.clicked) skipped = true;
+    }
+  }
+}
+
+TEST(CcmTest, FitRecoversRelevanceOrdering) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const ClickChainModel generator(truth.attraction, 0.75, 0.4, 0.85);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  ClickChainModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  EXPECT_LT(AttractionMae(fitted.relevance(), truth), 0.09);
+  EXPECT_NEAR(fitted.alpha1(), 0.75, 0.15);
+}
+
+// --- Cross-model evaluation
+
+TEST(EvaluationTest, TrueModelBeatsMismatchedModelOnLikelihood) {
+  const auto options = SmallSimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const DbnModel generator(truth.attraction, QueryDocTable(0.5), /*gamma=*/0.8);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  DbnModel dbn;
+  ASSERT_TRUE(dbn.Fit(*log).ok());
+  CascadeModel cascade;
+  ASSERT_TRUE(cascade.Fit(*log).ok());
+
+  const auto dbn_eval = EvaluateClickModel(dbn, *log);
+  const auto cascade_eval = EvaluateClickModel(cascade, *log);
+  // Cascade cannot express multi-click sessions; DBN should dominate.
+  EXPECT_GT(dbn_eval.avg_log_likelihood, cascade_eval.avg_log_likelihood);
+  EXPECT_LT(dbn_eval.perplexity, cascade_eval.perplexity);
+}
+
+TEST(EvaluationTest, PerplexityIsAtLeastOne) {
+  const auto options = SmallSimOptions();
+  Rng rng(1);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const PositionBasedModel generator({0.9, 0.6, 0.4, 0.3, 0.2, 0.1}, truth.attraction);
+  SerpSimulatorOptions small = options;
+  small.num_sessions = 5000;
+  auto log = SimulateSerpLog(small, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+  PositionBasedModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  const auto eval = EvaluateClickModel(fitted, *log);
+  EXPECT_GE(eval.perplexity, 1.0);
+  for (double p : eval.perplexity_at_rank) EXPECT_GE(p, 1.0);
+  EXPECT_GT(eval.ctr_mse, 0.0);
+  EXPECT_LT(eval.ctr_mse, 0.25);
+}
+
+TEST(SimulatorTest, RankedServingInducesPositionBiasThatPbmCorrects) {
+  // Under ranked serving, naive per-doc CTR conflates relevance with the
+  // position the engine gave the doc; PBM's EM separates them (the
+  // relevance-vs-examination point of reference [16]).
+  SerpSimulatorOptions options = SmallSimOptions();
+  options.ranked_serving_prob = 0.8;
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const std::vector<double> gamma = {0.95, 0.7, 0.5, 0.35, 0.25, 0.18};
+  const PositionBasedModel generator(gamma, truth.attraction);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  // Naive estimate: clicks / impressions per (query, doc).
+  QueryDocAccumulator naive_acc;
+  for (const auto& session : log->sessions) {
+    for (const auto& result : session.results) {
+      naive_acc.Add(session.query_id, result.doc_id, result.clicked ? 1.0 : 0.0, 1.0);
+    }
+  }
+  QueryDocTable naive(0.5);
+  naive_acc.Flush(naive, 1.0, 0.5);
+
+  PositionBasedModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+
+  // Compare rank correlations against the truth per query: count
+  // concordant doc pairs.
+  auto concordance = [&](const QueryDocTable& estimate) {
+    int64_t concordant = 0, total = 0;
+    for (size_t q = 0; q < truth.query_docs.size(); ++q) {
+      const auto& docs = truth.query_docs[q];
+      for (size_t i = 0; i + 1 < docs.size(); ++i) {
+        for (size_t j = i + 1; j < docs.size(); ++j) {
+          const double true_diff = truth.attraction.Get(q, docs[i]) -
+                                   truth.attraction.Get(q, docs[j]);
+          const double est_diff =
+              estimate.Get(q, docs[i]) - estimate.Get(q, docs[j]);
+          if (true_diff == 0.0 || est_diff == 0.0) continue;
+          ++total;
+          concordant += (true_diff > 0) == (est_diff > 0) ? 1 : 0;
+        }
+      }
+    }
+    return static_cast<double>(concordant) / static_cast<double>(total);
+  };
+  // The model-corrected estimate orders docs better than naive CTR.
+  EXPECT_GT(concordance(fitted.attraction()), concordance(naive));
+}
+
+TEST(SimulatorTest, RejectsInvalidConfig) {
+  SerpSimulatorOptions options;
+  options.positions = 50;
+  options.docs_per_query = 10;
+  Rng rng(1);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  CascadeModel model;
+  EXPECT_FALSE(SimulateSerpLog(options, truth, model, &rng).ok());
+}
+
+TEST(SimulatorTest, LogHasRequestedShape) {
+  SerpSimulatorOptions options = SmallSimOptions();
+  options.num_sessions = 500;
+  Rng rng(2);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const CascadeModel model(truth.attraction);
+  auto log = SimulateSerpLog(options, truth, model, &rng);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->sessions.size(), 500u);
+  EXPECT_EQ(log->max_positions, options.positions);
+  for (const auto& session : log->sessions) {
+    EXPECT_LT(session.query_id, options.num_queries);
+    EXPECT_EQ(static_cast<int>(session.results.size()), options.positions);
+  }
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -1,0 +1,111 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/noise_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clickmodels/evaluation.h"
+#include "clickmodels/pbm.h"
+#include "clickmodels/simulator.h"
+
+namespace microbrowse {
+namespace {
+
+SerpSimulatorOptions SimOptions() {
+  SerpSimulatorOptions options;
+  options.num_queries = 20;
+  options.docs_per_query = 12;
+  options.positions = 6;
+  options.num_sessions = 60000;
+  options.seed = 77;
+  return options;
+}
+
+NoiseAwareClickModel MakeGenerator(const SerpGroundTruth& truth, double eta) {
+  const std::vector<double> gamma = {0.9, 0.7, 0.5, 0.35, 0.25, 0.18};
+  const std::vector<double> beta = {0.3, 0.3, 0.3, 0.3, 0.3, 0.3};
+  return NoiseAwareClickModel(gamma, truth.attraction, eta, beta);
+}
+
+TEST(NoiseAwareTest, SimulationMixesChannels) {
+  SerpSimulatorOptions options = SimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const NoiseAwareClickModel generator = MakeGenerator(truth, 0.5);
+  Session session;
+  session.query_id = 0;
+  session.results.assign(6, SessionResult{truth.query_docs[0][0], false});
+  int clicks = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Session copy = session;
+    generator.SimulateClicks(&copy, &rng);
+    clicks += copy.num_clicks();
+  }
+  const auto marginal = generator.MarginalClickProbs(session);
+  double expected = 0.0;
+  for (double p : marginal) expected += p;
+  EXPECT_NEAR(clicks / double(n), expected, 0.05);
+}
+
+TEST(NoiseAwareTest, RecoversNoiseFraction) {
+  SerpSimulatorOptions options = SimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const NoiseAwareClickModel generator = MakeGenerator(truth, 0.25);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  NoiseAwareClickModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  EXPECT_GT(fitted.eta(), 0.08);  // Detects substantial noise...
+  EXPECT_LT(fitted.eta(), 0.55);  // ...without absorbing everything.
+}
+
+TEST(NoiseAwareTest, BeatsPlainPbmUnderHeavyNoise) {
+  SerpSimulatorOptions options = SimOptions();
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const NoiseAwareClickModel generator = MakeGenerator(truth, 0.35);
+  auto train = SimulateSerpLog(options, truth, generator, &rng);
+  auto test = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(train.ok());
+  ASSERT_TRUE(test.ok());
+
+  NoiseAwareClickModel ncm;
+  ASSERT_TRUE(ncm.Fit(*train).ok());
+  PositionBasedModel pbm;
+  ASSERT_TRUE(pbm.Fit(*train).ok());
+
+  const auto ncm_eval = EvaluateClickModel(ncm, *test);
+  const auto pbm_eval = EvaluateClickModel(pbm, *test);
+  EXPECT_GE(ncm_eval.avg_log_likelihood, pbm_eval.avg_log_likelihood - 1e-6);
+}
+
+TEST(NoiseAwareTest, ZeroNoiseDegeneratesToPbmShape) {
+  SerpSimulatorOptions options = SimOptions();
+  options.num_sessions = 40000;
+  Rng rng(options.seed);
+  const SerpGroundTruth truth = MakeSerpGroundTruth(options, &rng);
+  const std::vector<double> gamma = {0.9, 0.7, 0.5, 0.35, 0.25, 0.18};
+  const PositionBasedModel generator(gamma, truth.attraction);
+  auto log = SimulateSerpLog(options, truth, generator, &rng);
+  ASSERT_TRUE(log.ok());
+
+  NoiseAwareClickModel fitted;
+  ASSERT_TRUE(fitted.Fit(*log).ok());
+  // On noise-free data, the learned position curve keeps its decay.
+  for (size_t i = 1; i < fitted.position_probs().size(); ++i) {
+    EXPECT_LT(fitted.position_probs()[i], fitted.position_probs()[i - 1] + 0.05);
+  }
+}
+
+TEST(NoiseAwareTest, FitRejectsEmptyLog) {
+  NoiseAwareClickModel model;
+  EXPECT_FALSE(model.Fit(ClickLog{}).ok());
+}
+
+}  // namespace
+}  // namespace microbrowse

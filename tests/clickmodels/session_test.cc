@@ -1,0 +1,90 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "clickmodels/session.h"
+
+#include <gtest/gtest.h>
+
+#include "clickmodels/param_table.h"
+
+namespace microbrowse {
+namespace {
+
+Session MakeSession(std::initializer_list<bool> clicks) {
+  Session session;
+  int doc = 0;
+  for (bool clicked : clicks) {
+    session.results.push_back(SessionResult{doc++, clicked});
+  }
+  return session;
+}
+
+TEST(SessionTest, LastClickPosition) {
+  EXPECT_EQ(MakeSession({false, false, false}).last_click_position(), -1);
+  EXPECT_EQ(MakeSession({true, false, false}).last_click_position(), 0);
+  EXPECT_EQ(MakeSession({true, false, true}).last_click_position(), 2);
+  EXPECT_EQ(Session().last_click_position(), -1);
+}
+
+TEST(SessionTest, NumClicks) {
+  EXPECT_EQ(MakeSession({false, false}).num_clicks(), 0);
+  EXPECT_EQ(MakeSession({true, false, true}).num_clicks(), 2);
+}
+
+TEST(ClickLogTest, RecomputeBounds) {
+  ClickLog log;
+  Session a;
+  a.query_id = 3;
+  a.results = {SessionResult{10, false}, SessionResult{4, true}};
+  Session b;
+  b.query_id = 1;
+  b.results = {SessionResult{7, false}};
+  log.sessions = {a, b};
+  log.RecomputeBounds();
+  EXPECT_EQ(log.num_queries, 4);
+  EXPECT_EQ(log.num_docs, 11);
+  EXPECT_EQ(log.max_positions, 2);
+}
+
+TEST(ClickLogTest, EmptyLogBounds) {
+  ClickLog log;
+  log.RecomputeBounds();
+  EXPECT_EQ(log.num_queries, 0);
+  EXPECT_EQ(log.num_docs, 0);
+  EXPECT_EQ(log.max_positions, 0);
+}
+
+TEST(QueryDocKeyTest, IsInjectiveOverComponents) {
+  EXPECT_NE(QueryDocKey(1, 2), QueryDocKey(2, 1));
+  EXPECT_EQ(QueryDocKey(5, 9), QueryDocKey(5, 9));
+  EXPECT_NE(QueryDocKey(0, 1), QueryDocKey(1, 0));
+}
+
+TEST(QueryDocTableTest, DefaultForUnseenPairs) {
+  QueryDocTable table(0.25);
+  EXPECT_DOUBLE_EQ(table.Get(1, 2), 0.25);
+  table.Set(1, 2, 0.9);
+  EXPECT_DOUBLE_EQ(table.Get(1, 2), 0.9);
+  EXPECT_DOUBLE_EQ(table.Get(1, 3), 0.25);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(QueryDocAccumulatorTest, RatioWithSmoothing) {
+  QueryDocAccumulator acc;
+  acc.Add(0, 0, 3.0, 4.0);
+  acc.Add(0, 0, 1.0, 1.0);  // Totals: num 4, den 5.
+  QueryDocTable table(0.5);
+  acc.Flush(table, /*alpha=*/1.0, /*prior=*/0.5);
+  EXPECT_NEAR(table.Get(0, 0), (4.0 + 0.5) / (5.0 + 1.0), 1e-12);
+}
+
+TEST(QueryDocAccumulatorTest, ClearResets) {
+  QueryDocAccumulator acc;
+  acc.Add(0, 0, 1.0, 1.0);
+  acc.Clear();
+  QueryDocTable table(0.5);
+  acc.Flush(table);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace microbrowse

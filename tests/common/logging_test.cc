@@ -1,0 +1,56 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace microbrowse {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning), static_cast<int>(LogLevel::kError));
+}
+
+TEST(LoggingTest, SuppressedStatementsDoNotEvaluateEagerly) {
+  // The MB_LOG macro must not emit (or crash) below the active level; the
+  // stream expression still evaluates, so keep it side-effect-free.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  MB_LOG(kDebug) << "invisible " << 42;
+  MB_LOG(kInfo) << "also invisible";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingTest, EmittedStatementsDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  MB_LOG(kDebug) << "debug message " << 1;
+  MB_LOG(kWarning) << "warning message " << 2.5;
+  MB_LOG(kError) << "error message " << "text";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(CheckTest, PassingCheckIsANoop) {
+  MB_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ MB_CHECK(false) << "boom"; }, "CHECK FAILED");
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -1,0 +1,162 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace microbrowse {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(1.0), 0.7310585786300049, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1.0), 1.0 - Sigmoid(1.0), 1e-12);
+}
+
+TEST(SigmoidTest, ExtremesDoNotOverflow) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(710.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-710.0)));
+}
+
+TEST(SigmoidTest, SymmetryProperty) {
+  for (double x : {0.1, 0.5, 2.0, 17.0, 33.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(Log1pExpTest, MatchesNaiveInSafeRange) {
+  for (double x : {-10.0, -1.0, 0.0, 1.0, 10.0, 30.0}) {
+    EXPECT_NEAR(Log1pExp(x), std::log1p(std::exp(x)), 1e-9);
+  }
+}
+
+TEST(Log1pExpTest, LargeArgumentsAreLinear) {
+  EXPECT_NEAR(Log1pExp(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(Log1pExp(-100.0), 0.0, 1e-9);
+}
+
+TEST(LogitTest, InvertsSigmoid) {
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(Sigmoid(Logit(p)), p, 1e-9);
+  }
+}
+
+TEST(LogitTest, ClampsBoundaries) {
+  EXPECT_TRUE(std::isfinite(Logit(0.0)));
+  EXPECT_TRUE(std::isfinite(Logit(1.0)));
+  EXPECT_LT(Logit(0.0), 0.0);
+  EXPECT_GT(Logit(1.0), 0.0);
+}
+
+TEST(LogLossTest, PerfectAndWorstPredictions) {
+  EXPECT_NEAR(LogLoss(1.0, 1.0), 0.0, 1e-9);
+  EXPECT_NEAR(LogLoss(0.0, 0.0), 0.0, 1e-9);
+  EXPECT_GT(LogLoss(1.0, 0.0), 20.0);  // Clamped, large but finite.
+  EXPECT_TRUE(std::isfinite(LogLoss(1.0, 0.0)));
+}
+
+TEST(LogLossTest, HalfProbabilityIsLog2) {
+  EXPECT_NEAR(LogLoss(1.0, 0.5), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogLoss(0.0, 0.5), std::log(2.0), 1e-12);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExpTest, SingleValue) {
+  EXPECT_NEAR(LogSumExp({3.5}), 3.5, 1e-12);
+}
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1.0, 2.0, 3.0}),
+              std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0)), 1e-9);
+}
+
+TEST(LogSumExpTest, StableForLargeInputs) {
+  const double result = LogSumExp({1000.0, 1000.0});
+  EXPECT_NEAR(result, 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(StdNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(StdNormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(OnlineStatsTest, EmptyStats) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleObservation) {
+  OnlineStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, MatchesClosedForm) {
+  OnlineStats stats;
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double x : xs) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_NEAR(stats.variance(), 2.5, 1e-12);  // Sample variance.
+  EXPECT_NEAR(stats.stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(TwoProportionZTest, DegenerateInputs) {
+  EXPECT_EQ(TwoProportionZTest(0, 0, 5, 10).p_value, 1.0);
+  EXPECT_EQ(TwoProportionZTest(5, 10, 0, 0).p_value, 1.0);
+  // Pooled variance zero: all successes.
+  EXPECT_EQ(TwoProportionZTest(10, 10, 10, 10).p_value, 1.0);
+}
+
+TEST(TwoProportionZTest, EqualProportionsAreInsignificant) {
+  const auto test = TwoProportionZTest(50, 100, 50, 100);
+  EXPECT_NEAR(test.z, 0.0, 1e-12);
+  EXPECT_NEAR(test.p_value, 1.0, 1e-12);
+}
+
+TEST(TwoProportionZTest, LargeDifferenceIsSignificant) {
+  const auto test = TwoProportionZTest(80, 100, 20, 100);
+  EXPECT_GT(test.z, 5.0);
+  EXPECT_LT(test.p_value, 1e-6);
+}
+
+TEST(TwoProportionZTest, SignFollowsDirection) {
+  EXPECT_GT(TwoProportionZTest(60, 100, 40, 100).z, 0.0);
+  EXPECT_LT(TwoProportionZTest(40, 100, 60, 100).z, 0.0);
+}
+
+TEST(TwoProportionZTest, MoreDataMoreSignificance) {
+  const auto small = TwoProportionZTest(55, 100, 45, 100);
+  const auto large = TwoProportionZTest(5500, 10000, 4500, 10000);
+  EXPECT_LT(large.p_value, small.p_value);
+}
+
+TEST(WilsonLowerBoundTest, Properties) {
+  EXPECT_EQ(WilsonLowerBound(0, 0), 0.0);
+  EXPECT_EQ(WilsonLowerBound(0, 100), 0.0);
+  // Lower bound is below the raw proportion.
+  EXPECT_LT(WilsonLowerBound(50, 100), 0.5);
+  // And converges toward it with more data.
+  EXPECT_GT(WilsonLowerBound(5000, 10000), WilsonLowerBound(50, 100));
+  EXPECT_GT(WilsonLowerBound(90, 100), WilsonLowerBound(10, 100));
+}
+
+}  // namespace
+}  // namespace microbrowse

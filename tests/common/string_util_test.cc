@@ -1,0 +1,88 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace microbrowse {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  const std::string text = "x,y,z,w";
+  EXPECT_EQ(Join(Split(text, ','), ","), text);
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("Hello World 123"), "hello world 123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StripAsciiWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  core  "), "core");
+  EXPECT_EQ(StripAsciiWhitespace("core"), "core");
+  EXPECT_EQ(StripAsciiWhitespace("\t\n "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(AffixTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("rewrite:a=>b", "rewrite:"));
+  EXPECT_FALSE(StartsWith("rw", "rewrite"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(AffixTest, EndsWith) {
+  EXPECT_TRUE(EndsWith("table2.csv", ".csv"));
+  EXPECT_FALSE(EndsWith(".csv", "table.csv"));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_arg(1000, 'a');
+  EXPECT_EQ(StrFormat("%s", long_arg.c_str()).size(), 1000u);
+}
+
+TEST(FormatDoubleTest, RoundsCorrectly) {
+  EXPECT_EQ(FormatDouble(0.5729, 3), "0.573");
+  EXPECT_EQ(FormatDouble(1.0, 1), "1.0");
+}
+
+TEST(FormatPercentTest, ScalesAndAppendsSign) {
+  EXPECT_EQ(FormatPercent(0.559), "55.9%");
+  EXPECT_EQ(FormatPercent(0.7123, 2), "71.23%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace microbrowse

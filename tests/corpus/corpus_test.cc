@@ -1,0 +1,441 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Tests for the synthetic ADCORPUS substrate: phrase pools, ground-truth
+// relevance, the generator, serve weights and pair extraction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "corpus/generator.h"
+#include "corpus/pair_extraction.h"
+#include "corpus/phrase_pool.h"
+#include "corpus/pool_relevance.h"
+#include "corpus/serve_weight.h"
+
+namespace microbrowse {
+namespace {
+
+// --- PhrasePool
+
+class BuiltinPoolTest : public ::testing::TestWithParam<int> {
+ protected:
+  PhrasePool GetPool() const {
+    switch (GetParam()) {
+      case 0:
+        return PhrasePool::Travel();
+      case 1:
+        return PhrasePool::Shopping();
+      default:
+        return PhrasePool::Finance();
+    }
+  }
+};
+
+TEST_P(BuiltinPoolTest, EverySlotHasEnoughPhrases) {
+  const PhrasePool pool = GetPool();
+  for (int s = 0; s < kNumSlotTypes; ++s) {
+    EXPECT_GE(pool.PhrasesFor(static_cast<SlotType>(s)).size(), 4u)
+        << SlotTypeName(static_cast<SlotType>(s));
+  }
+}
+
+TEST_P(BuiltinPoolTest, AppealsAreInRange) {
+  const PhrasePool pool = GetPool();
+  for (int s = 0; s < kNumSlotTypes; ++s) {
+    for (const Phrase& phrase : pool.PhrasesFor(static_cast<SlotType>(s))) {
+      EXPECT_GT(phrase.appeal, 0.0) << phrase.text;
+      EXPECT_LT(phrase.appeal, 1.0) << phrase.text;
+      EXPECT_FALSE(phrase.text.empty());
+    }
+  }
+}
+
+TEST_P(BuiltinPoolTest, PhrasesAreShortTokenSequences) {
+  const PhrasePool pool = GetPool();
+  for (int s = 0; s < kNumSlotTypes; ++s) {
+    for (const Phrase& phrase : pool.PhrasesFor(static_cast<SlotType>(s))) {
+      // No leading/trailing spaces; at most ~6 tokens.
+      EXPECT_EQ(phrase.text.front() == ' ', false);
+      EXPECT_EQ(phrase.text.back() == ' ', false);
+      EXPECT_LE(std::count(phrase.text.begin(), phrase.text.end(), ' '), 6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVerticals, BuiltinPoolTest, ::testing::Values(0, 1, 2));
+
+TEST(PhrasePoolTest, SampleIndexExcludingNeverReturnsExcluded) {
+  const PhrasePool pool = PhrasePool::Travel();
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NE(pool.SampleIndexExcluding(SlotType::kAction, 2, &rng), 2u);
+  }
+}
+
+TEST(PhrasePoolTest, SyntheticPoolHasRequestedSize) {
+  Rng rng(5);
+  const PhrasePool pool = PhrasePool::Synthetic(7, &rng);
+  for (int s = 0; s < kNumSlotTypes; ++s) {
+    EXPECT_EQ(pool.PhrasesFor(static_cast<SlotType>(s)).size(), 7u);
+  }
+  EXPECT_EQ(pool.total_phrases(), 7u * kNumSlotTypes);
+}
+
+// --- PoolRelevance
+
+TEST(PoolRelevanceTest, PhraseLookupReturnsAppeal) {
+  PhrasePool pool;
+  pool.Add(SlotType::kOffer, "20% off", 0.92);
+  PoolRelevance relevance(pool, /*jitter=*/0.0);
+  EXPECT_NEAR(relevance.BaseRelevance("20% off"), 0.92, 1e-12);
+}
+
+TEST(PoolRelevanceTest, TokenDecompositionMultipliesToAppeal) {
+  PhrasePool pool;
+  pool.Add(SlotType::kQuality, "free cancellation", 0.81);
+  PoolRelevance relevance(pool, 0.0);
+  const double per_token = relevance.BaseRelevance("free");
+  EXPECT_NEAR(per_token * relevance.BaseRelevance("cancellation"), 0.81, 1e-9);
+}
+
+TEST(PoolRelevanceTest, UnknownTokensGetDefault) {
+  PoolRelevance relevance;  // Empty map.
+  EXPECT_NEAR(relevance.BaseRelevance("whatever"), 0.95, 1e-12);
+}
+
+TEST(PoolRelevanceTest, SharedTokenKeepsMaxValue) {
+  PhrasePool pool;
+  pool.Add(SlotType::kQuality, "free shipping", 0.92);
+  pool.Add(SlotType::kOffer, "free upgrade", 0.64);
+  PoolRelevance relevance(pool, 0.0);
+  EXPECT_NEAR(relevance.BaseRelevance("free"), std::sqrt(0.92), 1e-9);
+}
+
+TEST(PoolRelevanceTest, JitterIsDeterministicPerQueryToken) {
+  PhrasePool pool;
+  pool.Add(SlotType::kOffer, "big sale", 0.8);
+  PoolRelevance relevance(pool, /*jitter=*/0.8);
+  EXPECT_DOUBLE_EQ(relevance.Relevance(1, "big sale"), relevance.Relevance(1, "big sale"));
+  // Different queries typically perturb differently.
+  int distinct = 0;
+  for (int32_t q = 0; q < 20; ++q) {
+    if (std::fabs(relevance.Relevance(q, "big sale") - relevance.Relevance(0, "big sale")) >
+        1e-6) {
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 10);
+}
+
+TEST(PoolRelevanceTest, JitterPreservesBounds) {
+  PhrasePool pool;
+  pool.Add(SlotType::kOffer, "x", 0.99);
+  pool.Add(SlotType::kOffer, "y", 0.05);
+  PoolRelevance relevance(pool, /*jitter=*/3.0);
+  for (int32_t q = 0; q < 200; ++q) {
+    for (const char* token : {"x", "y", "unknown"}) {
+      const double r = relevance.Relevance(q, token);
+      EXPECT_GT(r, 0.0);
+      EXPECT_LT(r, 1.0);
+    }
+  }
+}
+
+TEST(PoolRelevanceTest, ZeroJitterIsBase) {
+  PhrasePool pool;
+  pool.Add(SlotType::kAction, "book", 0.74);
+  PoolRelevance relevance(pool, 0.0);
+  for (int32_t q = 0; q < 5; ++q) {
+    EXPECT_DOUBLE_EQ(relevance.Relevance(q, "book"), 0.74);
+  }
+}
+
+// --- Generator
+
+AdCorpusOptions SmallCorpusOptions() {
+  AdCorpusOptions options;
+  options.num_adgroups = 300;
+  options.seed = 99;
+  return options;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto a = GenerateAdCorpus(SmallCorpusOptions());
+  auto b = GenerateAdCorpus(SmallCorpusOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->corpus.adgroups.size(), b->corpus.adgroups.size());
+  for (size_t g = 0; g < a->corpus.adgroups.size(); ++g) {
+    const AdGroup& ga = a->corpus.adgroups[g];
+    const AdGroup& gb = b->corpus.adgroups[g];
+    ASSERT_EQ(ga.creatives.size(), gb.creatives.size());
+    for (size_t c = 0; c < ga.creatives.size(); ++c) {
+      EXPECT_EQ(ga.creatives[c].snippet, gb.creatives[c].snippet);
+      EXPECT_EQ(ga.creatives[c].clicks, gb.creatives[c].clicks);
+      EXPECT_EQ(ga.creatives[c].impressions, gb.creatives[c].impressions);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateAdCorpus(SmallCorpusOptions());
+  AdCorpusOptions other = SmallCorpusOptions();
+  other.seed = 100;
+  auto b = GenerateAdCorpus(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->corpus.adgroups[0].creatives[0].snippet ==
+               b->corpus.adgroups[0].creatives[0].snippet);
+}
+
+TEST(GeneratorTest, StructuralInvariants) {
+  auto generated = GenerateAdCorpus(SmallCorpusOptions());
+  ASSERT_TRUE(generated.ok());
+  const AdCorpus& corpus = generated->corpus;
+  EXPECT_GT(corpus.adgroups.size(), 250u);
+  std::set<int64_t> creative_ids;
+  for (const AdGroup& group : corpus.adgroups) {
+    EXPECT_GE(group.creatives.size(), 2u);
+    EXPECT_LE(group.creatives.size(), 4u);
+    EXPECT_FALSE(group.keyword.empty());
+    for (const Creative& creative : group.creatives) {
+      EXPECT_TRUE(creative_ids.insert(creative.id).second) << "duplicate creative id";
+      EXPECT_EQ(creative.snippet.num_lines(), 3);
+      EXPECT_GE(creative.impressions, 200);
+      EXPECT_GE(creative.clicks, 0);
+      EXPECT_LE(creative.clicks, creative.impressions);
+      EXPECT_GT(creative.true_ctr, 0.0);
+      EXPECT_LT(creative.true_ctr, 1.0);
+      // Brand line is never empty.
+      EXPECT_FALSE(creative.snippet.line(0).empty());
+    }
+    // Siblings differ in text or layout.
+    for (size_t i = 0; i + 1 < group.creatives.size(); ++i) {
+      for (size_t j = i + 1; j < group.creatives.size(); ++j) {
+        EXPECT_FALSE(group.creatives[i].snippet == group.creatives[j].snippet)
+            << "identical siblings in adgroup " << group.id;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ObservedCtrTracksTrueCtr) {
+  auto generated = GenerateAdCorpus(SmallCorpusOptions());
+  ASSERT_TRUE(generated.ok());
+  double total_abs_error = 0.0;
+  int count = 0;
+  for (const AdGroup& group : generated->corpus.adgroups) {
+    for (const Creative& creative : group.creatives) {
+      total_abs_error += std::fabs(creative.ctr() - creative.true_ctr);
+      ++count;
+    }
+  }
+  // With ~400k impressions the empirical CTR hugs the true CTR.
+  EXPECT_LT(total_abs_error / count, 0.002);
+}
+
+TEST(GeneratorTest, RhsPlacementLowersCtrAndImpressions) {
+  auto top = GenerateAdCorpus(SmallCorpusOptions());
+  AdCorpusOptions rhs_options = SmallCorpusOptions();
+  rhs_options.placement = Placement::kRhs;
+  auto rhs = GenerateAdCorpus(rhs_options);
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(rhs.ok());
+  auto mean_ctr = [](const AdCorpus& corpus) {
+    double total = 0.0;
+    int n = 0;
+    for (const auto& group : corpus.adgroups) {
+      for (const auto& creative : group.creatives) {
+        total += creative.true_ctr;
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  EXPECT_LT(mean_ctr(rhs->corpus), 0.6 * mean_ctr(top->corpus));
+}
+
+TEST(GeneratorTest, RejectsInvalidOptions) {
+  AdCorpusOptions options;
+  options.num_adgroups = 0;
+  EXPECT_FALSE(GenerateAdCorpus(options).ok());
+  options = AdCorpusOptions();
+  options.min_creatives = 1;
+  EXPECT_FALSE(GenerateAdCorpus(options).ok());
+  options = AdCorpusOptions();
+  options.min_creatives = 5;
+  options.max_creatives = 3;
+  EXPECT_FALSE(GenerateAdCorpus(options).ok());
+}
+
+TEST(GeneratorTest, SameKeywordWithinAdgroup) {
+  auto generated = GenerateAdCorpus(SmallCorpusOptions());
+  ASSERT_TRUE(generated.ok());
+  // Keyword ids are consistent: two adgroups with the same keyword string
+  // share the keyword id.
+  std::map<std::string, int32_t> seen;
+  for (const AdGroup& group : generated->corpus.adgroups) {
+    auto [it, inserted] = seen.emplace(group.keyword, group.keyword_id);
+    if (!inserted) {
+      EXPECT_EQ(it->second, group.keyword_id) << group.keyword;
+    }
+  }
+}
+
+// --- Serve weights
+
+TEST(ServeWeightTest, WeightsAverageToOne) {
+  AdGroup group;
+  for (int i = 0; i < 3; ++i) {
+    Creative creative;
+    creative.impressions = 1000;
+    creative.clicks = 50 + 20 * i;  // 50, 70, 90 clicks.
+    group.creatives.push_back(creative);
+  }
+  const auto weights = ComputeServeWeights(group);
+  ASSERT_EQ(weights.size(), 3u);
+  // Impression-weighted mean of serve weights is 1 by construction.
+  EXPECT_NEAR((weights[0] + weights[1] + weights[2]) / 3.0, 1.0, 1e-9);
+  EXPECT_LT(weights[0], weights[1]);
+  EXPECT_LT(weights[1], weights[2]);
+}
+
+TEST(ServeWeightTest, HigherCtrMeansHigherWeight) {
+  AdGroup group;
+  Creative a;
+  a.impressions = 2000;
+  a.clicks = 100;  // 5%
+  Creative b;
+  b.impressions = 1000;
+  b.clicks = 80;  // 8%
+  group.creatives = {a, b};
+  const auto weights = ComputeServeWeights(group);
+  EXPECT_GT(weights[1], weights[0]);
+  EXPECT_NEAR(weights[1] / weights[0], 0.08 / 0.05, 1e-9);
+}
+
+TEST(ServeWeightTest, DegenerateGroups) {
+  AdGroup empty_group;
+  EXPECT_TRUE(ComputeServeWeights(empty_group).empty());
+
+  AdGroup no_clicks;
+  Creative c;
+  c.impressions = 100;
+  c.clicks = 0;
+  no_clicks.creatives = {c, c};
+  const auto weights = ComputeServeWeights(no_clicks);
+  EXPECT_EQ(weights, (std::vector<double>{1.0, 1.0}));
+
+  AdGroup zero_impressions;
+  Creative z;
+  zero_impressions.creatives = {z};
+  EXPECT_EQ(ComputeServeWeights(zero_impressions), (std::vector<double>{1.0}));
+}
+
+// --- Pair extraction
+
+TEST(PairExtractionTest, OnlySignificantPairsSurvive) {
+  AdCorpus corpus;
+  AdGroup group;
+  group.id = 1;
+  group.keyword_id = 5;
+  Creative strong;
+  strong.snippet = Snippet::FromTokens({{"a"}});
+  strong.impressions = 100000;
+  strong.clicks = 9000;  // 9%
+  Creative weak;
+  weak.snippet = Snippet::FromTokens({{"b"}});
+  weak.impressions = 100000;
+  weak.clicks = 5000;  // 5%
+  Creative similar;
+  similar.snippet = Snippet::FromTokens({{"c"}});
+  similar.impressions = 300;
+  similar.clicks = 27;  // 9% but tiny sample.
+  group.creatives = {strong, weak, similar};
+  corpus.adgroups.push_back(group);
+
+  PairExtractionOptions options;
+  options.min_impressions = 200;
+  const PairCorpus pairs = ExtractSignificantPairs(corpus, options);
+  // strong-vs-weak is hugely significant; pairs against `similar` are not
+  // (tiny sample, same CTR as strong).
+  ASSERT_GE(pairs.pairs.size(), 1u);
+  bool found_strong_weak = false;
+  for (const auto& pair : pairs.pairs) {
+    EXPECT_EQ(pair.adgroup_id, 1);
+    EXPECT_EQ(pair.keyword_id, 5);
+    if (pair.r.clicks == 9000 && pair.s.clicks == 5000) found_strong_weak = true;
+    EXPECT_FALSE(pair.r.clicks == 9000 && pair.s.clicks == 27);
+  }
+  EXPECT_TRUE(found_strong_weak);
+}
+
+TEST(PairExtractionTest, MinImpressionsFilter) {
+  AdCorpus corpus;
+  AdGroup group;
+  Creative a;
+  a.impressions = 100;
+  a.clicks = 50;
+  Creative b;
+  b.impressions = 100;
+  b.clicks = 5;
+  group.creatives = {a, b};
+  corpus.adgroups.push_back(group);
+  PairExtractionOptions options;
+  options.min_impressions = 500;
+  EXPECT_TRUE(ExtractSignificantPairs(corpus, options).pairs.empty());
+}
+
+TEST(PairExtractionTest, MaxPairsPerAdgroupCap) {
+  AdCorpus corpus;
+  AdGroup group;
+  for (int i = 0; i < 6; ++i) {
+    Creative c;
+    c.snippet = Snippet::FromTokens({{std::to_string(i)}});
+    c.impressions = 100000;
+    c.clicks = 2000 + 1500 * i;  // All pairwise differences significant.
+    group.creatives.push_back(c);
+  }
+  corpus.adgroups.push_back(group);
+  PairExtractionOptions options;
+  options.max_pairs_per_adgroup = 4;
+  EXPECT_EQ(ExtractSignificantPairs(corpus, options).pairs.size(), 4u);
+  options.max_pairs_per_adgroup = 0;  // Unlimited: C(6,2) = 15.
+  EXPECT_EQ(ExtractSignificantPairs(corpus, options).pairs.size(), 15u);
+}
+
+TEST(PairExtractionTest, ServeWeightsAttached) {
+  AdCorpus corpus;
+  AdGroup group;
+  Creative a;
+  a.snippet = Snippet::FromTokens({{"a"}});
+  a.impressions = 50000;
+  a.clicks = 5000;
+  Creative b;
+  b.snippet = Snippet::FromTokens({{"b"}});
+  b.impressions = 50000;
+  b.clicks = 2500;
+  group.creatives = {a, b};
+  corpus.adgroups.push_back(group);
+  const PairCorpus pairs = ExtractSignificantPairs(corpus, {});
+  ASSERT_EQ(pairs.pairs.size(), 1u);
+  EXPECT_GT(pairs.pairs[0].r.serve_weight, pairs.pairs[0].s.serve_weight);
+  EXPECT_EQ(pairs.pairs[0].delta_sw(), 1);
+  EXPECT_GT(pairs.pairs[0].sw_diff(), 0.0);
+}
+
+TEST(PairExtractionTest, EndToEndYieldsPairs) {
+  auto generated = GenerateAdCorpus(SmallCorpusOptions());
+  ASSERT_TRUE(generated.ok());
+  const PairCorpus pairs = ExtractSignificantPairs(generated->corpus, {});
+  // At the default noise/impression levels most sibling pairs differ
+  // significantly.
+  EXPECT_GT(pairs.pairs.size(), generated->corpus.adgroups.size() / 2);
+}
+
+}  // namespace
+}  // namespace microbrowse

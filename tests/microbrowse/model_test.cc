@@ -1,0 +1,223 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Tests for the micro-browsing model itself (Section III): examination
+// curves, Eq. 3 relevance products, sampling consistency and the pairwise
+// score of Eq. 5.
+
+#include "microbrowse/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace microbrowse {
+namespace {
+
+TEST(ExaminationCurveTest, DecaysWithinLine) {
+  const ExaminationCurve curve = ExaminationCurve::TopPlacement();
+  for (int line = 0; line < 3; ++line) {
+    for (int pos = 1; pos < 8; ++pos) {
+      EXPECT_LE(curve.Probability(line, pos), curve.Probability(line, pos - 1))
+          << "line " << line << " pos " << pos;
+    }
+  }
+}
+
+TEST(ExaminationCurveTest, DecaysAcrossLines) {
+  const ExaminationCurve curve = ExaminationCurve::TopPlacement();
+  EXPECT_GT(curve.Probability(0, 0), curve.Probability(1, 0));
+  EXPECT_GT(curve.Probability(1, 0), curve.Probability(2, 0));
+}
+
+TEST(ExaminationCurveTest, RhsWeakerThanTopEverywhere) {
+  const ExaminationCurve top = ExaminationCurve::TopPlacement();
+  const ExaminationCurve rhs = ExaminationCurve::RhsPlacement();
+  for (int line = 0; line < 3; ++line) {
+    for (int pos = 0; pos < 8; ++pos) {
+      EXPECT_LE(rhs.Probability(line, pos), top.Probability(line, pos));
+    }
+  }
+}
+
+TEST(ExaminationCurveTest, ProbabilitiesAreProbabilities) {
+  const ExaminationCurve curve({1.5, 0.5}, 0.9, 0.02);  // Base above 1 gets clamped.
+  for (int line = 0; line < 5; ++line) {
+    for (int pos = 0; pos < 20; ++pos) {
+      const double p = curve.Probability(line, pos);
+      EXPECT_GE(p, 0.02);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(ExaminationCurveTest, FloorHolds) {
+  const ExaminationCurve curve({0.5}, 0.5, 0.1);
+  EXPECT_NEAR(curve.Probability(0, 30), 0.1, 1e-12);
+}
+
+TEST(ExaminationCurveTest, LinesBeyondVectorReuseLast) {
+  const ExaminationCurve curve({0.8, 0.4}, 1.0, 0.02);
+  EXPECT_DOUBLE_EQ(curve.Probability(7, 0), curve.Probability(1, 0));
+}
+
+TEST(ExaminationCurveTest, ScaledMultipliesBases) {
+  const ExaminationCurve curve({0.8, 0.4}, 0.9, 0.02);
+  const ExaminationCurve half = curve.Scaled(0.5);
+  EXPECT_NEAR(half.Probability(0, 0), 0.4, 1e-12);
+  EXPECT_NEAR(half.Probability(1, 0), 0.2, 1e-12);
+}
+
+Snippet TwoTokenSnippet() { return Snippet::FromTokens({{"good", "bad"}}); }
+
+MapRelevance SimpleRelevance() {
+  MapRelevance relevance(0.9);
+  relevance.Set("good", 0.95);
+  relevance.Set("bad", 0.40);
+  return relevance;
+}
+
+TEST(MicroBrowsingModelTest, ExpectedClickProbabilityClosedForm) {
+  const ExaminationCurve curve({0.8}, 0.5, 0.02);  // p(0,0)=0.8, p(0,1)=0.4.
+  const MicroBrowsingModel model(curve, /*base_ctr=*/0.1);
+  const MapRelevance relevance = SimpleRelevance();
+  const double expected =
+      0.1 * (1.0 - 0.8 * (1.0 - 0.95)) * (1.0 - 0.4 * (1.0 - 0.40));
+  EXPECT_NEAR(model.ExpectedClickProbability(0, TwoTokenSnippet(), relevance), expected, 1e-12);
+}
+
+TEST(MicroBrowsingModelTest, BetterTermsRaiseCtr) {
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), 0.1);
+  MapRelevance relevance(0.9);
+  relevance.Set("cheap", 0.95);
+  relevance.Set("expensive", 0.30);
+  const Snippet good = Snippet::FromTokens({{"cheap", "flights"}});
+  const Snippet bad = Snippet::FromTokens({{"expensive", "flights"}});
+  EXPECT_GT(model.ExpectedClickProbability(0, good, relevance),
+            model.ExpectedClickProbability(0, bad, relevance));
+}
+
+TEST(MicroBrowsingModelTest, SalientTermEarlierBeatsLater) {
+  // A low-relevance (off-putting) term hurts more when it is more visible;
+  // symmetric in reverse for a pure swap of good-vs-bad positions.
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), 0.1);
+  const MapRelevance relevance = SimpleRelevance();
+  const Snippet good_first = Snippet::FromTokens({{"good", "bad"}});
+  const Snippet bad_first = Snippet::FromTokens({{"bad", "good"}});
+  EXPECT_GT(model.ExpectedClickProbability(0, good_first, relevance),
+            model.ExpectedClickProbability(0, bad_first, relevance));
+}
+
+TEST(MicroBrowsingModelTest, EmptySnippetGivesBaseCtr) {
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), 0.07);
+  MapRelevance relevance(0.9);
+  EXPECT_NEAR(model.ExpectedClickProbability(0, Snippet(), relevance), 0.07, 1e-12);
+}
+
+TEST(MicroBrowsingModelTest, RelevanceGivenExaminationIsEq3) {
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), 1.0);
+  const MapRelevance relevance = SimpleRelevance();
+  const Snippet snippet = TwoTokenSnippet();
+  // Nothing examined: empty product = 1 (the paper's Eq. 3 verbatim).
+  EXPECT_NEAR(model.RelevanceGivenExamination(0, snippet, {{0, 0}}, relevance), 1.0, 1e-12);
+  // Both examined: product of relevances.
+  EXPECT_NEAR(model.RelevanceGivenExamination(0, snippet, {{1, 1}}, relevance), 0.95 * 0.40,
+              1e-12);
+  // Only the first examined.
+  EXPECT_NEAR(model.RelevanceGivenExamination(0, snippet, {{1, 0}}, relevance), 0.95, 1e-12);
+}
+
+TEST(MicroBrowsingModelTest, SampleExaminationsMatchesCurve) {
+  const ExaminationCurve curve({0.7}, 1.0, 0.02);
+  const MicroBrowsingModel model(curve, 1.0);
+  const Snippet snippet = TwoTokenSnippet();
+  Rng rng(5);
+  int first = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto pattern = model.SampleExaminations(snippet, &rng);
+    first += pattern[0][0];
+  }
+  EXPECT_NEAR(first / double(n), 0.7, 0.01);
+}
+
+TEST(MicroBrowsingModelTest, SampleClickFrequencyMatchesExpectation) {
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), 0.3);
+  const MapRelevance relevance = SimpleRelevance();
+  const Snippet snippet = TwoTokenSnippet();
+  const double expected = model.ExpectedClickProbability(0, snippet, relevance);
+  Rng rng(7);
+  int clicks = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    clicks += model.SampleClick(0, snippet, relevance, &rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(clicks / double(n), expected, 0.01);
+}
+
+TEST(MicroBrowsingModelTest, ScorePairIsAntisymmetric) {
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), 1.0);
+  const MapRelevance relevance = SimpleRelevance();
+  const Snippet r = Snippet::FromTokens({{"good"}});
+  const Snippet s = Snippet::FromTokens({{"bad"}});
+  const ExaminationPattern vr = {{1}};
+  const ExaminationPattern vs = {{1}};
+  const double forward = model.ScorePair(0, r, vr, s, vs, relevance);
+  const double backward = model.ScorePair(0, s, vs, r, vr, relevance);
+  EXPECT_NEAR(forward, -backward, 1e-12);
+  EXPECT_GT(forward, 0.0);  // "good" beats "bad".
+  // Matches Eq. 5 directly: log r_good - log r_bad.
+  EXPECT_NEAR(forward, std::log(0.95) - std::log(0.40), 1e-9);
+}
+
+TEST(MicroBrowsingModelTest, HeatmapWithoutCascadeEqualsCurve) {
+  const ExaminationCurve curve({0.8, 0.4}, 0.5, 0.02);
+  const MicroBrowsingModel model(curve, 0.1);
+  const MapRelevance relevance = SimpleRelevance();
+  const Snippet snippet = Snippet::FromTokens({{"good", "bad"}, {"good"}});
+  const auto heatmap = model.ExaminationHeatmap(0, snippet, relevance, /*absorb=*/0.0);
+  ASSERT_EQ(heatmap.size(), 2u);
+  EXPECT_NEAR(heatmap[0][0], 0.8, 1e-12);
+  EXPECT_NEAR(heatmap[0][1], 0.4, 1e-12);
+  EXPECT_NEAR(heatmap[1][0], 0.4, 1e-12);
+}
+
+TEST(MicroBrowsingModelTest, CascadeDimsLaterTokens) {
+  const ExaminationCurve curve({0.9}, 1.0, 0.02);  // Flat within the line.
+  const MicroBrowsingModel model(curve, 0.1);
+  MapRelevance relevance(0.9);
+  relevance.Set("salient", 0.99);
+  const Snippet snippet = Snippet::FromTokens({{"salient", "salient", "salient"}});
+  const auto without = model.ExaminationHeatmap(0, snippet, relevance, 0.0);
+  const auto with = model.ExaminationHeatmap(0, snippet, relevance, 0.5);
+  // Without the cascade the flat curve keeps all three equal; with it each
+  // successive token is strictly dimmer.
+  EXPECT_NEAR(without[0][2], without[0][0], 1e-12);
+  EXPECT_LT(with[0][1], with[0][0]);
+  EXPECT_LT(with[0][2], with[0][1]);
+  // First token is unaffected by the cascade.
+  EXPECT_NEAR(with[0][0], without[0][0], 1e-12);
+}
+
+TEST(MicroBrowsingModelTest, CascadeCrossesLines) {
+  const ExaminationCurve curve({0.9, 0.9}, 1.0, 0.02);
+  const MicroBrowsingModel model(curve, 0.1);
+  MapRelevance relevance(0.95);
+  const Snippet snippet = Snippet::FromTokens({{"a", "b"}, {"c"}});
+  const auto heatmap = model.ExaminationHeatmap(0, snippet, relevance, 0.4);
+  // Line 2's token is dimmed by the attention spent on line 1.
+  EXPECT_LT(heatmap[1][0], 0.9);
+}
+
+TEST(MicroBrowsingModelTest, UnexaminedTermsDoNotScore) {
+  const MicroBrowsingModel model(ExaminationCurve::TopPlacement(), 1.0);
+  const MapRelevance relevance = SimpleRelevance();
+  const Snippet r = Snippet::FromTokens({{"good", "bad"}});
+  const Snippet s = Snippet::FromTokens({{"good", "bad"}});
+  // Same snippet; examine "bad" only on the S side: score must be positive
+  // (S is penalised for the examined off-putting term).
+  const double score = model.ScorePair(0, r, {{0, 0}}, s, {{0, 1}}, relevance);
+  EXPECT_NEAR(score, -std::log(0.40), 1e-9);
+}
+
+}  // namespace
+}  // namespace microbrowse

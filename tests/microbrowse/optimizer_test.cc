@@ -1,0 +1,150 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "microbrowse/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "microbrowse/pipeline.h"
+
+namespace microbrowse {
+namespace {
+
+/// Training corpus with an unambiguous signal: creatives containing
+/// "winner" beat creatives containing "loser"; "meh" is neutral.
+PairCorpus TrainingCorpus(int n) {
+  PairCorpus corpus;
+  Rng rng(21);
+  for (int i = 0; i < n; ++i) {
+    SnippetPair pair;
+    pair.adgroup_id = i;
+    pair.keyword_id = i % 5;
+    const bool vary_layout = rng.Bernoulli(0.5);
+    pair.r.snippet = vary_layout
+                         ? Snippet::FromTokens({{"brand"}, {"winner", "stuff"}, {"meh"}})
+                         : Snippet::FromTokens({{"brand"}, {"meh"}, {"winner", "stuff"}});
+    pair.r.serve_weight = 1.25;
+    pair.s.snippet = vary_layout
+                         ? Snippet::FromTokens({{"brand"}, {"loser", "stuff"}, {"meh"}})
+                         : Snippet::FromTokens({{"brand"}, {"meh"}, {"loser", "stuff"}});
+    pair.s.serve_weight = 0.75;
+    corpus.pairs.push_back(pair);
+  }
+  return corpus;
+}
+
+struct TrainedBundle {
+  FeatureStatsDb db;
+  CoupledDataset dataset;
+  SnippetClassifierModel model;
+  ClassifierConfig config;
+};
+
+TrainedBundle Train() {
+  TrainedBundle bundle;
+  bundle.config = ClassifierConfig::M6();
+  const PairCorpus corpus = TrainingCorpus(300);
+  BuildStatsOptions stats_options;
+  stats_options.min_count = 2;
+  bundle.db = BuildFeatureStats(corpus, stats_options);
+  bundle.dataset = BuildClassifierDataset(corpus, bundle.db, bundle.config, 3);
+  auto model = TrainSnippetClassifier(bundle.dataset, bundle.config);
+  EXPECT_TRUE(model.ok());
+  bundle.model = *model;
+  return bundle;
+}
+
+TEST(PredictPairMarginTest, AgreesWithTrainingSignal) {
+  const TrainedBundle bundle = Train();
+  const Snippet winner = Snippet::FromTokens({{"brand"}, {"winner", "stuff"}, {"meh"}});
+  const Snippet loser = Snippet::FromTokens({{"brand"}, {"loser", "stuff"}, {"meh"}});
+  const double margin =
+      PredictPairMargin(winner, loser, bundle.db, bundle.config, bundle.model,
+                        bundle.dataset.t_registry, bundle.dataset.p_registry);
+  EXPECT_GT(margin, 0.5);
+  const double reverse =
+      PredictPairMargin(loser, winner, bundle.db, bundle.config, bundle.model,
+                        bundle.dataset.t_registry, bundle.dataset.p_registry);
+  EXPECT_LT(reverse, -0.5);
+}
+
+TEST(OptimizeSnippetTest, PicksTheWinningPhrase) {
+  const TrainedBundle bundle = Train();
+  SnippetCandidates candidates;
+  candidates.brand = "brand";
+  candidates.blocks = {{"loser stuff", "winner stuff"}, {"meh"}};
+  const Snippet reference = Snippet::FromTokens({{"brand"}, {"loser", "stuff"}, {"meh"}});
+
+  auto result = OptimizeSnippet(candidates, reference, bundle.db, bundle.config, bundle.model,
+                                bundle.dataset.t_registry, bundle.dataset.p_registry);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->margin_over_reference, 0.0);
+  // The optimised creative contains "winner".
+  bool has_winner = false;
+  for (int l = 0; l < result->snippet.num_lines(); ++l) {
+    for (const auto& token : result->snippet.line(l)) {
+      if (token == "winner") has_winner = true;
+    }
+  }
+  EXPECT_TRUE(has_winner);
+}
+
+TEST(OptimizeSnippetTest, UsesExactlyOnePhrasePerBlock) {
+  const TrainedBundle bundle = Train();
+  SnippetCandidates candidates;
+  candidates.brand = "brand";
+  candidates.blocks = {{"winner stuff", "loser stuff"}, {"meh", "blah"}};
+  const Snippet reference = Snippet::FromTokens({{"brand"}, {"meh"}});
+  auto result = OptimizeSnippet(candidates, reference, bundle.db, bundle.config, bundle.model,
+                                bundle.dataset.t_registry, bundle.dataset.p_registry);
+  ASSERT_TRUE(result.ok());
+  int content_tokens = 0;
+  for (int l = 0; l < result->snippet.num_lines(); ++l) {
+    content_tokens += static_cast<int>(result->snippet.line(l).size());
+  }
+  // brand(1) + one 2-token phrase + one 1-token phrase.
+  EXPECT_EQ(content_tokens, 4);
+}
+
+TEST(OptimizeSnippetTest, InvalidInputsRejected) {
+  const TrainedBundle bundle = Train();
+  const Snippet reference = Snippet::FromTokens({{"brand"}});
+  SnippetCandidates no_blocks;
+  no_blocks.brand = "brand";
+  EXPECT_FALSE(OptimizeSnippet(no_blocks, reference, bundle.db, bundle.config, bundle.model,
+                               bundle.dataset.t_registry, bundle.dataset.p_registry)
+                   .ok());
+  SnippetCandidates empty_block;
+  empty_block.brand = "brand";
+  empty_block.blocks = {{}};
+  EXPECT_FALSE(OptimizeSnippet(empty_block, reference, bundle.db, bundle.config, bundle.model,
+                               bundle.dataset.t_registry, bundle.dataset.p_registry)
+                   .ok());
+  SnippetCandidates fine;
+  fine.brand = "brand";
+  fine.blocks = {{"x"}};
+  OptimizeOptions options;
+  options.beam_width = 0;
+  EXPECT_FALSE(OptimizeSnippet(fine, reference, bundle.db, bundle.config, bundle.model,
+                               bundle.dataset.t_registry, bundle.dataset.p_registry, options)
+                   .ok());
+}
+
+TEST(OptimizeSnippetTest, DeterministicAcrossCalls) {
+  const TrainedBundle bundle = Train();
+  SnippetCandidates candidates;
+  candidates.brand = "brand";
+  candidates.blocks = {{"winner stuff", "loser stuff"}, {"meh", "blah"}};
+  const Snippet reference = Snippet::FromTokens({{"brand"}, {"meh"}});
+  auto a = OptimizeSnippet(candidates, reference, bundle.db, bundle.config, bundle.model,
+                           bundle.dataset.t_registry, bundle.dataset.p_registry);
+  auto b = OptimizeSnippet(candidates, reference, bundle.db, bundle.config, bundle.model,
+                           bundle.dataset.t_registry, bundle.dataset.p_registry);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->snippet, b->snippet);
+  EXPECT_DOUBLE_EQ(a->margin_over_reference, b->margin_over_reference);
+}
+
+}  // namespace
+}  // namespace microbrowse

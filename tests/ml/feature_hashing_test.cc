@@ -1,0 +1,116 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "ml/feature_hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "ml/logistic_regression.h"
+
+namespace microbrowse {
+namespace {
+
+TEST(HashedFeatureSpaceTest, IdsAreStableAndBounded) {
+  const HashedFeatureSpace space(10);
+  EXPECT_EQ(space.size(), 1024u);
+  const FeatureId id = space.IdOf("t:cheap flights");
+  EXPECT_EQ(space.IdOf("t:cheap flights"), id);
+  EXPECT_LT(id, 1024u);
+}
+
+TEST(HashedFeatureSpaceTest, SignsAreDeterministicAndBalanced) {
+  const HashedFeatureSpace space(12);
+  int positive = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string name = "feature" + std::to_string(i);
+    const double sign = space.SignOf(name);
+    EXPECT_TRUE(sign == 1.0 || sign == -1.0);
+    EXPECT_EQ(space.SignOf(name), sign);
+    positive += sign > 0 ? 1 : 0;
+  }
+  EXPECT_GT(positive, 850);
+  EXPECT_LT(positive, 1150);
+}
+
+TEST(HashedFeatureSpaceTest, UnsignedModeAlwaysPositive) {
+  const HashedFeatureSpace space(8, /*signed_hashing=*/false);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(space.SignOf("f" + std::to_string(i)), 1.0);
+  }
+}
+
+TEST(HashedFeatureSpaceTest, DifferentSaltsDisagree) {
+  const HashedFeatureSpace a(16, true, 1);
+  const HashedFeatureSpace b(16, true, 2);
+  int same = 0;
+  for (int i = 0; i < 500; ++i) {
+    same += a.IdOf("f" + std::to_string(i)) == b.IdOf("f" + std::to_string(i)) ? 1 : 0;
+  }
+  EXPECT_LT(same, 30);  // ~500/65536 expected collisions.
+}
+
+TEST(HashedFeatureSpaceTest, SpreadsAcrossSlots) {
+  const HashedFeatureSpace space(10);
+  std::set<FeatureId> slots;
+  for (int i = 0; i < 600; ++i) slots.insert(space.IdOf("term" + std::to_string(i)));
+  // With 600 names in 1024 slots, expect most to be distinct.
+  EXPECT_GT(slots.size(), 430u);
+}
+
+TEST(HashedFeatureSpaceTest, TrainingMatchesExactRegistryAtSufficientBits) {
+  // A separable bag-of-names task trained twice: exact dense ids vs hashed
+  // ids. With 2^14 slots for ~60 names, collisions are negligible and
+  // accuracy must match.
+  const std::vector<std::string> good = {"alpha", "bravo", "charlie", "delta"};
+  const std::vector<std::string> bad = {"echo", "foxtrot", "golf", "hotel"};
+  Rng rng(5);
+
+  Dataset exact;
+  exact.num_features = 8;
+  const HashedFeatureSpace space(14);
+  Dataset hashed;
+  hashed.num_features = space.size();
+
+  for (int i = 0; i < 1500; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    const auto& pool = positive ? good : bad;
+    const std::string& name = pool[rng.NextIndex(pool.size())];
+    const FeatureId exact_id =
+        static_cast<FeatureId>((positive ? 0 : 4) + (&name - pool.data()));
+
+    Example exact_example;
+    exact_example.features.Add(exact_id, 1.0);
+    exact_example.features.Finish();
+    exact_example.label = positive ? 1.0 : 0.0;
+    exact.examples.push_back(std::move(exact_example));
+
+    Example hashed_example;
+    space.Add(name, 1.0, &hashed_example.features);
+    hashed_example.features.Finish();
+    hashed_example.label = positive ? 1.0 : 0.0;
+    hashed.examples.push_back(std::move(hashed_example));
+  }
+
+  LrOptions options;
+  options.epochs = 20;
+  auto exact_model = TrainLogisticRegression(exact, options);
+  auto hashed_model = TrainLogisticRegression(hashed, options);
+  ASSERT_TRUE(exact_model.ok());
+  ASSERT_TRUE(hashed_model.ok());
+
+  auto accuracy = [](const LogisticModel& model, const Dataset& data) {
+    int correct = 0;
+    for (const auto& example : data.examples) {
+      correct += (model.PredictLabel(example.features) == (example.label > 0.5)) ? 1 : 0;
+    }
+    return static_cast<double>(correct) / data.size();
+  };
+  EXPECT_GT(accuracy(*exact_model, exact), 0.99);
+  EXPECT_GT(accuracy(*hashed_model, hashed), 0.99);
+}
+
+}  // namespace
+}  // namespace microbrowse

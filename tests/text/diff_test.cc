@@ -1,0 +1,135 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "text/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace microbrowse {
+namespace {
+
+std::vector<std::string> Tokens(std::initializer_list<const char*> items) {
+  return std::vector<std::string>(items.begin(), items.end());
+}
+
+TEST(DiffTest, IdenticalSequencesHaveNoHunks) {
+  const auto a = Tokens({"a", "b", "c"});
+  EXPECT_TRUE(TokenDiff(a, a).empty());
+}
+
+TEST(DiffTest, EmptySequences) {
+  EXPECT_TRUE(TokenDiff({}, {}).empty());
+  const auto hunks = TokenDiff(Tokens({"a", "b"}), {});
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{0, 2, 0, 0}));
+  const auto hunks2 = TokenDiff({}, Tokens({"x"}));
+  ASSERT_EQ(hunks2.size(), 1u);
+  EXPECT_EQ(hunks2[0], (DiffHunk{0, 0, 0, 1}));
+}
+
+TEST(DiffTest, SingleSubstitution) {
+  const auto hunks = TokenDiff(Tokens({"find", "cheap", "flights"}),
+                               Tokens({"find", "best", "flights"}));
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{1, 1, 1, 1}));
+}
+
+TEST(DiffTest, ReplacementWithDifferentLengths) {
+  const auto hunks = TokenDiff(Tokens({"find", "cheap", "flights"}),
+                               Tokens({"get", "discounts", "on", "flights"}));
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{0, 2, 0, 3}));
+}
+
+TEST(DiffTest, PureInsertionAndDeletion) {
+  const auto ins = TokenDiff(Tokens({"a", "c"}), Tokens({"a", "b", "c"}));
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0], (DiffHunk{1, 0, 1, 1}));
+
+  const auto del = TokenDiff(Tokens({"a", "b", "c"}), Tokens({"a", "c"}));
+  ASSERT_EQ(del.size(), 1u);
+  EXPECT_EQ(del[0], (DiffHunk{1, 1, 1, 0}));
+}
+
+TEST(DiffTest, MultipleHunks) {
+  const auto hunks = TokenDiff(Tokens({"a", "x", "b", "y", "c"}),
+                               Tokens({"a", "p", "b", "q", "c"}));
+  ASSERT_EQ(hunks.size(), 2u);
+  EXPECT_EQ(hunks[0], (DiffHunk{1, 1, 1, 1}));
+  EXPECT_EQ(hunks[1], (DiffHunk{3, 1, 3, 1}));
+}
+
+TEST(DiffTest, TrailingChange) {
+  const auto hunks = TokenDiff(Tokens({"a", "b"}), Tokens({"a", "z", "w"}));
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{1, 1, 1, 2}));
+}
+
+TEST(LcsLengthTest, KnownValues) {
+  EXPECT_EQ(LcsLength(Tokens({"a", "b", "c"}), Tokens({"a", "b", "c"})), 3);
+  EXPECT_EQ(LcsLength(Tokens({"a", "b", "c"}), Tokens({"x", "y"})), 0);
+  EXPECT_EQ(LcsLength(Tokens({"a", "b", "c", "d"}), Tokens({"b", "d"})), 2);
+  EXPECT_EQ(LcsLength({}, Tokens({"a"})), 0);
+}
+
+TEST(DiffTest, MatchesReportTheLcs) {
+  std::vector<TokenMatch> matches;
+  const auto a = Tokens({"no", "reservation", "costs", "great", "rates"});
+  const auto b = Tokens({"no", "hidden", "costs", "great", "deals"});
+  TokenDiff(a, b, &matches);
+  ASSERT_EQ(matches.size(), 3u);  // no, costs, great.
+  for (const auto& match : matches) {
+    EXPECT_EQ(a[match.a_index], b[match.b_index]);
+  }
+  EXPECT_EQ(static_cast<int>(matches.size()), LcsLength(a, b));
+}
+
+/// Applies the hunks to `a` and checks the result equals `b` — the
+/// defining property of a correct diff.
+std::vector<std::string> ApplyHunks(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b,
+                                    const std::vector<DiffHunk>& hunks) {
+  std::vector<std::string> out;
+  int a_pos = 0;
+  for (const DiffHunk& hunk : hunks) {
+    while (a_pos < hunk.a_pos) out.push_back(a[a_pos++]);
+    a_pos += hunk.a_len;  // Drop deleted tokens.
+    for (int j = 0; j < hunk.b_len; ++j) out.push_back(b[hunk.b_pos + j]);
+  }
+  while (a_pos < static_cast<int>(a.size())) out.push_back(a[a_pos++]);
+  return out;
+}
+
+class DiffPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffPropertyTest, ApplyingHunksReconstructsTarget) {
+  Rng rng(GetParam());
+  const std::vector<std::string> alphabet = {"a", "b", "c", "d"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> a, b;
+    const int na = static_cast<int>(rng.NextIndex(10));
+    const int nb = static_cast<int>(rng.NextIndex(10));
+    for (int i = 0; i < na; ++i) a.push_back(alphabet[rng.NextIndex(alphabet.size())]);
+    for (int i = 0; i < nb; ++i) b.push_back(alphabet[rng.NextIndex(alphabet.size())]);
+    const auto hunks = TokenDiff(a, b);
+    EXPECT_EQ(ApplyHunks(a, b, hunks), b) << "trial " << trial;
+    // Hunks are ordered and non-overlapping.
+    for (size_t h = 1; h < hunks.size(); ++h) {
+      EXPECT_GE(hunks[h].a_pos, hunks[h - 1].a_pos + hunks[h - 1].a_len);
+      EXPECT_GE(hunks[h].b_pos, hunks[h - 1].b_pos + hunks[h - 1].b_len);
+    }
+    // Matched token count equals the LCS length (minimality).
+    std::vector<TokenMatch> matches;
+    TokenDiff(a, b, &matches);
+    EXPECT_EQ(static_cast<int>(matches.size()), LcsLength(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace microbrowse

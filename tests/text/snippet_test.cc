@@ -1,0 +1,160 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "text/snippet.h"
+
+#include <gtest/gtest.h>
+
+#include "text/ngram.h"
+#include "text/vocabulary.h"
+
+namespace microbrowse {
+namespace {
+
+Snippet PaperSnippetR() {
+  // The paper's Section IV-A example, Snippet 1.
+  return Snippet::FromLines({"XYZ Airlines", "Find cheap flights to New York.",
+                             "No reservation costs. Great rates"});
+}
+
+TEST(SnippetTest, FromLinesTokenizes) {
+  const Snippet snippet = PaperSnippetR();
+  ASSERT_EQ(snippet.num_lines(), 3);
+  EXPECT_EQ(snippet.line(0), (std::vector<std::string>{"xyz", "airlines"}));
+  EXPECT_EQ(snippet.line(1),
+            (std::vector<std::string>{"find", "cheap", "flights", "to", "new", "york"}));
+  EXPECT_EQ(snippet.num_tokens(), 2 + 6 + 5);
+}
+
+TEST(SnippetTest, FromTokensKeepsTokensVerbatim) {
+  const Snippet snippet = Snippet::FromTokens({{"A", "B"}, {}});
+  ASSERT_EQ(snippet.num_lines(), 2);
+  EXPECT_EQ(snippet.line(0), (std::vector<std::string>{"A", "B"}));
+  EXPECT_TRUE(snippet.line(1).empty());
+}
+
+TEST(SnippetTest, SpanText) {
+  const Snippet snippet = PaperSnippetR();
+  EXPECT_EQ(snippet.SpanText(1, 0, 2), "find cheap");
+  EXPECT_EQ(snippet.SpanText(1, 2, 1), "flights");
+  EXPECT_EQ(snippet.SpanText(0, 0, 2), "xyz airlines");
+}
+
+TEST(SnippetTest, ToStringJoinsLines) {
+  const Snippet snippet = Snippet::FromTokens({{"a", "b"}, {"c"}});
+  EXPECT_EQ(snippet.ToString(), "a b / c");
+}
+
+TEST(SnippetTest, Equality) {
+  EXPECT_EQ(PaperSnippetR(), PaperSnippetR());
+  EXPECT_FALSE(PaperSnippetR() == Snippet::FromTokens({{"x"}}));
+}
+
+TEST(SnippetTest, EmptySnippet) {
+  Snippet snippet;
+  EXPECT_EQ(snippet.num_lines(), 0);
+  EXPECT_EQ(snippet.num_tokens(), 0);
+  EXPECT_EQ(snippet.ToString(), "");
+}
+
+// --- ngram.h
+
+TEST(NGramTest, ExtractsAllOrders) {
+  const Snippet snippet = Snippet::FromTokens({{"a", "b", "c"}});
+  const auto spans = ExtractNGrams(snippet, 3);
+  // 3 unigrams + 2 bigrams + 1 trigram.
+  EXPECT_EQ(spans.size(), 6u);
+  EXPECT_EQ(spans.front().text, "a");
+  bool found_trigram = false;
+  for (const auto& span : spans) {
+    if (span.len == 3) {
+      found_trigram = true;
+      EXPECT_EQ(span.text, "a b c");
+      EXPECT_EQ(span.pos, 0);
+    }
+  }
+  EXPECT_TRUE(found_trigram);
+}
+
+TEST(NGramTest, RespectsMaxOrder) {
+  const Snippet snippet = Snippet::FromTokens({{"a", "b", "c", "d"}});
+  for (const auto& span : ExtractNGrams(snippet, 2)) {
+    EXPECT_LE(span.len, 2);
+  }
+  EXPECT_EQ(ExtractNGrams(snippet, 1).size(), 4u);
+}
+
+TEST(NGramTest, NGramsNeverSpanLines) {
+  const Snippet snippet = Snippet::FromTokens({{"a", "b"}, {"c", "d"}});
+  for (const auto& span : ExtractNGrams(snippet, 3)) {
+    EXPECT_NE(span.text, "b c");
+    EXPECT_NE(span.text, "a b c");
+  }
+}
+
+TEST(NGramTest, SpanPositionsAreConsistent) {
+  const Snippet snippet = Snippet::FromTokens({{"x"}, {"a", "b", "c"}});
+  for (const auto& span : ExtractNGrams(snippet, 3)) {
+    EXPECT_EQ(snippet.SpanText(span.line, span.pos, span.len), span.text);
+  }
+}
+
+TEST(NGramTest, WindowExtraction) {
+  const Snippet snippet = Snippet::FromTokens({{"a", "b", "c", "d", "e"}});
+  const auto spans = ExtractNGramsInWindow(snippet, 0, 1, 3, 2);
+  // Window [b, c, d]: unigrams b, c, d; bigrams "b c", "c d".
+  EXPECT_EQ(spans.size(), 5u);
+  for (const auto& span : spans) {
+    EXPECT_GE(span.pos, 1);
+    EXPECT_LE(span.pos + span.len, 4);
+  }
+}
+
+TEST(NGramTest, WindowClampsToLine) {
+  const Snippet snippet = Snippet::FromTokens({{"a", "b"}});
+  const auto spans = ExtractNGramsInWindow(snippet, 0, 1, 100, 3);
+  EXPECT_EQ(spans.size(), 1u);  // Just "b".
+  EXPECT_TRUE(ExtractNGramsInWindow(snippet, 0, 5, 3, 3).empty());
+}
+
+TEST(NGramTest, EmptySnippetYieldsNothing) {
+  EXPECT_TRUE(ExtractNGrams(Snippet(), 3).empty());
+  EXPECT_TRUE(ExtractNGrams(Snippet::FromTokens({{}}), 3).empty());
+}
+
+// --- vocabulary.h
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("a"), 0u);
+  EXPECT_EQ(vocab.Intern("b"), 1u);
+  EXPECT_EQ(vocab.Intern("a"), 0u);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, FindAndContains) {
+  Vocabulary vocab;
+  vocab.Intern("term");
+  EXPECT_EQ(vocab.Find("term"), 0u);
+  EXPECT_EQ(vocab.Find("missing"), kInvalidTermId);
+  EXPECT_TRUE(vocab.Contains("term"));
+  EXPECT_FALSE(vocab.Contains("missing"));
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary vocab;
+  const TermId id = vocab.Intern("round trip");
+  EXPECT_EQ(vocab.TermOf(id), "round trip");
+}
+
+TEST(VocabularyTest, ManyTermsKeepStableIds) {
+  Vocabulary vocab;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(vocab.Intern("term" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(vocab.Find("term" + std::to_string(i)), ids[i]);
+    EXPECT_EQ(vocab.TermOf(ids[i]), "term" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace microbrowse

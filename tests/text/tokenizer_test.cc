@@ -1,0 +1,80 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace microbrowse {
+namespace {
+
+TEST(TokenizerTest, BasicWords) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Find cheap flights"),
+            (std::vector<std::string>{"find", "cheap", "flights"}));
+}
+
+TEST(TokenizerTest, PunctuationIsDropped) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("No reservation costs. Great rates!"),
+            (std::vector<std::string>{"no", "reservation", "costs", "great", "rates"}));
+  EXPECT_EQ(tokenizer.Tokenize("Flying to New York? Get discounts."),
+            (std::vector<std::string>{"flying", "to", "new", "york", "get", "discounts"}));
+}
+
+TEST(TokenizerTest, PercentStaysAttached) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("20% off"), (std::vector<std::string>{"20%", "off"}));
+}
+
+TEST(TokenizerTest, DollarPrefixStaysAttached) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("save $50 today"),
+            (std::vector<std::string>{"save", "$50", "today"}));
+}
+
+TEST(TokenizerTest, LoneSymbolsAreDropped) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("$ % - a"), (std::vector<std::string>{"a"}));
+}
+
+TEST(TokenizerTest, ApostrophesStayInsideWords) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("today's deals"),
+            (std::vector<std::string>{"today's", "deals"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("   \t ").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("...!?").empty());
+}
+
+TEST(TokenizerTest, LowercasingCanBeDisabled) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("New York"), (std::vector<std::string>{"New", "York"}));
+}
+
+TEST(TokenizerTest, OfferSymbolsCanBeDisabled) {
+  TokenizerOptions options;
+  options.keep_offer_symbols = false;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("20% off $50"),
+            (std::vector<std::string>{"20", "off", "50"}));
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("24 7 support"),
+            (std::vector<std::string>{"24", "7", "support"}));
+}
+
+TEST(TokenizerTest, MixedAlphanumericTokens) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("save10 4k"), (std::vector<std::string>{"save10", "4k"}));
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -1,0 +1,227 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// mbctl — command-line front end for the microbrowse library.
+//
+//   mbctl generate  --out corpus.tsv [--adgroups N] [--seed S] [--rhs]
+//   mbctl stats     --corpus corpus.tsv --out stats.tsv
+//   mbctl mine      --stats stats.tsv [--prefix rw:] [--top N] [--min-count N]
+//   mbctl train     --corpus corpus.tsv --out model.txt [--model M1..M6]
+//   mbctl evaluate  --corpus corpus.tsv [--model M1..M6] [--folds K]
+//   mbctl predict   --model model.txt --stats stats.tsv
+//                   --a "line1|line2|line3" --b "line1|line2|line3"
+//
+// All artefacts are the TSV/text formats of io/serialization.h, so every
+// intermediate is inspectable with standard shell tools.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "corpus/generator.h"
+#include "corpus/pair_extraction.h"
+#include "eval/experiments.h"
+#include "io/serialization.h"
+#include "microbrowse/optimizer.h"
+#include "microbrowse/pipeline.h"
+
+using namespace microbrowse;
+
+namespace {
+
+/// Minimal --flag value parser: flags["--corpus"] = "path".
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (!StartsWith(key, "--")) continue;
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // Boolean flag.
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const std::string value = Get(key);
+    return value.empty() ? fallback : std::atoll(value.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+ClassifierConfig ConfigByName(const std::string& name) {
+  for (const auto& config : ClassifierConfig::AllPaperModels()) {
+    if (config.name == name) return config;
+  }
+  std::fprintf(stderr, "unknown model '%s', using M6\n", name.c_str());
+  return ClassifierConfig::M6();
+}
+
+Snippet ParseSnippetFlag(const std::string& field) {
+  std::vector<std::string> lines = Split(field, '|');
+  return Snippet::FromLines(lines);
+}
+
+int CmdGenerate(const Flags& flags) {
+  AdCorpusOptions options;
+  options.num_adgroups = static_cast<int>(flags.GetInt("--adgroups", 2000));
+  options.seed = static_cast<uint64_t>(flags.GetInt("--seed", 42));
+  if (flags.Has("--rhs")) options.placement = Placement::kRhs;
+  const std::string out = flags.Get("--out", "corpus.tsv");
+  auto generated = GenerateAdCorpus(options);
+  if (!generated.ok()) return Fail(generated.status());
+  const Status status = SaveAdCorpus(generated->corpus, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu adgroups (%zu creatives) to %s\n",
+              generated->corpus.adgroups.size(), generated->corpus.num_creatives(),
+              out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto corpus = LoadAdCorpus(flags.Get("--corpus", "corpus.tsv"));
+  if (!corpus.ok()) return Fail(corpus.status());
+  const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
+  std::printf("extracted %zu significant pairs\n", pairs.pairs.size());
+  const FeatureStatsDb db = BuildFeatureStats(pairs, {});
+  const std::string out = flags.Get("--out", "stats.tsv");
+  const Status status = SaveFeatureStats(db, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu feature statistics to %s\n", db.size(), out.c_str());
+  return 0;
+}
+
+int CmdMine(const Flags& flags) {
+  auto db = LoadFeatureStats(flags.Get("--stats", "stats.tsv"));
+  if (!db.ok()) return Fail(db.status());
+  const std::string prefix = flags.Get("--prefix", "rw:");
+  const int64_t min_count = flags.GetInt("--min-count", 10);
+  const size_t top = static_cast<size_t>(flags.GetInt("--top", 20));
+
+  std::vector<std::pair<std::string, FeatureStat>> rows;
+  for (const auto& [key, stat] : db->stats()) {
+    if (StartsWith(key, prefix) && stat.total >= min_count) rows.emplace_back(key, stat);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::fabs(a.second.SmoothedP() - 0.5) > std::fabs(b.second.SmoothedP() - 0.5);
+  });
+  if (rows.size() > top) rows.resize(top);
+  std::printf("top %zu '%s' features by decisiveness (n >= %lld):\n", rows.size(),
+              prefix.c_str(), static_cast<long long>(min_count));
+  for (const auto& [key, stat] : rows) {
+    std::printf("  p(+)=%.3f n=%6lld  %s\n", stat.SmoothedP(),
+                static_cast<long long>(stat.total), key.c_str());
+  }
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  auto corpus = LoadAdCorpus(flags.Get("--corpus", "corpus.tsv"));
+  if (!corpus.ok()) return Fail(corpus.status());
+  const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
+  const FeatureStatsDb db = BuildFeatureStats(pairs, {});
+  const ClassifierConfig config = ConfigByName(flags.Get("--model", "M6"));
+  const CoupledDataset dataset =
+      BuildClassifierDataset(pairs, db, config, static_cast<uint64_t>(flags.GetInt("--seed", 99)));
+  auto model = TrainSnippetClassifier(dataset, config);
+  if (!model.ok()) return Fail(model.status());
+  const std::string out = flags.Get("--out", "model.txt");
+  const Status status =
+      SaveClassifier(*model, dataset.t_registry, dataset.p_registry, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("trained %s on %zu pairs; wrote %s (%zu T features, %zu P features)\n",
+              config.name.c_str(), pairs.pairs.size(), out.c_str(),
+              dataset.t_registry.size(), dataset.p_registry.size());
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto corpus = LoadAdCorpus(flags.Get("--corpus", "corpus.tsv"));
+  if (!corpus.ok()) return Fail(corpus.status());
+  const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
+  PipelineOptions pipeline;
+  pipeline.folds = static_cast<int>(flags.GetInt("--folds", 5));
+  pipeline.seed = static_cast<uint64_t>(flags.GetInt("--seed", 99));
+  const std::string model_flag = flags.Get("--model", "all");
+  std::vector<ClassifierConfig> configs;
+  if (model_flag == "all") {
+    configs = ClassifierConfig::AllPaperModels();
+  } else {
+    configs.push_back(ConfigByName(model_flag));
+  }
+  for (const auto& config : configs) {
+    auto report = RunPairClassificationCv(pairs, config, pipeline);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s: recall=%.3f precision=%.3f F=%.3f accuracy=%.3f auc=%.3f\n",
+                config.name.c_str(), report->metrics.recall(), report->metrics.precision(),
+                report->metrics.f1(), report->metrics.accuracy(), report->auc);
+  }
+  return 0;
+}
+
+int CmdPredict(const Flags& flags) {
+  auto saved = LoadClassifier(flags.Get("--model", "model.txt"));
+  if (!saved.ok()) return Fail(saved.status());
+  auto db = LoadFeatureStats(flags.Get("--stats", "stats.tsv"));
+  if (!db.ok()) return Fail(db.status());
+  if (!flags.Has("--a") || !flags.Has("--b")) {
+    std::fprintf(stderr, "predict needs --a and --b snippets (\"line1|line2|line3\")\n");
+    return 1;
+  }
+  const Snippet a = ParseSnippetFlag(flags.Get("--a"));
+  const Snippet b = ParseSnippetFlag(flags.Get("--b"));
+  const ClassifierConfig config = ConfigByName(flags.Get("--model-type", "M6"));
+  const double margin = PredictPairMargin(a, b, *db, config, saved->model,
+                                          saved->t_registry, saved->p_registry);
+  std::printf("A: %s\nB: %s\nmargin(A over B) = %+.4f  ->  %s\n", a.ToString().c_str(),
+              b.ToString().c_str(), margin,
+              margin >= 0 ? "A predicted to win" : "B predicted to win");
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "mbctl — microbrowse command line\n"
+      "  mbctl generate --out corpus.tsv [--adgroups N] [--seed S] [--rhs]\n"
+      "  mbctl stats    --corpus corpus.tsv --out stats.tsv\n"
+      "  mbctl mine     --stats stats.tsv [--prefix rw:|t:|pp:] [--top N] [--min-count N]\n"
+      "  mbctl train    --corpus corpus.tsv --out model.txt [--model M1..M6]\n"
+      "  mbctl evaluate --corpus corpus.tsv [--model M1..M6|all] [--folds K]\n"
+      "  mbctl predict  --model model.txt --stats stats.tsv --a \"l1|l2|l3\" --b \"l1|l2|l3\"\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const Flags flags(argc, argv);
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "mine") return CmdMine(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "predict") return CmdPredict(flags);
+  PrintUsage();
+  return 1;
+}
