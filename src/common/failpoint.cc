@@ -1,0 +1,206 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace microbrowse {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> g_active_count{0};
+}  // namespace internal
+
+namespace {
+
+/// Mutable per-failpoint state behind the registry mutex.
+struct Armed {
+  Spec spec;
+  int64_t hits = 0;
+  int64_t fires = 0;
+  Rng rng{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Armed> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // Leaked: usable during shutdown.
+  return *registry;
+}
+
+/// Arms failpoints from MB_FAILPOINTS once per process, before main() in
+/// practice (first static use of this translation unit). A malformed value
+/// is a loud warning, not a crash: fault injection must never take down a
+/// production binary on its own.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("MB_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    const Status status = ActivateFromList(env);
+    if (!status.ok()) {
+      MB_LOG(kWarning) << "ignoring malformed MB_FAILPOINTS entry: " << status.ToString();
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+void Activate(const std::string& name, const Spec& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.points.insert_or_assign(name, Armed{});
+  it->second.spec = spec;
+  // Deterministic per-point stream: same name + spec order => same firing
+  // pattern on every run, keeping fault-injected tests reproducible.
+  it->second.rng.Seed(Fnv1a64(name) ^ 0x6d625f6670ULL);
+  if (inserted) {
+    internal::g_active_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Deactivate(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.points.erase(name) > 0) {
+    internal::g_active_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DeactivateAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  internal::g_active_count.fetch_sub(static_cast<int>(registry.points.size()),
+                                     std::memory_order_relaxed);
+  registry.points.clear();
+}
+
+bool IsActive(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.points.count(name) > 0;
+}
+
+int64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it != registry.points.end() ? it->second.hits : 0;
+}
+
+int64_t FireCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it != registry.points.end() ? it->second.fires : 0;
+}
+
+Status Check(std::string_view name) {
+  if (!internal::AnyActive()) return Status::OK();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(std::string(name));
+  if (it == registry.points.end()) return Status::OK();
+  Armed& armed = it->second;
+  ++armed.hits;
+  bool fire = false;
+  switch (armed.spec.mode) {
+    case Spec::Mode::kAlways:
+      fire = true;
+      break;
+    case Spec::Mode::kNever:
+      break;
+    case Spec::Mode::kProbability:
+      fire = armed.rng.Bernoulli(armed.spec.probability);
+      break;
+    case Spec::Mode::kNth:
+      fire = armed.hits == armed.spec.nth;
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++armed.fires;
+  return Status(armed.spec.code,
+                StrFormat("failpoint '%.*s' fired (hit %lld)", static_cast<int>(name.size()),
+                          name.data(), static_cast<long long>(armed.hits)));
+}
+
+Result<Spec> ParseSpec(const std::string& text) {
+  Spec spec;
+  if (text == "always") {
+    spec.mode = Spec::Mode::kAlways;
+    return spec;
+  }
+  if (text == "off") {
+    spec.mode = Spec::Mode::kNever;
+    return spec;
+  }
+  std::string value = text;
+  bool explicit_prob = false;
+  bool explicit_nth = false;
+  if (StartsWith(text, "p:")) {
+    explicit_prob = true;
+    value = text.substr(2);
+  } else if (StartsWith(text, "nth:")) {
+    explicit_nth = true;
+    value = text.substr(4);
+  }
+  const bool looks_float = value.find('.') != std::string::npos;
+  if (explicit_prob || (!explicit_nth && looks_float)) {
+    double probability = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), probability);
+    if (ec != std::errc() || ptr != value.data() + value.size() || probability < 0.0 ||
+        probability > 1.0) {
+      return Status::InvalidArgument("failpoint probability must be in [0,1]: '" + text + "'");
+    }
+    spec.mode = Spec::Mode::kProbability;
+    spec.probability = probability;
+    return spec;
+  }
+  int64_t nth = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), nth);
+  if (ec != std::errc() || ptr != value.data() + value.size() || nth < 1) {
+    return Status::InvalidArgument("failpoint nth must be a positive integer: '" + text + "'");
+  }
+  spec.mode = Spec::Mode::kNth;
+  spec.nth = nth;
+  return spec;
+}
+
+Status ActivateFromList(const std::string& list) {
+  for (const std::string& entry : Split(list, ',')) {
+    const std::string trimmed(StripAsciiWhitespace(entry));
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected name=spec, got '" + trimmed + "'");
+    }
+    MB_ASSIGN_OR_RETURN(const Spec spec, ParseSpec(trimmed.substr(eq + 1)));
+    Activate(trimmed.substr(0, eq), spec);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ActiveNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.points.size());
+  for (const auto& [name, armed] : registry.points) names.push_back(name);
+  return names;
+}
+
+}  // namespace failpoint
+}  // namespace microbrowse

@@ -1,0 +1,48 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace microbrowse {
+
+bool IsTransient(const Status& status) { return status.code() == StatusCode::kIOError; }
+
+int BackoffDelayMs(const RetryOptions& options, int retry) {
+  const double delay = static_cast<double>(options.initial_backoff_ms) *
+                       std::pow(options.backoff_multiplier, retry - 1);
+  return static_cast<int>(std::min(delay, static_cast<double>(options.max_backoff_ms)));
+}
+
+namespace internal {
+
+void SleepForMs(int ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void LogRetry(const Status& status, int retry, int delay_ms) {
+  MB_LOG(kWarning) << "transient failure (" << status.ToString() << "); retry " << retry
+                   << " in " << delay_ms << "ms";
+}
+
+}  // namespace internal
+
+Status RetryWithBackoff(const std::function<Status()>& fn, const RetryOptions& options) {
+  Status status = fn();
+  for (int retry = 1; retry < options.max_attempts && !status.ok() && IsTransient(status);
+       ++retry) {
+    const int delay_ms = BackoffDelayMs(options, retry);
+    internal::LogRetry(status, retry, delay_ms);
+    internal::SleepForMs(delay_ms);
+    status = fn();
+  }
+  return status;
+}
+
+}  // namespace microbrowse

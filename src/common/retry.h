@@ -1,0 +1,66 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Retry with exponential backoff for transient failures. Artifact writes
+// and checkpoint persistence go through this wrapper so that a flaky disk
+// or a transiently full volume degrades a pipeline run into a short stall
+// instead of a lost night of cross-validation.
+
+#ifndef MICROBROWSE_COMMON_RETRY_H_
+#define MICROBROWSE_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace microbrowse {
+
+/// Backoff schedule: attempt k (1-based, after the first failure) sleeps
+/// `initial_backoff_ms * multiplier^(k-1)`, capped at `max_backoff_ms`.
+struct RetryOptions {
+  int max_attempts = 3;           ///< Total attempts, including the first.
+  int initial_backoff_ms = 5;     ///< Sleep before the first retry.
+  double backoff_multiplier = 2.0;
+  int max_backoff_ms = 2000;
+};
+
+/// Default transience policy: IOError is retryable (disks flake; the
+/// failpoint framework injects it for exactly that reason), everything else
+/// is a deterministic failure that retrying cannot fix.
+bool IsTransient(const Status& status);
+
+/// Delay before retry number `retry` (1-based) under `options`.
+int BackoffDelayMs(const RetryOptions& options, int retry);
+
+namespace internal {
+/// Sleeps for `ms` milliseconds (no-op for ms <= 0); hoisted out of the
+/// header so tests can keep backoff at zero without timing dependencies.
+void SleepForMs(int ms);
+/// Logs one retry decision at warning level.
+void LogRetry(const Status& status, int retry, int delay_ms);
+}  // namespace internal
+
+/// Runs `fn` up to `options.max_attempts` times, sleeping with exponential
+/// backoff between attempts, while it returns a transient error (per
+/// IsTransient). Returns the first success or the last failure.
+Status RetryWithBackoff(const std::function<Status()>& fn, const RetryOptions& options = {});
+
+/// Result<T> variant of RetryWithBackoff.
+template <typename T>
+Result<T> RetryWithBackoff(const std::function<Result<T>()>& fn,
+                           const RetryOptions& options = {}) {
+  Result<T> result = fn();
+  for (int retry = 1; retry < options.max_attempts && !result.ok() &&
+                      IsTransient(result.status());
+       ++retry) {
+    const int delay_ms = BackoffDelayMs(options, retry);
+    internal::LogRetry(result.status(), retry, delay_ms);
+    internal::SleepForMs(delay_ms);
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_RETRY_H_

@@ -3,8 +3,28 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/failpoint.h"
 
 namespace microbrowse {
+
+namespace {
+
+/// Runs one task, translating escaped exceptions into Status — a worker
+/// thread must never unwind into std::terminate.
+Status RunGuarded(const std::function<Status()>& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in pool task: ") + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-std exception in pool task");
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -26,35 +46,81 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{[fn = std::move(task)] {
+                            fn();
+                            return Status::OK();
+                          },
+                          /*fallible=*/false});
     ++in_flight_;
   }
   work_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+void ThreadPool::SubmitFallible(std::function<Status()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(Task{std::move(task), /*fallible=*/true});
+    ++in_flight_;
+  }
+  work_available_.notify_one();
 }
 
-void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+Status ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  Status status = std::move(first_failure_);
+  first_failure_ = Status::OK();
+  has_failure_ = false;
+  return status;
+}
+
+Status ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
   for (size_t i = 0; i < count; ++i) {
     Submit([&fn, i] { fn(i); });
   }
-  Wait();
+  return Wait();
+}
+
+Status ThreadPool::ParallelForFallible(size_t count,
+                                       const std::function<Status(size_t)>& fn) {
+  for (size_t i = 0; i < count; ++i) {
+    SubmitFallible([&fn, i] { return fn(i); });
+  }
+  return Wait();
+}
+
+void ThreadPool::RecordFailure(const Status& status) {
+  if (!has_failure_) {
+    has_failure_ = true;
+    first_failure_ = status;
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
+    bool skip = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutting_down_ with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
+      // Graceful drain: once one fallible task failed, the remaining
+      // fallible queue is discarded unrun — its results would be thrown
+      // away by the caller anyway. Infallible tasks still run (their side
+      // effects were unconditionally requested).
+      skip = task.fallible && has_failure_;
     }
-    task();
+    if (!skip) {
+      // Injection point for rehearsing worker faults without a crafted task.
+      Status status = failpoint::Check("threadpool.task");
+      if (status.ok()) status = RunGuarded(task.fn);
+      if (!status.ok()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        RecordFailure(status);
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

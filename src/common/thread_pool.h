@@ -3,6 +3,12 @@
 // A small fixed-size thread pool. Cross-validation folds and corpus shards
 // are embarrassingly parallel; the pool keeps that parallelism explicit and
 // bounded. On single-core hosts a pool of one thread degenerates gracefully.
+//
+// Error handling: tasks may return Status (SubmitFallible / the fallible
+// ParallelFor), and a failing task no longer takes the process down — the
+// pool records the first failure, skips still-queued fallible tasks (the
+// queue drains gracefully), and Wait() surfaces that first Status to the
+// caller. Exceptions escaping a task are captured as kInternal.
 
 #ifndef MICROBROWSE_COMMON_THREAD_POOL_H_
 #define MICROBROWSE_COMMON_THREAD_POOL_H_
@@ -14,6 +20,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace microbrowse {
 
@@ -29,30 +37,54 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution. Must not be called after Wait began
-  /// destruction. Tasks must not throw.
+  /// Enqueues `task` for execution. Must not be called after destruction
+  /// began. Infallible tasks always run, even after another task failed.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Enqueues a fallible task. The first non-OK return (or escaped
+  /// exception) is recorded and reported by the next Wait(); once a failure
+  /// is recorded, fallible tasks still in the queue are drained without
+  /// running (their work would be discarded anyway).
+  void SubmitFallible(std::function<Status()> task);
+
+  /// Blocks until every submitted task has finished or been drained, then
+  /// returns the first recorded failure (OK when none). The failure is
+  /// cleared, so the pool is reusable for another round of work.
+  Status Wait();
 
   /// Number of worker threads.
   size_t size() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, count) across the pool and waits. `fn` must
-  /// be safe to invoke concurrently for distinct indices.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+  /// be safe to invoke concurrently for distinct indices. The returned
+  /// Status reports failures from previously submitted fallible tasks (the
+  /// infallible `fn` itself cannot fail).
+  Status ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Fallible variant: runs `fn(i)` for i in [0, count), waits, and returns
+  /// the first failure. After a failure, not-yet-started indices are
+  /// skipped. (Distinct name: a Status-returning lambda would otherwise be
+  /// ambiguous against the infallible overload.)
+  Status ParallelForFallible(size_t count, const std::function<Status(size_t)>& fn);
 
  private:
+  struct Task {
+    std::function<Status()> fn;
+    bool fallible = false;
+  };
+
   void WorkerLoop();
+  void RecordFailure(const Status& status);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  bool has_failure_ = false;
+  Status first_failure_;
 };
 
 }  // namespace microbrowse

@@ -183,15 +183,15 @@ void SampleGlue(Blueprint* bp, Rng* rng) {
   bp->glue3 = static_cast<int>(rng->NextIndex(std::size(kGlue3Choices)));
 }
 
-Blueprint SampleBaseBlueprint(const PhrasePool& pool, int vertical, Rng* rng) {
+Result<Blueprint> SampleBaseBlueprint(const PhrasePool& pool, int vertical, Rng* rng) {
   Blueprint bp;
   bp.vertical = vertical;
-  bp.brand = pool.SampleIndex(SlotType::kBrand, rng);
-  bp.action = pool.SampleIndex(SlotType::kAction, rng);
-  bp.object = pool.SampleIndex(SlotType::kObject, rng);
-  bp.quality = pool.SampleIndex(SlotType::kQuality, rng);
-  bp.offer = pool.SampleIndex(SlotType::kOffer, rng);
-  bp.cta = pool.SampleIndex(SlotType::kCallToAction, rng);
+  MB_ASSIGN_OR_RETURN(bp.brand, pool.SampleIndex(SlotType::kBrand, rng));
+  MB_ASSIGN_OR_RETURN(bp.action, pool.SampleIndex(SlotType::kAction, rng));
+  MB_ASSIGN_OR_RETURN(bp.object, pool.SampleIndex(SlotType::kObject, rng));
+  MB_ASSIGN_OR_RETURN(bp.quality, pool.SampleIndex(SlotType::kQuality, rng));
+  MB_ASSIGN_OR_RETURN(bp.offer, pool.SampleIndex(SlotType::kOffer, rng));
+  MB_ASSIGN_OR_RETURN(bp.cta, pool.SampleIndex(SlotType::kCallToAction, rng));
   bp.has_cta = rng->Bernoulli(0.35);
   bp.layout = SampleLayout(bp.has_cta, rng);
   SampleGlue(&bp, rng);
@@ -203,32 +203,35 @@ Blueprint SampleBaseBlueprint(const PhrasePool& pool, int vertical, Rng* rng) {
 /// replacement targets. Built once per corpus from the seed.
 class RewriteGraph {
  public:
-  RewriteGraph(const PhrasePool& pool, Rng* rng) {
+  static Result<RewriteGraph> Build(const PhrasePool& pool, Rng* rng) {
+    RewriteGraph graph;
     for (int s = 0; s < kNumSlotTypes; ++s) {
       const SlotType slot = static_cast<SlotType>(s);
       const size_t n = pool.PhrasesFor(slot).size();
-      prefs_[s].resize(n);
+      graph.prefs_[s].resize(n);
       for (size_t from = 0; from < n; ++from) {
         const size_t num_targets = std::min<size_t>(3, n > 0 ? n - 1 : 0);
         double weight = 9.0;
         for (size_t k = 0; k < num_targets; ++k, weight /= 3.0) {
           size_t target = from;
-          for (int attempt = 0; attempt < 16 && (target == from || Contains(s, from, target));
+          for (int attempt = 0;
+               attempt < 16 && (target == from || graph.Contains(s, from, target));
                ++attempt) {
-            target = pool.SampleIndex(slot, rng);
+            MB_ASSIGN_OR_RETURN(target, pool.SampleIndex(slot, rng));
           }
-          if (target != from && !Contains(s, from, target)) {
-            prefs_[s][from].emplace_back(target, weight);
+          if (target != from && !graph.Contains(s, from, target)) {
+            graph.prefs_[s][from].emplace_back(target, weight);
           }
         }
       }
     }
+    return graph;
   }
 
   /// Samples a replacement for `from`: a preferred target with probability
   /// `bias`, otherwise uniform (always != from).
-  size_t SampleTarget(const PhrasePool& pool, SlotType slot, size_t from, double bias,
-                      Rng* rng) const {
+  Result<size_t> SampleTarget(const PhrasePool& pool, SlotType slot, size_t from,
+                              double bias, Rng* rng) const {
     const auto& edges = prefs_[static_cast<int>(slot)][from];
     if (!edges.empty() && rng->Bernoulli(bias)) {
       std::vector<double> weights;
@@ -240,6 +243,8 @@ class RewriteGraph {
   }
 
  private:
+  RewriteGraph() = default;
+
   bool Contains(int slot, size_t from, size_t target) const {
     for (const auto& [existing, weight] : prefs_[slot][from]) {
       if (existing == target) return true;
@@ -252,8 +257,8 @@ class RewriteGraph {
 
 /// Applies one random mutation; move mutations are drawn with weight
 /// `move_weight` against rewrites.
-void ApplyMutation(const PhrasePool& pool, const RewriteGraph& graph, double move_weight,
-                   double graph_bias, Blueprint* bp, Rng* rng) {
+Status ApplyMutation(const PhrasePool& pool, const RewriteGraph& graph, double move_weight,
+                     double graph_bias, Blueprint* bp, Rng* rng) {
   std::vector<Mutation> candidates;
   std::vector<double> weights;
   const double rewrite_weight = 1.0 - move_weight;
@@ -269,22 +274,31 @@ void ApplyMutation(const PhrasePool& pool, const RewriteGraph& graph, double mov
   (void)rng;
 
   switch (candidates[rng->Categorical(weights)]) {
-    case Mutation::kRewriteAction:
-      bp->action = graph.SampleTarget(pool, SlotType::kAction, bp->action, graph_bias, rng);
+    case Mutation::kRewriteAction: {
+      MB_ASSIGN_OR_RETURN(
+          bp->action, graph.SampleTarget(pool, SlotType::kAction, bp->action, graph_bias, rng));
       break;
-    case Mutation::kRewriteQuality:
-      bp->quality = graph.SampleTarget(pool, SlotType::kQuality, bp->quality, graph_bias, rng);
+    }
+    case Mutation::kRewriteQuality: {
+      MB_ASSIGN_OR_RETURN(bp->quality, graph.SampleTarget(pool, SlotType::kQuality,
+                                                          bp->quality, graph_bias, rng));
       break;
-    case Mutation::kRewriteOffer:
-      bp->offer = graph.SampleTarget(pool, SlotType::kOffer, bp->offer, graph_bias, rng);
+    }
+    case Mutation::kRewriteOffer: {
+      MB_ASSIGN_OR_RETURN(
+          bp->offer, graph.SampleTarget(pool, SlotType::kOffer, bp->offer, graph_bias, rng));
       break;
-    case Mutation::kRewriteCta:
-      bp->cta = graph.SampleTarget(pool, SlotType::kCallToAction, bp->cta, graph_bias, rng);
+    }
+    case Mutation::kRewriteCta: {
+      MB_ASSIGN_OR_RETURN(bp->cta, graph.SampleTarget(pool, SlotType::kCallToAction, bp->cta,
+                                                      graph_bias, rng));
       break;
+    }
     case Mutation::kMoveLayout:
       bp->layout.swapped = !bp->layout.swapped;
       break;
   }
+  return Status::OK();
 }
 
 /// Compresses within-slot appeal spread toward each slot's mean by factor
@@ -391,7 +405,10 @@ Result<GeneratedCorpus> GenerateAdCorpus(const AdCorpusOptions& options) {
 
   std::vector<RewriteGraph> rewrite_graphs;
   rewrite_graphs.reserve(pools.size());
-  for (const auto& pool : pools) rewrite_graphs.emplace_back(pool, &rng);
+  for (const auto& pool : pools) {
+    MB_ASSIGN_OR_RETURN(RewriteGraph graph, RewriteGraph::Build(pool, &rng));
+    rewrite_graphs.push_back(std::move(graph));
+  }
 
   std::map<std::pair<int, size_t>, int32_t> keyword_ids;
   int64_t next_creative_id = 0;
@@ -402,7 +419,7 @@ Result<GeneratedCorpus> GenerateAdCorpus(const AdCorpusOptions& options) {
     const int vertical = static_cast<int>(rng.NextIndex(pools.size()));
     const PhrasePool& pool = pools[vertical];
 
-    const Blueprint base = SampleBaseBlueprint(pool, vertical, &rng);
+    MB_ASSIGN_OR_RETURN(const Blueprint base, SampleBaseBlueprint(pool, vertical, &rng));
     auto [it, inserted] = keyword_ids.try_emplace({vertical, base.object},
                                                   static_cast<int32_t>(keyword_ids.size()));
     group.keyword_id = it->second;
@@ -416,13 +433,15 @@ Result<GeneratedCorpus> GenerateAdCorpus(const AdCorpusOptions& options) {
       Blueprint sibling = base;
       for (int attempt = 0; attempt < 8; ++attempt) {
         sibling = base;
-        ApplyMutation(pool, rewrite_graphs[vertical], options.move_mutation_weight,
-                      options.rewrite_graph_bias, &sibling, &rng);
+        MB_RETURN_IF_ERROR(ApplyMutation(pool, rewrite_graphs[vertical],
+                                         options.move_mutation_weight,
+                                         options.rewrite_graph_bias, &sibling, &rng));
         for (int m = 1; m < options.max_mutations &&
                         rng.Bernoulli(options.mutation_continue_prob);
              ++m) {
-          ApplyMutation(pool, rewrite_graphs[vertical], options.move_mutation_weight,
-                        options.rewrite_graph_bias, &sibling, &rng);
+          MB_RETURN_IF_ERROR(ApplyMutation(pool, rewrite_graphs[vertical],
+                                           options.move_mutation_weight,
+                                           options.rewrite_graph_bias, &sibling, &rng));
         }
         if (rng.Bernoulli(options.prob_glue_resample)) SampleGlue(&sibling, &rng);
         if (std::find(blueprints.begin(), blueprints.end(), sibling) == blueprints.end()) break;

@@ -2,8 +2,6 @@
 
 #include "corpus/phrase_pool.h"
 
-#include <cassert>
-
 #include "common/string_util.h"
 
 namespace microbrowse {
@@ -30,16 +28,24 @@ void PhrasePool::Add(SlotType slot, std::string text, double appeal) {
   slots_[static_cast<int>(slot)].push_back(Phrase{std::move(text), appeal});
 }
 
-size_t PhrasePool::SampleIndex(SlotType slot, Rng* rng) const {
+Result<size_t> PhrasePool::SampleIndex(SlotType slot, Rng* rng) const {
   const auto& phrases = PhrasesFor(slot);
-  assert(!phrases.empty());
+  if (phrases.empty()) {
+    return Status::FailedPrecondition(std::string("phrase pool slot '") +
+                                      SlotTypeName(slot) + "' is empty");
+  }
   return static_cast<size_t>(rng->NextIndex(phrases.size()));
 }
 
-size_t PhrasePool::SampleIndexExcluding(SlotType slot, size_t exclude, Rng* rng) const {
+Result<size_t> PhrasePool::SampleIndexExcluding(SlotType slot, size_t exclude,
+                                                Rng* rng) const {
   const auto& phrases = PhrasesFor(slot);
   if (exclude >= phrases.size()) return SampleIndex(slot, rng);
-  assert(phrases.size() >= 2);
+  if (phrases.size() < 2) {
+    return Status::FailedPrecondition(
+        std::string("phrase pool slot '") + SlotTypeName(slot) +
+        "' needs at least 2 phrases to sample with an exclusion");
+  }
   size_t idx = static_cast<size_t>(rng->NextIndex(phrases.size() - 1));
   if (idx >= exclude) ++idx;
   return idx;

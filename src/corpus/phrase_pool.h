@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/result.h"
 
 namespace microbrowse {
 
@@ -53,13 +54,14 @@ class PhrasePool {
     return slots_[static_cast<int>(slot)];
   }
 
-  /// Samples a uniform phrase index for `slot`; the slot must be non-empty.
-  size_t SampleIndex(SlotType slot, Rng* rng) const;
+  /// Samples a uniform phrase index for `slot`. An empty slot — possible
+  /// with user-supplied pools — is kFailedPrecondition, not a crash.
+  Result<size_t> SampleIndex(SlotType slot, Rng* rng) const;
 
   /// Samples a phrase index for `slot` different from `exclude` (pass
-  /// SIZE_MAX for no exclusion). The slot must have >= 2 phrases when an
-  /// exclusion is given.
-  size_t SampleIndexExcluding(SlotType slot, size_t exclude, Rng* rng) const;
+  /// SIZE_MAX for no exclusion). A slot without at least two phrases when an
+  /// exclusion is given is kFailedPrecondition.
+  Result<size_t> SampleIndexExcluding(SlotType slot, size_t exclude, Rng* rng) const;
 
   /// Total number of phrases across slots.
   size_t total_phrases() const;

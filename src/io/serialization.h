@@ -8,8 +8,11 @@
 //   FeatureStatsDb      <- key \t positive \t total
 //   SnippetClassifierModel + registries  <- sectioned weight dump
 //
-// Every loader validates its input and reports malformed rows through
-// Status with the offending line number.
+// All Save* functions are crash-safe (temp file + fsync + atomic rename —
+// see io/atomic_file.h) and append a "#checksum <fnv64> <rows>" footer.
+// Every loader verifies the footer and validates each row; the LoadOptions
+// overloads select between strict failure and skip_and_log salvage, with a
+// LoadReport accounting for every kept and skipped row.
 
 #ifndef MICROBROWSE_IO_SERIALIZATION_H_
 #define MICROBROWSE_IO_SERIALIZATION_H_
@@ -19,6 +22,7 @@
 #include "clickmodels/session.h"
 #include "common/result.h"
 #include "corpus/ad.h"
+#include "io/atomic_file.h"
 #include "microbrowse/classifier.h"
 #include "microbrowse/stats_db.h"
 
@@ -30,7 +34,10 @@ namespace microbrowse {
 Status SaveAdCorpus(const AdCorpus& corpus, const std::string& path);
 
 /// Loads a corpus written by SaveAdCorpus. Creatives are re-grouped by
-/// adgroup id; row order within an adgroup is preserved.
+/// adgroup id; row order within an adgroup is preserved. `report` (when
+/// non-null) receives row accounting; the one-argument form is strict.
+Result<AdCorpus> LoadAdCorpus(const std::string& path, const LoadOptions& options,
+                              LoadReport* report = nullptr);
 Result<AdCorpus> LoadAdCorpus(const std::string& path);
 
 /// Writes `log` to `path` as TSV: query_id, then per-position
@@ -38,6 +45,8 @@ Result<AdCorpus> LoadAdCorpus(const std::string& path);
 Status SaveClickLog(const ClickLog& log, const std::string& path);
 
 /// Loads a click log written by SaveClickLog (bounds are recomputed).
+Result<ClickLog> LoadClickLog(const std::string& path, const LoadOptions& options,
+                              LoadReport* report = nullptr);
 Result<ClickLog> LoadClickLog(const std::string& path);
 
 /// Writes the statistics database as "key \t positive \t total" rows,
@@ -46,6 +55,8 @@ Result<ClickLog> LoadClickLog(const std::string& path);
 Status SaveFeatureStats(const FeatureStatsDb& db, const std::string& path);
 
 /// Loads a statistics database written by SaveFeatureStats.
+Result<FeatureStatsDb> LoadFeatureStats(const std::string& path, const LoadOptions& options,
+                                        LoadReport* report = nullptr);
 Result<FeatureStatsDb> LoadFeatureStats(const std::string& path);
 
 /// A trained classifier bundled with the registries that give its weight
@@ -61,7 +72,12 @@ struct SavedClassifier {
 Status SaveClassifier(const SnippetClassifierModel& model, const FeatureRegistry& t_registry,
                       const FeatureRegistry& p_registry, const std::string& path);
 
-/// Loads a classifier written by SaveClassifier.
+/// Loads a classifier written by SaveClassifier. In skip_and_log mode a
+/// malformed registry row drops only that feature (each row is a
+/// self-contained name/initial/trained triple); structural damage (missing
+/// sections, truncation) always fails.
+Result<SavedClassifier> LoadClassifier(const std::string& path, const LoadOptions& options,
+                                       LoadReport* report = nullptr);
 Result<SavedClassifier> LoadClassifier(const std::string& path);
 
 }  // namespace microbrowse

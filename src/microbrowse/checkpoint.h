@@ -1,0 +1,77 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Fold-level checkpointing for the cross-validation pipeline. A checkpoint
+// directory holds:
+//
+//   manifest.tsv    <- run fingerprint (corpus size, seed, fold count, full
+//                      classifier + stats configuration)
+//   stats.tsv       <- the phase-one feature-statistics database
+//   fold_NNN.tsv    <- the scored test labels of each completed fold
+//
+// Every file is written through the atomic artifact path (io/atomic_file.h),
+// so a crash mid-run leaves either a complete fold checkpoint or none — a
+// resumed run re-trains exactly the folds that never finished. Doubles
+// (scores, smoothing) are stored as IEEE-754 bit patterns in hex, so a
+// resumed run reproduces the uninterrupted run's ModelReport bit for bit.
+//
+// The fingerprint guards against resuming with changed settings: opening an
+// existing directory whose manifest disagrees fails with
+// kFailedPrecondition rather than silently mixing two runs' folds.
+
+#ifndef MICROBROWSE_MICROBROWSE_CHECKPOINT_H_
+#define MICROBROWSE_MICROBROWSE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "microbrowse/classifier.h"
+#include "microbrowse/stats_db.h"
+#include "ml/metrics.h"
+
+namespace microbrowse {
+
+struct PipelineOptions;  // pipeline.h; not included to keep the layering acyclic.
+
+/// A cross-validation checkpoint directory, opened (and fingerprint-checked)
+/// via Open().
+class CvCheckpoint {
+ public:
+  /// Hash of everything that determines a CV run's outcome: corpus size,
+  /// seeds, fold structure, statistics options and the full classifier
+  /// configuration. Two runs with equal fingerprints compute identical
+  /// folds, so their checkpoints are interchangeable.
+  static uint64_t Fingerprint(size_t corpus_pairs, const ClassifierConfig& config,
+                              const PipelineOptions& options);
+
+  /// Creates `dir` if needed and writes the manifest, or validates the
+  /// manifest of an existing checkpoint. A fingerprint mismatch fails with
+  /// kFailedPrecondition (the directory belongs to a different run).
+  static Result<CvCheckpoint> Open(const std::string& dir, uint64_t fingerprint);
+
+  /// Persists the feature-statistics database atomically.
+  Status SaveStats(const FeatureStatsDb& db) const;
+
+  /// Loads the stats checkpoint into `db`. Returns false (and leaves `db`
+  /// untouched) when no stats checkpoint exists yet.
+  Result<bool> LoadStats(FeatureStatsDb* db) const;
+
+  /// Persists one completed fold's scored test labels atomically.
+  Status SaveFoldScores(size_t fold, const std::vector<ScoredLabel>& scored) const;
+
+  /// Loads fold `fold`'s scores. Returns false when the fold has no
+  /// checkpoint yet.
+  Result<bool> LoadFoldScores(size_t fold, std::vector<ScoredLabel>* scored) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit CvCheckpoint(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_MICROBROWSE_CHECKPOINT_H_

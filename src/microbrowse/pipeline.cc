@@ -5,10 +5,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "common/failpoint.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "microbrowse/checkpoint.h"
 #include "microbrowse/feature_keys.h"
 #include "ml/cross_validation.h"
 
@@ -62,11 +66,39 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
   if (!folds_result.ok()) return folds_result.status();
   const std::vector<CvFold>& folds = *folds_result;
 
+  // Open (or resume) the checkpoint directory before any expensive work, so
+  // a settings mismatch fails fast.
+  std::unique_ptr<CvCheckpoint> checkpoint;
+  if (!options.checkpoint_dir.empty()) {
+    MB_ASSIGN_OR_RETURN(
+        CvCheckpoint opened,
+        CvCheckpoint::Open(options.checkpoint_dir,
+                           CvCheckpoint::Fingerprint(corpus.pairs.size(), config, options)));
+    checkpoint = std::make_unique<CvCheckpoint>(std::move(opened));
+  }
+  // Checkpoint writes ride the retry wrapper: a transient I/O failure (the
+  // kind fault injection simulates) should not cost a finished fold.
+  const auto save_fold = [&checkpoint](size_t f,
+                                       const std::vector<ScoredLabel>& scored) -> Status {
+    if (checkpoint == nullptr) return Status::OK();
+    return RetryWithBackoff([&] { return checkpoint->SaveFoldScores(f, scored); });
+  };
+
   std::vector<ScoredLabel> all_scored;
   all_scored.reserve(corpus.pairs.size());
 
   if (!options.per_fold_stats) {
-    const FeatureStatsDb db = BuildFeatureStats(corpus, options.stats);
+    FeatureStatsDb db;
+    bool stats_resumed = false;
+    if (checkpoint != nullptr) {
+      MB_ASSIGN_OR_RETURN(stats_resumed, checkpoint->LoadStats(&db));
+    }
+    if (!stats_resumed) {
+      db = BuildFeatureStats(corpus, options.stats);
+      if (checkpoint != nullptr) {
+        MB_RETURN_IF_ERROR(RetryWithBackoff([&] { return checkpoint->SaveStats(db); }));
+      }
+    }
     const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
     report.num_t_features = dataset.t_registry.size();
     report.num_p_features = dataset.p_registry.size();
@@ -75,33 +107,58 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
     // result is identical for any thread count.
     std::vector<std::vector<ScoredLabel>> fold_scores(folds.size());
     std::vector<Status> fold_status(folds.size());
+    std::vector<char> fold_resumed(folds.size(), 0);
+    if (checkpoint != nullptr) {
+      for (size_t f = 0; f < folds.size(); ++f) {
+        MB_ASSIGN_OR_RETURN(const bool resumed, checkpoint->LoadFoldScores(f, &fold_scores[f]));
+        fold_resumed[f] = resumed ? 1 : 0;
+      }
+    }
     {
       ThreadPool pool(static_cast<size_t>(std::max(1, options.num_threads)));
-      pool.ParallelFor(folds.size(), [&](size_t f) {
+      MB_RETURN_IF_ERROR(pool.ParallelFor(folds.size(), [&](size_t f) {
+        if (fold_resumed[f]) return;
+        // The fold failpoint fires only for folds that actually train, so
+        // an interrupted-then-resumed run re-trains exactly the missing
+        // folds.
+        fold_status[f] = failpoint::Check("pipeline.fold");
+        if (!fold_status[f].ok()) return;
         auto model = TrainSnippetClassifier(dataset, config, folds[f].train_indices);
         if (!model.ok()) {
           fold_status[f] = model.status();
           return;
         }
         ScoreFold(dataset, *model, folds[f].test_indices, &fold_scores[f]);
-      });
+        fold_status[f] = save_fold(f, fold_scores[f]);
+      }));
     }
     for (size_t f = 0; f < folds.size(); ++f) {
       MB_RETURN_IF_ERROR(fold_status[f]);
       all_scored.insert(all_scored.end(), fold_scores[f].begin(), fold_scores[f].end());
     }
   } else {
-    for (const CvFold& fold : folds) {
-      PairCorpus train_corpus;
-      train_corpus.pairs.reserve(fold.train_indices.size());
-      for (size_t idx : fold.train_indices) train_corpus.pairs.push_back(corpus.pairs[idx]);
-      const FeatureStatsDb db = BuildFeatureStats(train_corpus, options.stats);
-      const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
-      report.num_t_features = dataset.t_registry.size();
-      report.num_p_features = dataset.p_registry.size();
-      auto model = TrainSnippetClassifier(dataset, config, fold.train_indices);
-      if (!model.ok()) return model.status();
-      ScoreFold(dataset, *model, fold.test_indices, &all_scored);
+    for (size_t f = 0; f < folds.size(); ++f) {
+      const CvFold& fold = folds[f];
+      std::vector<ScoredLabel> fold_scored;
+      bool resumed = false;
+      if (checkpoint != nullptr) {
+        MB_ASSIGN_OR_RETURN(resumed, checkpoint->LoadFoldScores(f, &fold_scored));
+      }
+      if (!resumed) {
+        MB_FAILPOINT("pipeline.fold");
+        PairCorpus train_corpus;
+        train_corpus.pairs.reserve(fold.train_indices.size());
+        for (size_t idx : fold.train_indices) train_corpus.pairs.push_back(corpus.pairs[idx]);
+        const FeatureStatsDb db = BuildFeatureStats(train_corpus, options.stats);
+        const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
+        report.num_t_features = dataset.t_registry.size();
+        report.num_p_features = dataset.p_registry.size();
+        auto model = TrainSnippetClassifier(dataset, config, fold.train_indices);
+        if (!model.ok()) return model.status();
+        ScoreFold(dataset, *model, fold.test_indices, &fold_scored);
+        MB_RETURN_IF_ERROR(save_fold(f, fold_scored));
+      }
+      all_scored.insert(all_scored.end(), fold_scored.begin(), fold_scored.end());
     }
   }
 

@@ -37,6 +37,13 @@ struct PipelineOptions {
   /// Results are identical regardless of thread count: per-fold scores are
   /// collected in fold order.
   int num_threads = 1;
+  /// When non-empty, the run checkpoints into this directory (created on
+  /// demand): the statistics database and each completed fold's scores are
+  /// persisted atomically, and a rerun pointed at the same directory
+  /// resumes fold-by-fold, reproducing the uninterrupted run's ModelReport
+  /// bit for bit. Resuming with changed settings fails with
+  /// kFailedPrecondition (see microbrowse/checkpoint.h).
+  std::string checkpoint_dir;
 };
 
 /// Cross-validated evaluation of one classifier configuration.

@@ -54,6 +54,13 @@ class FeatureStatsDb {
     if (delta_sw > 0) ++stat.positive;
   }
 
+  /// Installs the exact counts for `key`, replacing any prior value. Used
+  /// by deserialization, where counts were already aggregated — going
+  /// through AddObservation would cost O(total) per key.
+  void SetStat(const std::string& key, int64_t positive, int64_t total) {
+    stats_[key] = FeatureStat{positive, total};
+  }
+
   /// Stat for `key`, or nullptr when unseen.
   const FeatureStat* Find(std::string_view key) const {
     auto it = stats_.find(std::string(key));

@@ -72,8 +72,27 @@ TEST(PhrasePoolTest, SampleIndexExcludingNeverReturnsExcluded) {
   const PhrasePool pool = PhrasePool::Travel();
   Rng rng(3);
   for (int i = 0; i < 500; ++i) {
-    EXPECT_NE(pool.SampleIndexExcluding(SlotType::kAction, 2, &rng), 2u);
+    auto index = pool.SampleIndexExcluding(SlotType::kAction, 2, &rng);
+    ASSERT_TRUE(index.ok());
+    EXPECT_NE(*index, 2u);
   }
+}
+
+TEST(PhrasePoolTest, SamplingFromEmptySlotIsAnErrorNotACrash) {
+  PhrasePool pool;
+  Rng rng(3);
+  auto index = pool.SampleIndex(SlotType::kAction, &rng);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PhrasePoolTest, ExclusionNeedsTwoPhrases) {
+  PhrasePool pool;
+  pool.Add(SlotType::kAction, "only phrase", 0.5);
+  Rng rng(3);
+  auto index = pool.SampleIndexExcluding(SlotType::kAction, 0, &rng);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(PhrasePoolTest, SyntheticPoolHasRequestedSize) {

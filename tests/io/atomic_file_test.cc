@@ -1,0 +1,155 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Crash-safety tests for the atomic artifact writer: failpoints simulate a
+// crash at every stage of the write protocol and the old artifact must
+// survive intact each time.
+
+#include "io/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/retry.h"
+
+namespace microbrowse {
+namespace {
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DeactivateAll(); }
+  void TearDown() override { failpoint::DeactivateAll(); }
+};
+
+TEST_F(AtomicFileTest, WriteThenReadRoundTrips) {
+  const std::string path = TempPath("atomic_roundtrip.tsv");
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\nworld\n").ok());
+  EXPECT_EQ(ReadWholeFile(path), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, ArtifactFooterIsAppendedAndVerified) {
+  const std::string path = TempPath("atomic_footer.tsv");
+  ASSERT_TRUE(WriteArtifactAtomic(path, "#header\nrow1\nrow2\n", 2).ok());
+  const std::string data = ReadWholeFile(path);
+  EXPECT_NE(data.find("#checksum "), std::string::npos);
+
+  auto content = ReadArtifact(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(content->checksum_present);
+  EXPECT_TRUE(content->checksum_ok);
+  EXPECT_EQ(content->declared_rows, 2);
+  ASSERT_EQ(content->lines.size(), 3u);  // Footer stripped.
+  EXPECT_EQ(content->lines[0], "#header");
+  EXPECT_EQ(content->lines[2], "row2");
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, PayloadMustEndWithNewline) {
+  EXPECT_EQ(WriteArtifactAtomic(TempPath("never.tsv"), "no newline", 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The headline crash test: a simulated crash between writing the temp file
+// and renaming it must leave the previous artifact untouched.
+TEST_F(AtomicFileTest, CrashBeforeRenameLeavesOldArtifactIntact) {
+  const std::string path = TempPath("atomic_crash.tsv");
+  ASSERT_TRUE(WriteArtifactAtomic(path, "old generation\n", 1).ok());
+  const std::string before = ReadWholeFile(path);
+
+  failpoint::Activate("io.write.rename", failpoint::Spec{});
+  const Status status = WriteArtifactAtomic(path, "new generation\n", 1);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  failpoint::DeactivateAll();
+
+  EXPECT_EQ(ReadWholeFile(path), before);           // Old artifact survives...
+  EXPECT_FALSE(FileExists(path + ".tmp"));          // ...and no temp litter remains.
+  auto content = ReadArtifact(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(content->checksum_ok);
+  ASSERT_FALSE(content->lines.empty());
+  EXPECT_EQ(content->lines[0], "old generation");
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, CrashAtEveryWriteStageLeavesOldArtifactIntact) {
+  const std::string path = TempPath("atomic_stages.tsv");
+  ASSERT_TRUE(WriteArtifactAtomic(path, "stable\n", 1).ok());
+  const std::string before = ReadWholeFile(path);
+  for (const char* point :
+       {"io.write.open", "io.write.flush", "io.write.fsync", "io.write.rename"}) {
+    failpoint::Activate(point, failpoint::Spec{});
+    EXPECT_FALSE(WriteArtifactAtomic(path, "doomed\n", 1).ok()) << point;
+    failpoint::DeactivateAll();
+    EXPECT_EQ(ReadWholeFile(path), before) << point;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, InjectedChecksumMismatchFailsStrictLoads) {
+  const std::string path = TempPath("atomic_badsum.tsv");
+  ASSERT_TRUE(WriteArtifactAtomic(path, "row\n", 1).ok());
+  failpoint::Activate("io.read.checksum", failpoint::Spec{});
+  const auto strict = ReadArtifact(path);
+  EXPECT_EQ(strict.status().code(), StatusCode::kIOError);
+
+  LoadOptions salvage;
+  salvage.recovery = LoadOptions::Recovery::kSkipAndLog;
+  const auto salvaged = ReadArtifact(path, salvage);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_FALSE(salvaged->checksum_ok);
+  failpoint::DeactivateAll();
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, RetryRidesOutATransientWriteFault) {
+  const std::string path = TempPath("atomic_retry.tsv");
+  failpoint::Spec spec;
+  spec.mode = failpoint::Spec::Mode::kNth;
+  spec.nth = 1;  // First attempt fails, the retry succeeds.
+  failpoint::Activate("io.write.fsync", spec);
+  RetryOptions retry;
+  retry.initial_backoff_ms = 0;
+  const Status status =
+      RetryWithBackoff([&] { return WriteArtifactAtomic(path, "persistent\n", 1); }, retry);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(failpoint::FireCount("io.write.fsync"), 1);
+  auto content = ReadArtifact(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(content->checksum_ok);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, CreateDirectoriesMakesNestedPaths) {
+  const std::string dir = TempPath("nested/a/b/c");
+  ASSERT_TRUE(CreateDirectories(dir).ok());
+  ASSERT_TRUE(CreateDirectories(dir).ok());  // Idempotent.
+  const std::string path = dir + "/file.tsv";
+  EXPECT_TRUE(WriteFileAtomic(path, "x\n").ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadArtifact("/nonexistent/never.tsv").status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "clickmodels/simulator.h"
 #include "clickmodels/pbm.h"
@@ -226,6 +228,150 @@ TEST(ClassifierIoTest, TruncatedFileFails) {
   WriteFile(path, "#microbrowse-classifier-v1\t0.0\nT\t2\nt:x\t0.1\t0.2\n");
   EXPECT_FALSE(LoadClassifier(path).ok());
   std::remove(path.c_str());
+}
+
+// --- Artifact format v2: checksums and row-level recovery
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+AdCorpus SmallCorpus() {
+  AdCorpusOptions options;
+  options.num_adgroups = 10;
+  options.seed = 21;
+  auto generated = GenerateAdCorpus(options);
+  EXPECT_TRUE(generated.ok());
+  return generated->corpus;
+}
+
+TEST(ArtifactV2Test, SavedArtifactsCarryVerifiedChecksumFooter) {
+  const std::string path = TempPath("v2_footer.tsv");
+  ASSERT_TRUE(SaveAdCorpus(SmallCorpus(), path).ok());
+  EXPECT_NE(ReadWholeFile(path).find("#checksum "), std::string::npos);
+
+  LoadReport report;
+  ASSERT_TRUE(LoadAdCorpus(path, LoadOptions{}, &report).ok());
+  EXPECT_TRUE(report.checksum_present);
+  EXPECT_TRUE(report.checksum_ok);
+  EXPECT_GT(report.rows_kept, 0);
+  EXPECT_EQ(report.rows_skipped, 0);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Test, CorruptedPayloadFailsStrictButSalvagesInSkipAndLog) {
+  const std::string path = TempPath("v2_corrupt.tsv");
+  ASSERT_TRUE(SaveAdCorpus(SmallCorpus(), path).ok());
+  // Flip a letter inside the first row's keyword string: every row still
+  // parses, but the payload no longer matches the footer hash.
+  std::string data = ReadWholeFile(path);
+  size_t pos = data.find('\n') + 1;
+  while (pos < data.size() && !std::isalpha(static_cast<unsigned char>(data[pos]))) ++pos;
+  ASSERT_LT(pos, data.size());
+  data[pos] = data[pos] == 'q' ? 'x' : 'q';
+  WriteFile(path, data);
+
+  const auto strict = LoadAdCorpus(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kIOError);
+  EXPECT_NE(strict.status().message().find("checksum mismatch"), std::string::npos);
+
+  LoadOptions salvage;
+  salvage.recovery = LoadOptions::Recovery::kSkipAndLog;
+  LoadReport report;
+  ASSERT_TRUE(LoadAdCorpus(path, salvage, &report).ok());
+  EXPECT_TRUE(report.checksum_present);
+  EXPECT_FALSE(report.checksum_ok);
+  EXPECT_GT(report.rows_kept, 0);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Test, TruncatedArtifactFailsStrictLoad) {
+  const std::string path = TempPath("v2_trunc.tsv");
+  ASSERT_TRUE(SaveAdCorpus(SmallCorpus(), path).ok());
+  // Drop one data row but keep the footer: the hash no longer matches.
+  std::string data = ReadWholeFile(path);
+  const size_t footer = data.find("#checksum ");
+  ASSERT_NE(footer, std::string::npos);
+  const size_t last_row = data.rfind('\n', footer - 2);
+  ASSERT_NE(last_row, std::string::npos);
+  WriteFile(path, data.substr(0, last_row + 1) + data.substr(footer));
+
+  const auto result = LoadAdCorpus(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Test, LegacyV1FileWithoutFooterStillLoads) {
+  const std::string path = TempPath("v2_legacy.tsv");
+  WriteFile(path,
+            "#microbrowse-adcorpus-v1\ttop\n"
+            "1\t2\tkw one\t3\t100\t5\t0.05\ta | b | c\n");
+  LoadReport report;
+  const auto result = LoadAdCorpus(path, LoadOptions{}, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(report.checksum_present);
+  EXPECT_TRUE(report.checksum_ok);
+  EXPECT_EQ(report.rows_kept, 1);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Test, SkipAndLogSkipsMalformedRowsWithAccurateReport) {
+  const std::string path = TempPath("v2_badrows.tsv");
+  WriteFile(path,
+            "#microbrowse-adcorpus-v1\ttop\n"
+            "1\t2\tkw one\t3\t100\t5\t0.05\ta | b | c\n"
+            "1\t3\tkw two\tnot_an_int\t100\t5\t0.05\ta\n"
+            "2\t4\tkw three\t3\t200\t9\t0.04\td | e\n");
+
+  // Strict: the malformed row (line 3) fails the whole load.
+  const auto strict = LoadAdCorpus(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find(":3:"), std::string::npos);
+
+  LoadOptions salvage;
+  salvage.recovery = LoadOptions::Recovery::kSkipAndLog;
+  LoadReport report;
+  const auto result = LoadAdCorpus(path, salvage, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.rows_kept, 2);
+  EXPECT_EQ(report.rows_skipped, 1);
+  EXPECT_EQ(report.first_error_line, 3);
+  EXPECT_FALSE(report.first_error.empty());
+  size_t creatives = 0;
+  for (const auto& adgroup : result->adgroups) creatives += adgroup.creatives.size();
+  EXPECT_EQ(creatives, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Test, StatsAndClassifierFootersRoundTrip) {
+  FeatureStatsDb db;
+  db.SetStat("t:alpha", 3, 10);
+  db.SetStat("p:0:1", 1, 4);
+  const std::string stats_path = TempPath("v2_stats.tsv");
+  ASSERT_TRUE(SaveFeatureStats(db, stats_path).ok());
+  LoadReport stats_report;
+  ASSERT_TRUE(LoadFeatureStats(stats_path, LoadOptions{}, &stats_report).ok());
+  EXPECT_TRUE(stats_report.checksum_present);
+  EXPECT_TRUE(stats_report.checksum_ok);
+  EXPECT_EQ(stats_report.rows_kept, 2);
+  std::remove(stats_path.c_str());
+
+  FeatureRegistry t_registry;
+  t_registry.Intern("t:x", 0.0);
+  SnippetClassifierModel model;
+  model.t_weights = {0.5};
+  const std::string model_path = TempPath("v2_model.tsv");
+  ASSERT_TRUE(SaveClassifier(model, t_registry, FeatureRegistry{}, model_path).ok());
+  LoadReport model_report;
+  ASSERT_TRUE(LoadClassifier(model_path, LoadOptions{}, &model_report).ok());
+  EXPECT_TRUE(model_report.checksum_present);
+  EXPECT_TRUE(model_report.checksum_ok);
+  std::remove(model_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Kill-resume tests for the checkpointed cross-validation pipeline: a run
+// interrupted by an injected fault must resume fold-by-fold and reproduce
+// the uninterrupted run's report bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/failpoint.h"
+#include "corpus/generator.h"
+#include "corpus/pair_extraction.h"
+#include "microbrowse/checkpoint.h"
+#include "microbrowse/pipeline.h"
+
+namespace microbrowse {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+PairCorpus MakePairs(uint64_t seed) {
+  AdCorpusOptions options;
+  options.num_adgroups = 60;
+  options.seed = seed;
+  auto generated = GenerateAdCorpus(options);
+  EXPECT_TRUE(generated.ok());
+  return ExtractSignificantPairs(generated->corpus, {});
+}
+
+PipelineOptions BaseOptions() {
+  PipelineOptions options;
+  options.folds = 5;
+  options.seed = 99;
+  options.num_threads = 1;
+  return options;
+}
+
+class PipelineResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DeactivateAll(); }
+  void TearDown() override { failpoint::DeactivateAll(); }
+};
+
+TEST_F(PipelineResumeTest, KillAndResumeReproducesUninterruptedRunBitwise) {
+  const PairCorpus pairs = MakePairs(7);
+  ASSERT_GE(pairs.pairs.size(), 20u);
+  const ClassifierConfig config = ClassifierConfig::M1();
+
+  // Uninterrupted reference run, no checkpointing.
+  PipelineOptions options = BaseOptions();
+  auto reference = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(reference.ok());
+
+  // "Kill" the run mid-flight: the fold failpoint fires on the third
+  // trained fold, after two folds were checkpointed.
+  options.checkpoint_dir = FreshDir("resume_ckpt");
+  failpoint::Spec kill;
+  kill.mode = failpoint::Spec::Mode::kNth;
+  kill.nth = 3;
+  failpoint::Activate("pipeline.fold", kill);
+  auto interrupted = RunPairClassificationCv(pairs, config, options);
+  ASSERT_FALSE(interrupted.ok());
+  EXPECT_EQ(interrupted.status().code(), StatusCode::kIOError);
+  failpoint::DeactivateAll();
+
+  // The stats DB and the completed folds' scores must have been persisted.
+  EXPECT_TRUE(std::filesystem::exists(options.checkpoint_dir + "/manifest.tsv"));
+  EXPECT_TRUE(std::filesystem::exists(options.checkpoint_dir + "/stats.tsv"));
+  EXPECT_TRUE(std::filesystem::exists(options.checkpoint_dir + "/fold_000.tsv"));
+
+  // Resume. A count-only failpoint proves exactly one fold (the killed one)
+  // is re-trained; the rest load from the checkpoint.
+  failpoint::Spec count_only;
+  count_only.mode = failpoint::Spec::Mode::kNever;
+  failpoint::Activate("pipeline.fold", count_only);
+  auto resumed = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(failpoint::HitCount("pipeline.fold"), 1);
+  failpoint::DeactivateAll();
+
+  // Bit-for-bit identical to the uninterrupted run.
+  EXPECT_EQ(resumed->metrics.true_positives, reference->metrics.true_positives);
+  EXPECT_EQ(resumed->metrics.false_positives, reference->metrics.false_positives);
+  EXPECT_EQ(resumed->metrics.true_negatives, reference->metrics.true_negatives);
+  EXPECT_EQ(resumed->metrics.false_negatives, reference->metrics.false_negatives);
+  EXPECT_EQ(resumed->auc, reference->auc);  // Exact double equality, intentionally.
+  EXPECT_EQ(resumed->num_t_features, reference->num_t_features);
+  EXPECT_EQ(resumed->num_p_features, reference->num_p_features);
+
+  // A third run resumes everything: zero folds re-trained, same report.
+  failpoint::Activate("pipeline.fold", count_only);
+  auto fully_resumed = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(fully_resumed.ok());
+  EXPECT_EQ(failpoint::HitCount("pipeline.fold"), 0);
+  EXPECT_EQ(fully_resumed->auc, reference->auc);
+  failpoint::DeactivateAll();
+
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+TEST_F(PipelineResumeTest, ResumeWithChangedSettingsIsRejected) {
+  const PairCorpus pairs = MakePairs(7);
+  const ClassifierConfig config = ClassifierConfig::M1();
+  PipelineOptions options = BaseOptions();
+  options.checkpoint_dir = FreshDir("mismatch_ckpt");
+  ASSERT_TRUE(RunPairClassificationCv(pairs, config, options).ok());
+
+  options.seed = 100;  // Different run, same directory.
+  auto mismatched = RunPairClassificationCv(pairs, config, options);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatched.status().message().find("fingerprint"), std::string::npos);
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+TEST_F(PipelineResumeTest, MultiThreadedResumeMatchesSingleThreaded) {
+  const PairCorpus pairs = MakePairs(11);
+  const ClassifierConfig config = ClassifierConfig::M1();
+  PipelineOptions options = BaseOptions();
+  auto reference = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(reference.ok());
+
+  options.checkpoint_dir = FreshDir("threads_ckpt");
+  options.num_threads = 4;
+  auto first = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(first.ok());
+  // Re-run resumes every fold from disk and must still match exactly.
+  options.num_threads = 1;
+  auto resumed = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(first->auc, reference->auc);
+  EXPECT_EQ(resumed->auc, reference->auc);
+  EXPECT_EQ(resumed->metrics.true_positives, reference->metrics.true_positives);
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+TEST_F(PipelineResumeTest, PerFoldStatsPathCheckpointsFolds) {
+  const PairCorpus pairs = MakePairs(13);
+  const ClassifierConfig config = ClassifierConfig::M1();
+  PipelineOptions options = BaseOptions();
+  options.per_fold_stats = true;
+  auto reference = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(reference.ok());
+
+  options.checkpoint_dir = FreshDir("perfold_ckpt");
+  failpoint::Spec kill;
+  kill.mode = failpoint::Spec::Mode::kNth;
+  kill.nth = 2;
+  failpoint::Activate("pipeline.fold", kill);
+  ASSERT_FALSE(RunPairClassificationCv(pairs, config, options).ok());
+  failpoint::DeactivateAll();
+
+  auto resumed = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->auc, reference->auc);
+  EXPECT_EQ(resumed->metrics.true_positives, reference->metrics.true_positives);
+  EXPECT_EQ(resumed->metrics.false_negatives, reference->metrics.false_negatives);
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -7,15 +7,21 @@
 //   mbctl mine      --stats stats.tsv [--prefix rw:] [--top N] [--min-count N]
 //   mbctl train     --corpus corpus.tsv --out model.txt [--model M1..M6]
 //   mbctl evaluate  --corpus corpus.tsv [--model M1..M6] [--folds K]
+//                   [--checkpoint-dir run1/] [--threads N]
 //   mbctl predict   --model model.txt --stats stats.tsv
 //                   --a "line1|line2|line3" --b "line1|line2|line3"
 //
 // All artefacts are the TSV/text formats of io/serialization.h, so every
-// intermediate is inspectable with standard shell tools.
+// intermediate is inspectable with standard shell tools. Fault injection is
+// available in every command via the MB_FAILPOINTS environment variable
+// (see common/failpoint.h).
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,32 +38,80 @@ using namespace microbrowse;
 
 namespace {
 
-/// Minimal --flag value parser: flags["--corpus"] = "path".
+/// Command-line flag parser. Each command declares its recognised flags up
+/// front: unknown flags, missing values and non-numeric integers are hard
+/// errors rather than silently ignored or read as zero.
 class Flags {
  public:
-  Flags(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
-      std::string key = argv[i];
-      if (!StartsWith(key, "--")) continue;
-      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "1";  // Boolean flag.
+  /// Parses argv[2..] against the declared flags. `value_flags` always
+  /// consume the next argument (so negative numbers like "--seed -5" are
+  /// values, not flags); `bool_flags` never do.
+  static Result<Flags> Parse(int argc, char** argv,
+                             std::initializer_list<const char*> value_flags,
+                             std::initializer_list<const char*> bool_flags) {
+    const auto contains = [](std::initializer_list<const char*> list,
+                             const std::string& key) {
+      for (const char* entry : list) {
+        if (key == entry) return true;
       }
+      return false;
+    };
+    Flags flags;
+    for (int i = 2; i < argc; ++i) {
+      const std::string key = argv[i];
+      if (!StartsWith(key, "--")) {
+        return Status::InvalidArgument("unexpected argument '" + key +
+                                       "' (flags start with --)");
+      }
+      if (contains(bool_flags, key)) {
+        flags.values_[key] = "1";
+        continue;
+      }
+      if (contains(value_flags, key)) {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag " + key + " requires a value");
+        }
+        flags.values_[key] = argv[++i];
+        continue;
+      }
+      return Status::InvalidArgument("unknown flag '" + key + "'");
     }
+    return flags;
   }
 
   std::string Get(const std::string& key, const std::string& fallback = "") const {
     auto it = values_.find(key);
     return it != values_.end() ? it->second : fallback;
   }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
+
+  /// Integer flag with full validation: "ten", "5x" and out-of-range values
+  /// are InvalidArgument, never a silent 0.
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback,
+                         int64_t min = std::numeric_limits<int64_t>::min(),
+                         int64_t max = std::numeric_limits<int64_t>::max()) const {
     const std::string value = Get(key);
-    return value.empty() ? fallback : std::atoll(value.c_str());
+    if (value.empty()) return fallback;
+    int64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+      return Status::InvalidArgument("flag " + key + " expects an integer, got '" + value +
+                                     "'");
+    }
+    if (parsed < min || parsed > max) {
+      return Status::InvalidArgument(
+          StrFormat("flag %s out of range: %lld (allowed [%lld, %lld])", key.c_str(),
+                    static_cast<long long>(parsed), static_cast<long long>(min),
+                    static_cast<long long>(max)));
+    }
+    return parsed;
   }
+
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
  private:
+  Flags() = default;
+
   std::map<std::string, std::string> values_;
 };
 
@@ -81,8 +135,12 @@ Snippet ParseSnippetFlag(const std::string& field) {
 
 int CmdGenerate(const Flags& flags) {
   AdCorpusOptions options;
-  options.num_adgroups = static_cast<int>(flags.GetInt("--adgroups", 2000));
-  options.seed = static_cast<uint64_t>(flags.GetInt("--seed", 42));
+  auto adgroups = flags.GetInt("--adgroups", 2000, /*min=*/1, /*max=*/10'000'000);
+  if (!adgroups.ok()) return Fail(adgroups.status());
+  auto seed = flags.GetInt("--seed", 42, /*min=*/0);
+  if (!seed.ok()) return Fail(seed.status());
+  options.num_adgroups = static_cast<int>(*adgroups);
+  options.seed = static_cast<uint64_t>(*seed);
   if (flags.Has("--rhs")) options.placement = Placement::kRhs;
   const std::string out = flags.Get("--out", "corpus.tsv");
   auto generated = GenerateAdCorpus(options);
@@ -112,8 +170,12 @@ int CmdMine(const Flags& flags) {
   auto db = LoadFeatureStats(flags.Get("--stats", "stats.tsv"));
   if (!db.ok()) return Fail(db.status());
   const std::string prefix = flags.Get("--prefix", "rw:");
-  const int64_t min_count = flags.GetInt("--min-count", 10);
-  const size_t top = static_cast<size_t>(flags.GetInt("--top", 20));
+  auto min_count_flag = flags.GetInt("--min-count", 10, /*min=*/0);
+  if (!min_count_flag.ok()) return Fail(min_count_flag.status());
+  auto top_flag = flags.GetInt("--top", 20, /*min=*/0);
+  if (!top_flag.ok()) return Fail(top_flag.status());
+  const int64_t min_count = *min_count_flag;
+  const size_t top = static_cast<size_t>(*top_flag);
 
   std::vector<std::pair<std::string, FeatureStat>> rows;
   for (const auto& [key, stat] : db->stats()) {
@@ -138,8 +200,10 @@ int CmdTrain(const Flags& flags) {
   const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
   const FeatureStatsDb db = BuildFeatureStats(pairs, {});
   const ClassifierConfig config = ConfigByName(flags.Get("--model", "M6"));
+  auto seed = flags.GetInt("--seed", 99, /*min=*/0);
+  if (!seed.ok()) return Fail(seed.status());
   const CoupledDataset dataset =
-      BuildClassifierDataset(pairs, db, config, static_cast<uint64_t>(flags.GetInt("--seed", 99)));
+      BuildClassifierDataset(pairs, db, config, static_cast<uint64_t>(*seed));
   auto model = TrainSnippetClassifier(dataset, config);
   if (!model.ok()) return Fail(model.status());
   const std::string out = flags.Get("--out", "model.txt");
@@ -157,8 +221,16 @@ int CmdEvaluate(const Flags& flags) {
   if (!corpus.ok()) return Fail(corpus.status());
   const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
   PipelineOptions pipeline;
-  pipeline.folds = static_cast<int>(flags.GetInt("--folds", 5));
-  pipeline.seed = static_cast<uint64_t>(flags.GetInt("--seed", 99));
+  auto folds = flags.GetInt("--folds", 5, /*min=*/2, /*max=*/1000);
+  if (!folds.ok()) return Fail(folds.status());
+  auto seed = flags.GetInt("--seed", 99, /*min=*/0);
+  if (!seed.ok()) return Fail(seed.status());
+  auto threads = flags.GetInt("--threads", 1, /*min=*/1, /*max=*/256);
+  if (!threads.ok()) return Fail(threads.status());
+  pipeline.folds = static_cast<int>(*folds);
+  pipeline.seed = static_cast<uint64_t>(*seed);
+  pipeline.num_threads = static_cast<int>(*threads);
+  const std::string checkpoint_dir = flags.Get("--checkpoint-dir");
   const std::string model_flag = flags.Get("--model", "all");
   std::vector<ClassifierConfig> configs;
   if (model_flag == "all") {
@@ -167,6 +239,10 @@ int CmdEvaluate(const Flags& flags) {
     configs.push_back(ConfigByName(model_flag));
   }
   for (const auto& config : configs) {
+    // Each configuration checkpoints into its own subdirectory so an
+    // "--model all" run can resume per model.
+    pipeline.checkpoint_dir =
+        checkpoint_dir.empty() ? "" : checkpoint_dir + "/" + config.name;
     auto report = RunPairClassificationCv(pairs, config, pipeline);
     if (!report.ok()) return Fail(report.status());
     std::printf("%s: recall=%.3f precision=%.3f F=%.3f accuracy=%.3f auc=%.3f\n",
@@ -204,7 +280,35 @@ void PrintUsage() {
       "  mbctl mine     --stats stats.tsv [--prefix rw:|t:|pp:] [--top N] [--min-count N]\n"
       "  mbctl train    --corpus corpus.tsv --out model.txt [--model M1..M6]\n"
       "  mbctl evaluate --corpus corpus.tsv [--model M1..M6|all] [--folds K]\n"
-      "  mbctl predict  --model model.txt --stats stats.tsv --a \"l1|l2|l3\" --b \"l1|l2|l3\"\n");
+      "                 [--checkpoint-dir run1/] [--threads N]\n"
+      "  mbctl predict  --model model.txt --stats stats.tsv --a \"l1|l2|l3\" --b \"l1|l2|l3\"\n"
+      "fault injection: MB_FAILPOINTS=name=spec,... (see common/failpoint.h)\n");
+}
+
+/// Per-command flag declarations; anything else is rejected.
+Result<Flags> ParseCommandFlags(const std::string& command, int argc, char** argv) {
+  if (command == "generate") {
+    return Flags::Parse(argc, argv, {"--out", "--adgroups", "--seed"}, {"--rhs"});
+  }
+  if (command == "stats") {
+    return Flags::Parse(argc, argv, {"--corpus", "--out"}, {});
+  }
+  if (command == "mine") {
+    return Flags::Parse(argc, argv, {"--stats", "--prefix", "--top", "--min-count"}, {});
+  }
+  if (command == "train") {
+    return Flags::Parse(argc, argv, {"--corpus", "--out", "--model", "--seed"}, {});
+  }
+  if (command == "evaluate") {
+    return Flags::Parse(
+        argc, argv,
+        {"--corpus", "--model", "--folds", "--seed", "--checkpoint-dir", "--threads"}, {});
+  }
+  if (command == "predict") {
+    return Flags::Parse(argc, argv, {"--model", "--stats", "--a", "--b", "--model-type"},
+                        {});
+  }
+  return Status::InvalidArgument("unknown command '" + command + "'");
 }
 
 }  // namespace
@@ -214,14 +318,17 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
-  const Flags flags(argc, argv);
   const std::string command = argv[1];
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "mine") return CmdMine(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "evaluate") return CmdEvaluate(flags);
-  if (command == "predict") return CmdPredict(flags);
-  PrintUsage();
-  return 1;
+  auto flags = ParseCommandFlags(command, argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    PrintUsage();
+    return 1;
+  }
+  if (command == "generate") return CmdGenerate(*flags);
+  if (command == "stats") return CmdStats(*flags);
+  if (command == "mine") return CmdMine(*flags);
+  if (command == "train") return CmdTrain(*flags);
+  if (command == "evaluate") return CmdEvaluate(*flags);
+  return CmdPredict(*flags);
 }
