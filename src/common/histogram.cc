@@ -1,0 +1,124 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace microbrowse {
+
+namespace {
+
+constexpr double kFirstBucket = 1e-6;
+// 128 buckets at 1.15x growth cover [1e-6, 1e-6 * 1.15^127 ~ 5.6e1] ... the
+// exact top is irrelevant: the last bucket absorbs everything beyond it.
+constexpr double kGrowth = 1.15;
+const double kLogGrowth = std::log(kGrowth);
+
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::BucketOf(double value) {
+  if (!(value > kFirstBucket)) return 0;  // Also catches NaN.
+  const int bucket = static_cast<int>(std::log(value / kFirstBucket) / kLogGrowth) + 1;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double Histogram::BucketLow(int index) {
+  if (index <= 0) return 0.0;
+  return kFirstBucket * std::pow(kGrowth, index - 1);
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (!has_extrema_.load(std::memory_order_relaxed)) {
+    // First sample initialises min/max; races here at worst briefly leave
+    // min at 0.0, which AtomicMin/AtomicMax then repair for min via the
+    // explicit seed below.
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    has_extrema_.store(true, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  HistogramSnapshot snapshot;
+  snapshot.count = total;
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.min = min_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  if (total == 0) return snapshot;
+
+  const auto quantile = [&](double q) {
+    // Rank of the q-quantile sample (1-based), clamped into range.
+    const int64_t rank = std::clamp<int64_t>(
+        static_cast<int64_t>(std::ceil(q * static_cast<double>(total))), 1, total);
+    int64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      if (seen + counts[i] >= rank) {
+        const double low = BucketLow(i);
+        const double high = i + 1 < kNumBuckets ? BucketLow(i + 1) : snapshot.max;
+        const double frac =
+            static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+        return low + (std::max(high, low) - low) * frac;
+      }
+      seen += counts[i];
+    }
+    return snapshot.max;
+  };
+  snapshot.p50 = quantile(0.50);
+  snapshot.p95 = quantile(0.95);
+  snapshot.p99 = quantile(0.99);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_extrema_.store(false, std::memory_order_relaxed);
+}
+
+std::string FormatLatencySnapshot(const HistogramSnapshot& snapshot) {
+  const auto ms = [](double seconds) { return seconds * 1e3; };
+  return StrFormat("p50=%.3fms p95=%.3fms p99=%.3fms mean=%.3fms n=%lld",
+                   ms(snapshot.p50), ms(snapshot.p95), ms(snapshot.p99),
+                   ms(snapshot.mean()), static_cast<long long>(snapshot.count));
+}
+
+}  // namespace microbrowse

@@ -1,0 +1,82 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// A thread-safe log-bucketed histogram for latency and size distributions.
+// Recording is lock-free (one relaxed atomic increment per sample plus a
+// few atomic accumulators), so the serving hot path can record every
+// request. Quantiles are reconstructed from the bucket counts by linear
+// interpolation inside the containing bucket — accurate to the bucket
+// resolution (~7% with the default growth factor), which is plenty for
+// p50/p95/p99 reporting.
+
+#ifndef MICROBROWSE_COMMON_HISTOGRAM_H_
+#define MICROBROWSE_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace microbrowse {
+
+/// Aggregated view of a histogram at one point in time.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Fixed-geometry log histogram over (0, +inf). Values are assigned to
+/// bucket floor(log(value / kFirstBucket) / log(kGrowth)), clamped to the
+/// bucket range; zero and negative values land in bucket 0. With
+/// kFirstBucket = 1e-6 (1 microsecond when recording seconds) and ~1.15x
+/// growth, 128 buckets span beyond 10^4 seconds.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 128;
+
+  Histogram() = default;
+
+  /// Records one sample. Thread-safe, wait-free.
+  void Record(double value);
+
+  /// Number of recorded samples.
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Consistent-enough snapshot with interpolated quantiles. Concurrent
+  /// Record calls may or may not be included; the snapshot is never torn
+  /// in a way that produces out-of-range quantiles.
+  HistogramSnapshot Snapshot() const;
+
+  /// Resets all counters to zero. Not atomic with respect to concurrent
+  /// Record calls (samples landing mid-reset may survive); intended for
+  /// between-phase resets in benchmarks.
+  void Reset();
+
+ private:
+  static int BucketOf(double value);
+  /// Lower edge of bucket `index`.
+  static double BucketLow(int index);
+
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  /// Sum/min/max in fixed-point nanos-style resolution is overkill here;
+  /// doubles via CAS loops keep the API in natural units.
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_extrema_{false};
+};
+
+/// Renders "p50=1.2ms p95=3.4ms p99=9ms n=1234" for logs; values are
+/// treated as seconds.
+std::string FormatLatencySnapshot(const HistogramSnapshot& snapshot);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_HISTOGRAM_H_

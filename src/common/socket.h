@@ -1,0 +1,96 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Minimal TCP socket helpers for the serving subsystem: IPv4 listen /
+// connect / full-buffer send, plus a buffered newline-delimited reader.
+// Errors surface as Status (kIOError) rather than errno checks at every
+// call site; EINTR is retried throughout.
+
+#ifndef MICROBROWSE_COMMON_SOCKET_H_
+#define MICROBROWSE_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace microbrowse {
+
+/// An owned socket file descriptor (closed on destruction, movable).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor now (idempotent). Any concurrent reader blocked
+  /// on the fd is *not* woken on all platforms — use Shutdown first for
+  /// that.
+  void Close();
+
+  /// shutdown(2) both directions — wakes readers blocked in recv so their
+  /// threads can exit. No-op on an invalid socket.
+  void Shutdown();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on `port` (0 = kernel-assigned) on all IPv4 interfaces with
+/// SO_REUSEADDR. Returns the listening socket.
+Result<Socket> TcpListen(uint16_t port, int backlog = 64);
+
+/// The locally bound port of a listening (or connected) socket — the way to
+/// discover a port-0 assignment.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Blocking accept; returns the connection socket. TCP_NODELAY is set (the
+/// protocol is small request/response lines, where Nagle only adds
+/// latency).
+Result<Socket> TcpAccept(const Socket& listener);
+
+/// Connects to `host:port` (IPv4 literal or "localhost"). TCP_NODELAY set.
+Result<Socket> TcpConnect(const std::string& host, uint16_t port);
+
+/// Writes all of `data`, looping over partial sends. SIGPIPE is suppressed
+/// (MSG_NOSIGNAL); a closed peer surfaces as kIOError.
+Status SendAll(const Socket& socket, std::string_view data);
+
+/// Buffered reader returning one '\n'-terminated line at a time (terminator
+/// stripped, '\r' before it too). Reads from the fd only when the buffer
+/// runs dry, so pipelined requests already received are served without
+/// another syscall.
+class LineReader {
+ public:
+  explicit LineReader(const Socket& socket) : socket_(socket) {}
+
+  /// Reads the next line into `line`. Returns OK with true on a line,
+  /// OK with false on clean EOF (no partial line pending), and kIOError on
+  /// socket errors or EOF in the middle of a line.
+  Result<bool> ReadLine(std::string* line);
+
+ private:
+  const Socket& socket_;
+  std::string buffer_;
+  size_t start_ = 0;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_SOCKET_H_

@@ -42,26 +42,6 @@ Snippet Materialize(const SnippetCandidates& candidates, const Assignment& assig
   return Snippet::FromTokens(std::move(lines));
 }
 
-/// Scores an example with warm-start fallback for features interned after
-/// training: ids beyond the trained weight vectors use their statistics-
-/// database initialisation instead of silently scoring zero.
-double ScoreWithFallback(const SnippetClassifierModel& model, const FeatureRegistry& t_registry,
-                         const FeatureRegistry& p_registry,
-                         const std::vector<CoupledOccurrence>& occurrences) {
-  double score = model.bias;
-  for (const CoupledOccurrence& occ : occurrences) {
-    const double t = occ.t < model.t_weights.size() ? model.t_weights[occ.t]
-                                                    : t_registry.InitialWeightOf(occ.t);
-    double p = 1.0;
-    if (occ.p != kInvalidFeatureId) {
-      p = occ.p < model.p_weights.size() ? model.p_weights[occ.p]
-                                         : p_registry.InitialWeightOf(occ.p);
-    }
-    score += occ.sign * p * t;
-  }
-  return score;
-}
-
 /// Shared mutable evaluation context: registries grow as new candidate
 /// creatives introduce unseen features.
 struct Evaluator {
@@ -72,10 +52,8 @@ struct Evaluator {
   FeatureRegistry p_registry;
 
   double Margin(const Snippet& challenger, const Snippet& incumbent) {
-    std::vector<CoupledOccurrence> occurrences;
-    ExtractPairOccurrences(challenger, incumbent, db, config, &t_registry, &p_registry,
-                           &occurrences);
-    return ScoreWithFallback(model, t_registry, p_registry, occurrences);
+    return PredictPairMargin(challenger, incumbent, db, config, model, &t_registry,
+                             &p_registry);
   }
 };
 
@@ -107,6 +85,37 @@ double PredictPairMargin(const Snippet& challenger, const Snippet& incumbent,
                          const FeatureRegistry& p_registry) {
   Evaluator evaluator{db, config, model, t_registry, p_registry};
   return evaluator.Margin(challenger, incumbent);
+}
+
+double PredictPairMargin(const Snippet& challenger, const Snippet& incumbent,
+                         const FeatureStatsDb& db, const ClassifierConfig& config,
+                         const SnippetClassifierModel& model, FeatureRegistry* t_registry,
+                         FeatureRegistry* p_registry) {
+  std::vector<CoupledOccurrence> occurrences;
+  ExtractPairOccurrences(challenger, incumbent, db, config, t_registry, p_registry,
+                         &occurrences);
+  return ScoreOccurrences(model, *t_registry, *p_registry, occurrences);
+}
+
+double ScoreOccurrences(const SnippetClassifierModel& model,
+                        const FeatureRegistry& t_registry,
+                        const FeatureRegistry& p_registry,
+                        const std::vector<CoupledOccurrence>& occurrences) {
+  // Warm-start fallback: features interned after training (ids beyond the
+  // trained weight vectors) use their statistics-database initialisation
+  // instead of silently scoring zero.
+  double score = model.bias;
+  for (const CoupledOccurrence& occ : occurrences) {
+    const double t = occ.t < model.t_weights.size() ? model.t_weights[occ.t]
+                                                    : t_registry.InitialWeightOf(occ.t);
+    double p = 1.0;
+    if (occ.p != kInvalidFeatureId) {
+      p = occ.p < model.p_weights.size() ? model.p_weights[occ.p]
+                                         : p_registry.InitialWeightOf(occ.p);
+    }
+    score += occ.sign * p * t;
+  }
+  return score;
 }
 
 Result<OptimizedSnippet> OptimizeSnippet(const SnippetCandidates& candidates,

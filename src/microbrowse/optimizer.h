@@ -66,6 +66,24 @@ double PredictPairMargin(const Snippet& challenger, const Snippet& incumbent,
                          const FeatureRegistry& t_registry,
                          const FeatureRegistry& p_registry);
 
+/// PredictPairMargin against caller-owned *mutable* registries: unseen
+/// features are interned into them (with their statistics warm starts)
+/// instead of into per-call copies. The serving hot path reuses one
+/// registry pair per worker across requests, so scoring cost stays
+/// extraction + dot product instead of extraction + two registry copies.
+double PredictPairMargin(const Snippet& challenger, const Snippet& incumbent,
+                         const FeatureStatsDb& db, const ClassifierConfig& config,
+                         const SnippetClassifierModel& model, FeatureRegistry* t_registry,
+                         FeatureRegistry* p_registry);
+
+/// Scores pre-extracted occurrences under `model`, falling back to the
+/// registries' warm-start weights for features interned after training
+/// (ids beyond the trained weight vectors).
+double ScoreOccurrences(const SnippetClassifierModel& model,
+                        const FeatureRegistry& t_registry,
+                        const FeatureRegistry& p_registry,
+                        const std::vector<CoupledOccurrence>& occurrences);
+
 }  // namespace microbrowse
 
 #endif  // MICROBROWSE_MICROBROWSE_OPTIMIZER_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "serve/metrics.h"
+
+#include "serve/protocol.h"
+
+namespace microbrowse {
+namespace serve {
+
+namespace {
+constexpr std::string_view kNames[kNumEndpoints] = {
+    "score_pair", "predict_ctr", "examine", "reload", "statsz", "ping", "other",
+};
+}  // namespace
+
+std::string_view EndpointName(Endpoint endpoint) {
+  return kNames[static_cast<int>(endpoint)];
+}
+
+Endpoint EndpointByName(std::string_view name) {
+  for (int i = 0; i < kNumEndpoints; ++i) {
+    if (kNames[i] == name) return static_cast<Endpoint>(i);
+  }
+  return Endpoint::kOther;
+}
+
+std::string ServerMetrics::RenderStatszJson() const {
+  JsonWriter top;
+  for (int i = 0; i < kNumEndpoints; ++i) {
+    const EndpointMetrics& metrics = endpoints_[i];
+    if (metrics.requests() == 0) continue;
+    const HistogramSnapshot latency = metrics.latency().Snapshot();
+    JsonWriter entry;
+    entry.Int("requests", metrics.requests())
+        .Int("errors", metrics.errors())
+        .Int("cache_hits", metrics.cache_hits())
+        .Int("cache_misses", metrics.cache_misses())
+        .Number("latency_p50_ms", latency.p50 * 1e3)
+        .Number("latency_p95_ms", latency.p95 * 1e3)
+        .Number("latency_p99_ms", latency.p99 * 1e3)
+        .Number("latency_mean_ms", latency.mean() * 1e3);
+    top.Raw(kNames[i], entry.Finish());
+  }
+  top.Int("rejected_overload", rejected_overload.load(std::memory_order_relaxed));
+  const HistogramSnapshot batches = batch_size.Snapshot();
+  if (batches.count > 0) {
+    top.Number("batch_size_mean", batches.mean()).Number("batch_size_max", batches.max);
+  }
+  return top.Finish();
+}
+
+}  // namespace serve
+}  // namespace microbrowse

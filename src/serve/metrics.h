@@ -1,0 +1,93 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Per-endpoint serving metrics: request/error counters, a latency
+// histogram (p50/p95/p99 via common/histogram.h) and cache hit counters,
+// plus server-level gauges (queue depth, rejected requests, batch sizes).
+// Everything on the request path is an atomic increment; statsz
+// aggregates on demand.
+
+#ifndef MICROBROWSE_SERVE_METRICS_H_
+#define MICROBROWSE_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace microbrowse {
+namespace serve {
+
+/// The serviced endpoints, in statsz order.
+enum class Endpoint : int {
+  kScorePair = 0,
+  kPredictCtr,
+  kExamine,
+  kReload,
+  kStatsz,
+  kPing,
+  kOther,  ///< Unknown / malformed request types.
+};
+inline constexpr int kNumEndpoints = 7;
+
+/// Stable wire name of an endpoint ("score_pair", ...).
+std::string_view EndpointName(Endpoint endpoint);
+/// Inverse of EndpointName; kOther for unknown names.
+Endpoint EndpointByName(std::string_view name);
+
+/// Counters for one endpoint.
+class EndpointMetrics {
+ public:
+  void RecordRequest(double latency_seconds, bool ok) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+    latency_.Record(latency_seconds);
+  }
+  void RecordCache(bool hit) {
+    (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  int64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  int64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  int64_t cache_misses() const { return cache_misses_.load(std::memory_order_relaxed); }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> errors_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  Histogram latency_;
+};
+
+/// All serving metrics; one instance per ScoringService.
+class ServerMetrics {
+ public:
+  EndpointMetrics& endpoint(Endpoint endpoint) {
+    return endpoints_[static_cast<int>(endpoint)];
+  }
+  const EndpointMetrics& endpoint(Endpoint endpoint) const {
+    return endpoints_[static_cast<int>(endpoint)];
+  }
+
+  /// Requests rejected by admission control (queue full).
+  std::atomic<int64_t> rejected_overload{0};
+  /// Batch-size distribution of the worker drain loop.
+  Histogram batch_size;
+
+  /// Renders the nested statsz JSON object (cache stats are appended by
+  /// the service, which owns the caches): {"score_pair":{"requests":...},
+  /// ...,"rejected_overload":N}.
+  std::string RenderStatszJson() const;
+
+ private:
+  std::array<EndpointMetrics, kNumEndpoints> endpoints_;
+};
+
+}  // namespace serve
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_SERVE_METRICS_H_

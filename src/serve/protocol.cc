@@ -1,0 +1,231 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace microbrowse {
+namespace serve {
+
+namespace {
+
+/// Cursor over the request line with one-token-lookahead helpers. All
+/// errors funnel through Error() so messages carry the byte offset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Request> Parse() {
+    Request request;
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return FinishAt(request);
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (auto status = ParseString(&key); !status.ok()) return status;
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after key");
+      SkipSpace();
+      std::string value;
+      if (auto status = ParseValue(&value); !status.ok()) return status;
+      request.fields[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return FinishAt(request);
+      return Error("expected ',' or '}'");
+    }
+  }
+
+ private:
+  Result<Request> FinishAt(Request& request) {
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters after object");
+    return std::move(request);
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("bad request at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(std::string* out) {
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '"') return ParseString(out);
+    if (c == '{' || c == '[') return Error("nested values are not supported");
+    // Bare literal: number, true, false, null. Take the maximal run of
+    // literal characters and validate it.
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ' ' && text_[pos_] != '\t') {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token == "true" || token == "false" || token == "null") {
+      *out = token;
+      return Status::OK();
+    }
+    char* end = nullptr;
+    const std::string copy = token;  // strtod needs a terminated buffer.
+    std::strtod(copy.c_str(), &end);
+    if (copy.empty() || end != copy.c_str() + copy.size()) {
+      return Error("invalid literal '" + token + "'");
+    }
+    *out = token;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (auto status = ParseUnicodeEscape(out); !status.ok()) return status;
+          break;
+        }
+        default:
+          return Error(StrFormat("invalid escape '\\%c'", esc));
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseUnicodeEscape(std::string* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return Error("invalid \\u escape digit");
+    }
+    // UTF-8 encode the code point (surrogate pairs are passed through as
+    // individual units — snippet text is ASCII-tokenized anyway).
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line) { return Parser(line).Parse(); }
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!body_.empty()) body_.push_back(',');
+  body_.push_back('"');
+  body_ += JsonEscape(key);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::String(std::string_view key, std::string_view value) {
+  Key(key);
+  body_.push_back('"');
+  body_ += JsonEscape(value);
+  body_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(std::string_view key, double value) {
+  Key(key);
+  if (std::isfinite(value)) {
+    body_ += StrFormat("%.6g", value);
+  } else {
+    body_ += "null";  // JSON has no Inf/NaN literals.
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::string_view key, int64_t value) {
+  Key(key);
+  body_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view key, std::string_view json) {
+  Key(key);
+  body_ += json;
+  return *this;
+}
+
+}  // namespace serve
+}  // namespace microbrowse

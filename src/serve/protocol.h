@@ -1,0 +1,75 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The mbserved wire protocol: newline-delimited flat JSON objects, one
+// request and one response per line. Flat means every value is a string,
+// number or boolean — no nesting on the *input* side, which keeps the
+// parser small and the protocol driveable with netcat:
+//
+//   {"type":"score_pair","a":"brand|cheap flights|book now","b":"..."}
+//   {"type":"predict_ctr","snippet":"brand|cheap flights|book now"}
+//   {"type":"examine","snippet":"brand|cheap flights|book now"}
+//   {"type":"reload"}          {"type":"statsz"}          {"type":"ping"}
+//
+// Responses always carry "ok":true|false; an optional request "id" is
+// echoed verbatim so pipelined clients can match responses processed out
+// of order by the batching workers (in-order delivery is NOT guaranteed
+// across a pipelined connection). Response values may be nested JSON
+// (examine's per-token breakdown, statsz's per-endpoint maps) — emitted
+// via JsonWriter::Raw, never parsed back by this codec.
+
+#ifndef MICROBROWSE_SERVE_PROTOCOL_H_
+#define MICROBROWSE_SERVE_PROTOCOL_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace microbrowse {
+namespace serve {
+
+/// A parsed flat JSON object: field name -> value. Numeric and boolean
+/// values are stored as their literal text ("3.5", "true"); string values
+/// are stored unescaped.
+struct Request {
+  std::map<std::string, std::string> fields;
+
+  /// Value of `key`, or `fallback` when absent.
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = fields.find(key);
+    return it != fields.end() ? it->second : fallback;
+  }
+  bool Has(const std::string& key) const { return fields.count(key) > 0; }
+};
+
+/// Parses one request line. Accepts exactly one flat JSON object with
+/// string / number / boolean / null values; anything else (nesting,
+/// trailing garbage, bad escapes) is InvalidArgument with a position hint.
+Result<Request> ParseRequest(std::string_view line);
+
+/// Escapes `text` as a JSON string literal body (no surrounding quotes).
+std::string JsonEscape(std::string_view text);
+
+/// Builds one response line. Fields appear in insertion order; Raw splices
+/// pre-serialized JSON (arrays / objects) under a key.
+class JsonWriter {
+ public:
+  JsonWriter& String(std::string_view key, std::string_view value);
+  JsonWriter& Number(std::string_view key, double value);
+  JsonWriter& Int(std::string_view key, int64_t value);
+  JsonWriter& Bool(std::string_view key, bool value);
+  JsonWriter& Raw(std::string_view key, std::string_view json);
+
+  /// The finished object, e.g. {"ok":true,"margin":0.25}. No newline.
+  std::string Finish() const { return "{" + body_ + "}"; }
+
+ private:
+  void Key(std::string_view key);
+  std::string body_;
+};
+
+}  // namespace serve
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_SERVE_PROTOCOL_H_

@@ -1,0 +1,158 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace microbrowse {
+namespace serve {
+
+Server::Server(ScoringService* service, ServerOptions options)
+    : service_(service), options_(options) {
+  if (options_.num_threads < 1) options_.num_threads = 1;
+  if (options_.max_batch < 1) options_.max_batch = 1;
+  if (options_.max_queue < 1) options_.max_queue = 1;
+}
+
+Server::~Server() { Stop(); }
+
+Result<uint16_t> Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  auto listener = TcpListen(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  auto port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = *port;
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(options_.num_threads));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return port_;
+}
+
+void Server::Stop() {
+  // Serializes concurrent Stop calls; the destructor's call is then a
+  // no-op after an explicit one.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!started_ || stopping_.exchange(true)) return;
+  listener_.Shutdown();
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Wake every reader blocked in recv, then join them.
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections = connections_;
+    readers.swap(reader_threads_);
+  }
+  for (const auto& connection : connections) {
+    connection->alive.store(false, std::memory_order_relaxed);
+    connection->socket.Shutdown();
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) reader.join();
+  }
+  // Drain the worker pool: queued batches still run (their writes fail
+  // fast on the shut-down sockets), then the workers exit.
+  if (pool_ != nullptr) {
+    pool_->Wait();
+    pool_.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_.clear();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = TcpAccept(listener_);
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      MB_LOG(kWarning) << "accept failed: " << accepted.status().ToString();
+      break;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->socket = std::move(*accepted);
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      connection->socket.Shutdown();
+      break;
+    }
+    connections_.push_back(connection);
+    reader_threads_.emplace_back([this, connection] { ReadLoop(connection); });
+  }
+}
+
+void Server::ReadLoop(std::shared_ptr<Connection> connection) {
+  LineReader reader(connection->socket);
+  std::string line;
+  for (;;) {
+    auto got = reader.ReadLine(&line);
+    if (!got.ok() || !*got) break;
+    if (line.empty()) continue;
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < options_.max_queue &&
+          !stopping_.load(std::memory_order_relaxed)) {
+        queue_.push_back(PendingRequest{connection, line});
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      pool_->Submit([this] { DrainBatch(); });
+      continue;
+    }
+    // Admission control: reject instead of queueing unboundedly. The
+    // response still echoes the id (when parseable) so pipelined clients
+    // can account for the shed request.
+    service_->metrics().rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    JsonWriter response;
+    if (auto request = ParseRequest(line); request.ok() && request->Has("id")) {
+      response.String("id", request->Get("id"));
+    }
+    response.Bool("ok", false).String("error", "overloaded");
+    WriteResponse(*connection, response.Finish());
+  }
+  connection->alive.store(false, std::memory_order_relaxed);
+}
+
+void Server::DrainBatch() {
+  std::vector<PendingRequest> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    const size_t take = std::min(options_.max_batch, queue_.size());
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  // An earlier drain task may have taken this task's request already — one
+  // task is submitted per enqueue, and each drains up to max_batch.
+  if (batch.empty()) return;
+  service_->metrics().batch_size.Record(static_cast<double>(batch.size()));
+  for (PendingRequest& pending : batch) {
+    const std::string response = service_->HandleLine(pending.line);
+    WriteResponse(*pending.connection, response);
+  }
+}
+
+void Server::WriteResponse(Connection& connection, const std::string& response) {
+  if (!connection.alive.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(connection.write_mu);
+  const Status status = SendAll(connection.socket, response + "\n");
+  if (!status.ok()) {
+    connection.alive.store(false, std::memory_order_relaxed);
+    connection.socket.Shutdown();
+  }
+}
+
+}  // namespace serve
+}  // namespace microbrowse

@@ -1,0 +1,111 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The mbserved network front end. One reader thread per connection parses
+// newline-delimited requests and enqueues them into one bounded queue;
+// the mb_common thread pool drains the queue in batches (amortising the
+// queue lock and keeping workers hot under load) and writes each response
+// back on its connection. Admission control is reader-side: when the
+// queue is at capacity the request is answered immediately with
+// {"ok":false,"error":"overloaded"} instead of queueing unboundedly —
+// under overload the server sheds load at constant latency rather than
+// building an ever-longer tail.
+//
+// Responses to a pipelined connection may arrive out of order (batching
+// workers run concurrently); clients that pipeline tag requests with
+// "id" and match on the echo. mbctl and serve_bench both do.
+
+#ifndef MICROBROWSE_SERVE_SERVER_H_
+#define MICROBROWSE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/thread_pool.h"
+#include "serve/service.h"
+
+namespace microbrowse {
+namespace serve {
+
+/// Server configuration.
+struct ServerOptions {
+  uint16_t port = 7077;  ///< 0 = kernel-assigned (tests).
+  int num_threads = 4;   ///< Scoring worker threads.
+  /// Bounded request queue; requests beyond it are rejected with
+  /// "overloaded".
+  size_t max_queue = 1024;
+  /// Maximum requests one worker drains per batch.
+  size_t max_batch = 32;
+};
+
+/// TCP front end over a ScoringService.
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(ScoringService* service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop + worker pool. Returns the
+  /// bound port.
+  Result<uint16_t> Start();
+
+  /// Stops accepting, closes every connection, drains workers and joins
+  /// all threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  /// One live client connection; readers and workers share it via
+  /// shared_ptr so a response can still be written (or skipped) after the
+  /// reader saw EOF.
+  struct Connection {
+    Socket socket;
+    std::mutex write_mu;
+    std::atomic<bool> alive{true};
+  };
+
+  struct PendingRequest {
+    std::shared_ptr<Connection> connection;
+    std::string line;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> connection);
+  void DrainBatch();
+  void WriteResponse(Connection& connection, const std::string& response);
+
+  ScoringService* service_;
+  ServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::mutex queue_mu_;
+  std::deque<PendingRequest> queue_;
+
+  std::mutex connections_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  std::mutex stop_mu_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_SERVE_SERVER_H_

@@ -1,0 +1,276 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "serve/service.h"
+
+#include <charconv>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "microbrowse/feature_keys.h"
+#include "microbrowse/optimizer.h"
+
+namespace microbrowse {
+namespace serve {
+
+namespace {
+
+/// A context whose registries grew past this many interned features beyond
+/// the bundle's is discarded instead of reused — adversarial traffic of
+/// all-new creatives must not grow worker memory without bound.
+constexpr size_t kMaxInternedGrowth = 1 << 16;
+/// Free-context pool bound; beyond it returned contexts are dropped.
+constexpr size_t kMaxPooledContexts = 64;
+
+Snippet ParseSnippetField(const std::string& field) {
+  return Snippet::FromLines(Split(field, '|'));
+}
+
+/// Content hash of one request payload string under one generation.
+uint64_t ContentKey(uint64_t generation, std::string_view kind, std::string_view text) {
+  return HashCombine(HashCombine(Mix64(generation), kind), text);
+}
+
+}  // namespace
+
+ScoringService::ScoringService(BundleRegistry* registry, ServiceOptions options)
+    : registry_(registry),
+      options_(options),
+      pair_cache_(options.cache_capacity, options.cache_shards),
+      point_cache_(options.cache_capacity, options.cache_shards) {}
+
+std::unique_ptr<ScoringService::EvalContext> ScoringService::BorrowContext(
+    const ModelBundle& bundle) {
+  std::unique_ptr<EvalContext> context;
+  {
+    std::lock_guard<std::mutex> lock(context_mu_);
+    if (!free_contexts_.empty()) {
+      context = std::move(free_contexts_.back());
+      free_contexts_.pop_back();
+    }
+  }
+  const bool stale =
+      context == nullptr || context->generation != bundle.generation ||
+      context->t_registry.size() > context->base_t_size + kMaxInternedGrowth ||
+      context->p_registry.size() > context->base_p_size + kMaxInternedGrowth;
+  if (stale) {
+    context = std::make_unique<EvalContext>();
+    context->generation = bundle.generation;
+    context->t_registry = bundle.classifier.t_registry;
+    context->p_registry = bundle.classifier.p_registry;
+    context->base_t_size = context->t_registry.size();
+    context->base_p_size = context->p_registry.size();
+  }
+  return context;
+}
+
+void ScoringService::ReturnContext(std::unique_ptr<EvalContext> context) {
+  std::lock_guard<std::mutex> lock(context_mu_);
+  if (free_contexts_.size() < kMaxPooledContexts) {
+    free_contexts_.push_back(std::move(context));
+  }
+}
+
+std::string ScoringService::HandleLine(std::string_view line) {
+  WallTimer timer;
+  auto parsed = ParseRequest(line);
+  JsonWriter response;
+  Endpoint endpoint = Endpoint::kOther;
+  bool ok = false;
+  if (!parsed.ok()) {
+    response.Bool("ok", false).String("error", parsed.status().message());
+  } else {
+    const std::string type = parsed->Get("type");
+    endpoint = EndpointByName(type);
+    if (parsed->Has("id")) response.String("id", parsed->Get("id"));
+    Dispatch(*parsed, endpoint, response, &ok);
+  }
+  metrics_.endpoint(endpoint).RecordRequest(timer.ElapsedSeconds(), ok);
+  return response.Finish();
+}
+
+std::string ScoringService::Dispatch(const Request& request, Endpoint endpoint,
+                                     JsonWriter& response, bool* ok) {
+  Status status = Status::OK();
+  switch (endpoint) {
+    case Endpoint::kScorePair:
+      status = HandleScorePair(request, response);
+      break;
+    case Endpoint::kPredictCtr:
+      status = HandlePredictCtr(request, response);
+      break;
+    case Endpoint::kExamine:
+      status = HandleExamine(request, response);
+      break;
+    case Endpoint::kReload:
+      status = HandleReload(response);
+      break;
+    case Endpoint::kStatsz:
+      status = HandleStatsz(response);
+      break;
+    case Endpoint::kPing:
+      break;
+    case Endpoint::kOther: {
+      const std::string type = request.Get("type");
+      if (type == "debug_sleep" && options_.allow_debug_sleep) {
+        int64_t ms = 0;
+        const std::string text = request.Get("ms", "0");
+        std::from_chars(text.data(), text.data() + text.size(), ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        break;
+      }
+      status = Status::InvalidArgument(
+          type.empty() ? "missing request field 'type'" : "unknown type '" + type + "'");
+      break;
+    }
+  }
+  *ok = status.ok();
+  if (status.ok()) {
+    response.Bool("ok", true);
+  } else {
+    response.Bool("ok", false).String("error", status.message());
+  }
+  return status.ok() ? "" : std::string(status.message());
+}
+
+Status ScoringService::HandleScorePair(const Request& request, JsonWriter& response) {
+  const std::string a_text = request.Get("a");
+  const std::string b_text = request.Get("b");
+  if (a_text.empty() || b_text.empty()) {
+    return Status::InvalidArgument("score_pair needs non-empty 'a' and 'b' fields");
+  }
+  const auto bundle = registry_->Current();
+  if (bundle == nullptr) return Status::FailedPrecondition("no model bundle loaded");
+
+  const uint64_t key =
+      HashCombine(ContentKey(bundle->generation, "pair:a", a_text), b_text);
+  EndpointMetrics& metrics = metrics_.endpoint(Endpoint::kScorePair);
+  double margin = 0.0;
+  bool hit = false;
+  if (auto cached = pair_cache_.Get(key)) {
+    margin = *cached;
+    hit = true;
+  } else {
+    const Snippet a = ParseSnippetField(a_text);
+    const Snippet b = ParseSnippetField(b_text);
+    auto context = BorrowContext(*bundle);
+    margin = PredictPairMargin(a, b, bundle->stats, bundle->config,
+                               bundle->classifier.model, &context->t_registry,
+                               &context->p_registry);
+    ReturnContext(std::move(context));
+    pair_cache_.Put(key, margin);
+  }
+  metrics.RecordCache(hit);
+  response.String("winner", margin >= 0 ? "a" : "b")
+      .Number("margin", margin)
+      .Int("gen", static_cast<int64_t>(bundle->generation))
+      .String("cache", hit ? "hit" : "miss");
+  return Status::OK();
+}
+
+Status ScoringService::HandlePredictCtr(const Request& request, JsonWriter& response) {
+  const std::string text = request.Get("snippet");
+  if (text.empty()) {
+    return Status::InvalidArgument("predict_ctr needs a non-empty 'snippet' field");
+  }
+  const auto bundle = registry_->Current();
+  if (bundle == nullptr) return Status::FailedPrecondition("no model bundle loaded");
+
+  const uint64_t key = ContentKey(bundle->generation, "point", text);
+  EndpointMetrics& metrics = metrics_.endpoint(Endpoint::kPredictCtr);
+  double score = 0.0;
+  bool hit = false;
+  if (auto cached = point_cache_.Get(key)) {
+    score = *cached;
+    hit = true;
+  } else {
+    score = bundle->predictor->Score(ParseSnippetField(text));
+    point_cache_.Put(key, score);
+  }
+  metrics.RecordCache(hit);
+  // The pointwise score is a relative quality in log-odds units (see
+  // ctr_predictor.h); "ctr" squashes it to (0,1) for consumers that want a
+  // probability-shaped number. It is rank-consistent, not calibrated.
+  response.Number("score", score)
+      .Number("ctr", Sigmoid(score))
+      .Int("gen", static_cast<int64_t>(bundle->generation))
+      .String("cache", hit ? "hit" : "miss");
+  return Status::OK();
+}
+
+Status ScoringService::HandleExamine(const Request& request, JsonWriter& response) {
+  const std::string text = request.Get("snippet");
+  if (text.empty()) {
+    return Status::InvalidArgument("examine needs a non-empty 'snippet' field");
+  }
+  const auto bundle = registry_->Current();
+  if (bundle == nullptr) return Status::FailedPrecondition("no model bundle loaded");
+
+  const Snippet snippet = ParseSnippetField(text);
+  // Per-token micro-browsing breakdown: examination probability from the
+  // bundle's (fitted) curve, relevance proxy from the statistics database's
+  // smoothed win probability of the unigram.
+  std::string lines_json = "[";
+  for (int line = 0; line < snippet.num_lines(); ++line) {
+    if (line > 0) lines_json.push_back(',');
+    lines_json.push_back('[');
+    const auto& tokens = snippet.line(line);
+    for (int pos = 0; pos < static_cast<int>(tokens.size()); ++pos) {
+      if (pos > 0) lines_json.push_back(',');
+      JsonWriter token;
+      token.String("token", tokens[pos])
+          .Number("examine", bundle->curve.Probability(line, pos))
+          .Number("relevance", Sigmoid(bundle->stats.LogOdds(TermKey(tokens[pos]))));
+      lines_json += token.Finish();
+    }
+    lines_json.push_back(']');
+  }
+  lines_json.push_back(']');
+  response.Raw("lines", lines_json)
+      .Bool("curve_fitted", bundle->curve_fitted)
+      .Int("gen", static_cast<int64_t>(bundle->generation));
+  return Status::OK();
+}
+
+Status ScoringService::HandleReload(JsonWriter& response) {
+  const Status status = registry_->Reload();
+  if (status.ok()) {
+    // Entries of dead generations can never be hit again (keys embed the
+    // generation); flush them eagerly rather than waiting for LRU churn.
+    pair_cache_.Clear();
+    point_cache_.Clear();
+  }
+  response.Int("gen", static_cast<int64_t>(registry_->generation()));
+  return status;
+}
+
+Status ScoringService::HandleStatsz(JsonWriter& response) {
+  response.Raw("endpoints", metrics_.RenderStatszJson());
+  const CacheStats pair = pair_cache_stats();
+  const CacheStats point = point_cache_stats();
+  response.Raw("pair_cache", JsonWriter()
+                                 .Int("size", pair.size)
+                                 .Int("hits", pair.hits)
+                                 .Int("misses", pair.misses)
+                                 .Int("evictions", pair.evictions)
+                                 .Number("hit_rate", pair.hit_rate())
+                                 .Finish());
+  response.Raw("point_cache", JsonWriter()
+                                  .Int("size", point.size)
+                                  .Int("hits", point.hits)
+                                  .Int("misses", point.misses)
+                                  .Int("evictions", point.evictions)
+                                  .Number("hit_rate", point.hit_rate())
+                                  .Finish());
+  response.Int("gen", static_cast<int64_t>(registry_->generation()))
+      .Int("reloads", registry_->reload_count())
+      .Int("failed_reloads", registry_->failed_reload_count());
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace microbrowse

@@ -1,0 +1,98 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The request-handling core of mbserved, decoupled from sockets so tests
+// and the serve_bench load generator can drive it in-process. One
+// HandleLine call maps one request line to one response line; the method
+// is fully thread-safe and lock-free on the hot path apart from one
+// cache-shard lock and one context-pool pop/push.
+//
+// Scoring reuses per-worker evaluation contexts: the pairwise extractor
+// interns unseen features into mutable registries, so each borrowed
+// context carries its own copies seeded from the bundle's registries
+// (rebuilt lazily when the bundle generation moves or growth exceeds a
+// bound). Results are memoised in sharded LRU caches keyed by
+// generation + snippet content hash — ad serving re-scores the same
+// creatives constantly, and a warm hit skips tokenization, n-gram
+// extraction and rewrite matching entirely.
+
+#ifndef MICROBROWSE_SERVE_SERVICE_H_
+#define MICROBROWSE_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/feature_registry.h"
+#include "serve/bundle.h"
+#include "serve/lru_cache.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+
+namespace microbrowse {
+namespace serve {
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Total cached entries per cache (pair margins and pointwise scores are
+  /// cached separately). 0 disables caching.
+  size_t cache_capacity = 1 << 16;
+  size_t cache_shards = 16;
+  /// Honour {"type":"debug_sleep","ms":N} requests — a test/bench hook for
+  /// making worker occupancy deterministic. Never enable in production.
+  bool allow_debug_sleep = false;
+};
+
+class ScoringService {
+ public:
+  /// `registry` must outlive the service and have a loaded bundle before
+  /// the first scoring request.
+  ScoringService(BundleRegistry* registry, ServiceOptions options = {});
+
+  /// Handles one request line, returning the response line (no trailing
+  /// newline). Never throws; every failure is an {"ok":false,...} response.
+  std::string HandleLine(std::string_view line);
+
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  CacheStats pair_cache_stats() const { return pair_cache_.Stats(); }
+  CacheStats point_cache_stats() const { return point_cache_.Stats(); }
+
+ private:
+  /// Mutable registries for the pairwise extractor, seeded from one bundle
+  /// generation.
+  struct EvalContext {
+    uint64_t generation = 0;
+    FeatureRegistry t_registry;
+    FeatureRegistry p_registry;
+    size_t base_t_size = 0;
+    size_t base_p_size = 0;
+  };
+
+  std::unique_ptr<EvalContext> BorrowContext(const ModelBundle& bundle);
+  void ReturnContext(std::unique_ptr<EvalContext> context);
+
+  std::string Dispatch(const Request& request, Endpoint endpoint, JsonWriter& response,
+                       bool* ok);
+  Status HandleScorePair(const Request& request, JsonWriter& response);
+  Status HandlePredictCtr(const Request& request, JsonWriter& response);
+  Status HandleExamine(const Request& request, JsonWriter& response);
+  Status HandleReload(JsonWriter& response);
+  Status HandleStatsz(JsonWriter& response);
+
+  BundleRegistry* registry_;
+  ServiceOptions options_;
+  ServerMetrics metrics_;
+  ShardedLruCache<double> pair_cache_;
+  ShardedLruCache<double> point_cache_;
+
+  std::mutex context_mu_;
+  std::vector<std::unique_ptr<EvalContext>> free_contexts_;
+};
+
+}  // namespace serve
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_SERVE_SERVICE_H_

@@ -1,0 +1,157 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Serving-infrastructure container tests: the sharded LRU result cache and
+// the lock-free latency histogram behind /statsz quantiles.
+
+#include "serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace microbrowse {
+namespace serve {
+namespace {
+
+// Keys whose high 16 bits are zero all land in shard 0, making LRU order
+// across them exact and deterministic regardless of the shard count.
+constexpr uint64_t SameShardKey(uint64_t n) { return n; }
+
+TEST(ShardedLruCacheTest, GetMissThenHit) {
+  ShardedLruCache<double> cache(/*capacity=*/8, /*num_shards=*/1);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, 0.5);
+  auto value = cache.Get(1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value, 0.5);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.size, 1);
+}
+
+TEST(ShardedLruCacheTest, PutRefreshesExistingKey) {
+  ShardedLruCache<double> cache(/*capacity=*/8, /*num_shards=*/1);
+  cache.Put(1, 0.5);
+  cache.Put(1, 0.75);
+  auto value = cache.Get(1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value, 0.75);
+  EXPECT_EQ(cache.Stats().size, 1);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<double> cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put(SameShardKey(1), 1.0);
+  cache.Put(SameShardKey(2), 2.0);
+  cache.Put(SameShardKey(3), 3.0);
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_TRUE(cache.Get(SameShardKey(1)).has_value());
+  cache.Put(SameShardKey(4), 4.0);
+  EXPECT_FALSE(cache.Get(SameShardKey(2)).has_value());
+  EXPECT_TRUE(cache.Get(SameShardKey(1)).has_value());
+  EXPECT_TRUE(cache.Get(SameShardKey(3)).has_value());
+  EXPECT_TRUE(cache.Get(SameShardKey(4)).has_value());
+  EXPECT_EQ(cache.Stats().evictions, 1);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesButKeepsCounters) {
+  ShardedLruCache<double> cache(/*capacity=*/8, /*num_shards=*/4);
+  cache.Put(1, 1.0);
+  cache.Put(uint64_t{5} << 48, 2.0);  // A different shard.
+  EXPECT_TRUE(cache.Get(1).has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.Get(1).has_value());
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.size, 0);
+  EXPECT_EQ(stats.hits, 1);  // Counters survive the flush.
+}
+
+TEST(ShardedLruCacheTest, ZeroCapacityDisables) {
+  ShardedLruCache<double> cache(/*capacity=*/0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put(1, 1.0);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.Stats().size, 0);
+}
+
+TEST(ShardedLruCacheTest, NonPowerOfTwoShardCountRoundsDown) {
+  // 7 shards rounds down to 4; capacity splits across them without losing
+  // entries to out-of-range shards.
+  ShardedLruCache<double> cache(/*capacity=*/64, /*num_shards=*/7);
+  for (uint64_t i = 0; i < 16; ++i) cache.Put(i << 48 | i, static_cast<double>(i));
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(cache.Get(i << 48 | i).has_value()) << i;
+  }
+}
+
+TEST(ShardedLruCacheTest, ConcurrentPutGetIsSafe) {
+  ShardedLruCache<double> cache(/*capacity=*/256, /*num_shards=*/8);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&cache, w] {
+      for (uint64_t i = 0; i < 2000; ++i) {
+        const uint64_t key = (i % 64) << 48 | (i + static_cast<uint64_t>(w));
+        cache.Put(key, static_cast<double>(i));
+        if (auto value = cache.Get(key)) {
+          // A concurrent refresh may have replaced the value, but it must
+          // always be one some thread wrote for this key's i.
+          EXPECT_GE(*value, 0.0);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const CacheStats stats = cache.Stats();
+  EXPECT_GT(stats.hits + stats.misses, 0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_DOUBLE_EQ(snapshot.p50, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndBracketed) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(i * 1e-5);  // 10us..10ms.
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1000);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1e-5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 1e-2);
+  EXPECT_LE(snapshot.p50, snapshot.p95);
+  EXPECT_LE(snapshot.p95, snapshot.p99);
+  // Log-bucketed quantiles are approximate; 30% tolerance is far tighter
+  // than the 1.15 bucket growth compounds to over the range.
+  EXPECT_NEAR(snapshot.p50, 5e-3, 5e-3 * 0.3);
+  EXPECT_GE(snapshot.p99, snapshot.p50);
+  EXPECT_LE(snapshot.p99, snapshot.max * 1.2);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Snapshot().count, 0);
+}
+
+TEST(HistogramTest, ConcurrentRecordLosesNothing) {
+  Histogram histogram;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&histogram] {
+      for (int i = 0; i < 10000; ++i) histogram.Record(1e-4);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(histogram.Snapshot().count, 80000);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace microbrowse

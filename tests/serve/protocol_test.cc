@@ -1,0 +1,114 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Wire-codec tests: the flat JSON request parser (including the escape and
+// error corners netcat-driven clients will hit) and the response writer.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace microbrowse {
+namespace serve {
+namespace {
+
+TEST(ParseRequestTest, ParsesFlatObject) {
+  auto request = ParseRequest(
+      R"({"type":"score_pair","a":"cheap flights|book now","b":"flights|deals","id":"r1"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Get("type"), "score_pair");
+  EXPECT_EQ(request->Get("a"), "cheap flights|book now");
+  EXPECT_EQ(request->Get("id"), "r1");
+  EXPECT_TRUE(request->Has("b"));
+  EXPECT_FALSE(request->Has("missing"));
+  EXPECT_EQ(request->Get("missing", "fallback"), "fallback");
+}
+
+TEST(ParseRequestTest, ParsesNumbersBooleansAndNull) {
+  auto request = ParseRequest(R"({"ms":250,"ratio":-1.5e2,"flag":true,"off":false,"n":null})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Get("ms"), "250");
+  EXPECT_EQ(request->Get("ratio"), "-1.5e2");
+  EXPECT_EQ(request->Get("flag"), "true");
+  EXPECT_EQ(request->Get("off"), "false");
+  EXPECT_EQ(request->Get("n"), "null");
+}
+
+TEST(ParseRequestTest, ToleratesWhitespace) {
+  auto request = ParseRequest("  { \"type\" : \"ping\" , \"id\" : \"x\" }  ");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Get("type"), "ping");
+}
+
+TEST(ParseRequestTest, UnescapesStringValues) {
+  auto request = ParseRequest(R"({"a":"tab\there \"quoted\" back\\slash","b":"Aé"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Get("a"), "tab\there \"quoted\" back\\slash");
+  EXPECT_EQ(request->Get("b"), "A\xc3\xa9");  // é -> UTF-8 é.
+}
+
+TEST(ParseRequestTest, EmptyObjectIsValid) {
+  auto request = ParseRequest("{}");
+  ASSERT_TRUE(request.ok());
+  EXPECT_TRUE(request->fields.empty());
+}
+
+TEST(ParseRequestTest, RejectsMalformedInput) {
+  // Nesting is explicitly outside the flat protocol.
+  EXPECT_FALSE(ParseRequest(R"({"a":{"b":1}})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"a":[1,2]})").ok());
+  // Structurally broken lines.
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest(R"({"a":"unterminated)").ok());
+  EXPECT_FALSE(ParseRequest(R"({"a":1} trailing)").ok());
+  EXPECT_FALSE(ParseRequest(R"({"a":bogus})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"a":"bad \x escape"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"a":1,})").ok());
+  EXPECT_FALSE(ParseRequest(R"({1:"key must be string"})").ok());
+}
+
+TEST(ParseRequestTest, ErrorsCarryPositionHint) {
+  auto request = ParseRequest(R"({"a":1} x)");
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("byte"), std::string::npos)
+      << request.status().ToString();
+}
+
+TEST(JsonWriterTest, BuildsResponseInInsertionOrder) {
+  JsonWriter writer;
+  writer.String("id", "r1").Bool("ok", true).Number("margin", 0.25).Int("gen", 3);
+  EXPECT_EQ(writer.Finish(), R"({"id":"r1","ok":true,"margin":0.25,"gen":3})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter writer;
+  writer.String("error", "bad \"input\"\n\ttab\\");
+  EXPECT_EQ(writer.Finish(), R"({"error":"bad \"input\"\n\ttab\\"})");
+}
+
+TEST(JsonWriterTest, RawSplicesNestedJson) {
+  JsonWriter writer;
+  writer.Raw("lines", R"([{"token":"a"}])").Bool("ok", true);
+  EXPECT_EQ(writer.Finish(), R"({"lines":[{"token":"a"}],"ok":true})");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter writer;
+  writer.Number("x", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(writer.Finish(), R"({"x":null})");
+}
+
+TEST(JsonRoundTripTest, WriterOutputReparses) {
+  JsonWriter writer;
+  writer.String("type", "score_pair").String("a", "piped|lines \"here\"").Number("v", -2.5);
+  auto request = ParseRequest(writer.Finish());
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Get("a"), "piped|lines \"here\"");
+  EXPECT_EQ(request->Get("type"), "score_pair");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace microbrowse

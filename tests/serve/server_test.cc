@@ -1,0 +1,243 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// End-to-end TCP tests for the mbserved front end: real sockets against an
+// ephemeral port, pipelined out-of-order responses matched by id echo, and
+// reader-side admission control shedding load with "overloaded".
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "corpus/generator.h"
+#include "corpus/pair_extraction.h"
+#include "io/atomic_file.h"
+#include "io/serialization.h"
+#include "microbrowse/classifier.h"
+#include "microbrowse/stats_db.h"
+#include "serve/protocol.h"
+
+namespace microbrowse {
+namespace serve {
+namespace {
+
+/// One client connection speaking the line protocol synchronously.
+class TestClient {
+ public:
+  static std::unique_ptr<TestClient> ConnectTo(uint16_t port) {
+    auto socket = TcpConnect("127.0.0.1", port);
+    EXPECT_TRUE(socket.ok()) << socket.status().ToString();
+    if (!socket.ok()) return nullptr;
+    auto client = std::make_unique<TestClient>();
+    client->socket_ = std::make_unique<Socket>(std::move(*socket));
+    client->reader_ = std::make_unique<LineReader>(*client->socket_);
+    return client;
+  }
+
+  Status Send(const std::string& line) { return SendAll(*socket_, line + "\n"); }
+  Status SendRaw(const std::string& bytes) { return SendAll(*socket_, bytes); }
+
+  /// Reads one response line; fails the test on EOF or parse error.
+  Request ReadResponse() {
+    std::string line;
+    auto got = reader_->ReadLine(&line);
+    EXPECT_TRUE(got.ok() && *got) << "connection closed early";
+    auto response = ParseRequest(line);
+    EXPECT_TRUE(response.ok()) << line;
+    return response.ok() ? *response : Request{};
+  }
+
+ private:
+  std::unique_ptr<Socket> socket_;
+  std::unique_ptr<LineReader> reader_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Unique per process: parallel ctest runs each TEST in its own process,
+    // each re-running this setup — a shared path would tear the artifacts.
+    const std::string dir =
+        ::testing::TempDir() + "/serve_server_test_" + std::to_string(::getpid());
+    ASSERT_TRUE(CreateDirectories(dir).ok());
+    AdCorpusOptions corpus_options;
+    corpus_options.num_adgroups = 60;
+    corpus_options.seed = 23;
+    auto generated = GenerateAdCorpus(corpus_options);
+    ASSERT_TRUE(generated.ok());
+    const PairCorpus pairs = ExtractSignificantPairs(generated->corpus, {});
+    const FeatureStatsDb db = BuildFeatureStats(pairs, {});
+    const ClassifierConfig config = ClassifierConfig::M6();
+    const CoupledDataset dataset = BuildClassifierDataset(pairs, db, config, 23);
+    auto model = TrainSnippetClassifier(dataset, config);
+    ASSERT_TRUE(model.ok());
+    paths_ = new BundlePaths;
+    paths_->model_path = dir + "/model.txt";
+    paths_->stats_path = dir + "/stats.tsv";
+    ASSERT_TRUE(SaveClassifier(*model, dataset.t_registry, dataset.p_registry,
+                               paths_->model_path)
+                    .ok());
+    ASSERT_TRUE(SaveFeatureStats(db, paths_->stats_path).ok());
+  }
+
+  static void TearDownTestSuite() { delete paths_; }
+
+  void SetUp() override { ASSERT_TRUE(registry_.LoadInitial(*paths_).ok()); }
+
+  static BundlePaths* paths_;
+  BundleRegistry registry_;
+};
+
+BundlePaths* ServerTest::paths_ = nullptr;
+
+TEST_F(ServerTest, StartsOnEphemeralPortAndAnswersPing) {
+  ScoringService service(&registry_);
+  ServerOptions options;
+  options.port = 0;
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_GT(*port, 0);
+  EXPECT_EQ(server.port(), *port);
+
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Send(R"({"type":"ping","id":"p"})").ok());
+  const Request response = client->ReadResponse();
+  EXPECT_EQ(response.Get("ok"), "true");
+  EXPECT_EQ(response.Get("id"), "p");
+  server.Stop();
+}
+
+TEST_F(ServerTest, ScoresPairsOverTheWire) {
+  ScoringService service(&registry_);
+  ServerOptions options;
+  options.port = 0;
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  JsonWriter request;
+  request.String("type", "score_pair")
+      .String("a", "cheap flights|book now|save big")
+      .String("b", "flights|deals today|limited");
+  ASSERT_TRUE(client->Send(request.Finish()).ok());
+  const Request response = client->ReadResponse();
+  EXPECT_EQ(response.Get("ok"), "true");
+  EXPECT_FALSE(response.Get("margin").empty());
+  EXPECT_TRUE(response.Get("winner") == "a" || response.Get("winner") == "b");
+  server.Stop();
+}
+
+TEST_F(ServerTest, PipelinedRequestsMatchedByIdEcho) {
+  ScoringService service(&registry_);
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  options.max_batch = 3;  // Force multiple batches for one burst.
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  constexpr int kRequests = 12;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    JsonWriter request;
+    request.String("type", "score_pair")
+        .String("id", "r" + std::to_string(i))
+        .String("a", "alpha line|beta " + std::to_string(i))
+        .String("b", "gamma line|delta");
+    burst += request.Finish() + "\n";
+  }
+  // One write, many requests: responses may arrive out of order across the
+  // batching workers; the id echo is the contract that lets the client
+  // reassemble them.
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+  std::map<std::string, std::string> margin_by_id;
+  for (int i = 0; i < kRequests; ++i) {
+    const Request response = client->ReadResponse();
+    EXPECT_EQ(response.Get("ok"), "true");
+    margin_by_id[response.Get("id")] = response.Get("margin");
+  }
+  ASSERT_EQ(margin_by_id.size(), static_cast<size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(margin_by_id.count("r" + std::to_string(i))) << i;
+  }
+  server.Stop();
+}
+
+TEST_F(ServerTest, OverloadShedsWithErrorNotQueueing) {
+  ServiceOptions service_options;
+  service_options.allow_debug_sleep = true;
+  ScoringService service(&registry_, service_options);
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;  // One worker, so a sleep stalls the pipeline...
+  options.max_queue = 1;    // ...and the queue saturates immediately.
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Send(R"({"type":"debug_sleep","ms":400,"id":"sleep"})").ok());
+  // Give the lone worker time to start the sleep before the burst.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  constexpr int kPings = 20;
+  std::string burst;
+  for (int i = 0; i < kPings; ++i) {
+    burst += R"({"type":"ping","id":"q)" + std::to_string(i) + "\"}\n";
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+
+  int ok_count = 0;
+  int overloaded = 0;
+  for (int i = 0; i < kPings + 1; ++i) {
+    const Request response = client->ReadResponse();
+    if (response.Get("ok") == "true") {
+      ++ok_count;
+    } else {
+      EXPECT_EQ(response.Get("error"), "overloaded");
+      EXPECT_FALSE(response.Get("id").empty());  // Shed requests echo ids too.
+      ++overloaded;
+    }
+  }
+  // The sleep and the one queued ping succeed; the rest of the burst is
+  // shed at constant latency instead of queueing behind the stalled worker.
+  EXPECT_GE(ok_count, 2);
+  EXPECT_GE(overloaded, 1);
+  EXPECT_GE(service.metrics().rejected_overload.load(), static_cast<int64_t>(overloaded));
+  server.Stop();
+}
+
+TEST_F(ServerTest, StopWhileClientsConnectedIsClean) {
+  ScoringService service(&registry_);
+  ServerOptions options;
+  options.port = 0;
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Send(R"({"type":"ping"})").ok());
+  EXPECT_EQ(client->ReadResponse().Get("ok"), "true");
+  server.Stop();   // With the connection still open.
+  server.Stop();   // Idempotent.
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace microbrowse

@@ -10,29 +10,41 @@
 //                   [--checkpoint-dir run1/] [--threads N]
 //   mbctl predict   --model model.txt --stats stats.tsv
 //                   --a "line1|line2|line3" --b "line1|line2|line3"
+//   mbctl predict   --model model.txt --stats stats.tsv
+//                   --pairs pairs.tsv [--out margins.tsv]
+//   mbctl predict   --server host:port {--a ... --b ... | --pairs pairs.tsv}
 //
 // All artefacts are the TSV/text formats of io/serialization.h, so every
 // intermediate is inspectable with standard shell tools. Fault injection is
 // available in every command via the MB_FAILPOINTS environment variable
-// (see common/failpoint.h).
+// (see common/failpoint.h). Commands that load artifacts accept
+// --recovery strict|skip_and_log; in salvage mode (and whenever a load is
+// not fully clean) the LoadReport is surfaced on stderr instead of
+// silently proceeding.
 
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <initializer_list>
 #include <limits>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/socket.h"
 #include "common/string_util.h"
 #include "corpus/generator.h"
 #include "corpus/pair_extraction.h"
 #include "eval/experiments.h"
+#include "io/atomic_file.h"
 #include "io/serialization.h"
 #include "microbrowse/optimizer.h"
 #include "microbrowse/pipeline.h"
+#include "serve/protocol.h"
 
 using namespace microbrowse;
 
@@ -133,6 +145,143 @@ Snippet ParseSnippetFlag(const std::string& field) {
   return Snippet::FromLines(lines);
 }
 
+/// --recovery flag -> LoadOptions (strict is the default, matching the
+/// one-argument loaders).
+Result<LoadOptions> RecoveryOptions(const Flags& flags) {
+  const std::string mode = flags.Get("--recovery", "strict");
+  LoadOptions options;
+  if (mode == "strict") {
+    options.recovery = LoadOptions::Recovery::kStrict;
+  } else if (mode == "skip_and_log") {
+    options.recovery = LoadOptions::Recovery::kSkipAndLog;
+  } else {
+    return Status::InvalidArgument("--recovery expects strict|skip_and_log, got '" +
+                                   mode + "'");
+  }
+  return options;
+}
+
+/// Surfaces a LoadReport on stderr when the load was anything but fully
+/// clean: salvage drops, checksum trouble, or a missing v2 footer.
+void PrintLoadReport(const std::string& path, const LoadReport& report) {
+  if (!report.checksum_present) {
+    std::fprintf(stderr, "warning: %s: no checksum footer (v1 artifact?); loaded %lld rows unverified\n",
+                 path.c_str(), static_cast<long long>(report.rows_kept));
+  } else if (!report.checksum_ok) {
+    std::fprintf(stderr, "warning: %s: checksum mismatch (artifact damaged)\n",
+                 path.c_str());
+  }
+  if (report.rows_skipped > 0) {
+    std::fprintf(stderr,
+                 "warning: %s: kept %lld rows, skipped %lld (first error at line %d: %s)\n",
+                 path.c_str(), static_cast<long long>(report.rows_kept),
+                 static_cast<long long>(report.rows_skipped), report.first_error_line,
+                 report.first_error.c_str());
+  }
+}
+
+/// One A/B row of a --pairs TSV: the two snippets plus the computed margin.
+struct PairRow {
+  std::string a;
+  std::string b;
+};
+
+/// Reads a --pairs TSV ("a<TAB>b" per row; '#' comments and blank lines
+/// skipped).
+Result<std::vector<PairRow>> LoadPairRows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open pairs file: " + path);
+  std::vector<PairRow> rows;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> cells = Split(line, '\t');
+    if (cells.size() < 2 || cells[0].empty() || cells[1].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected 'a<TAB>b' snippets", path.c_str(), line_number));
+    }
+    rows.push_back(PairRow{cells[0], cells[1]});
+  }
+  return rows;
+}
+
+/// Writes the batch-prediction output TSV: a, b, margin, winner.
+Status WriteMarginRows(const std::vector<PairRow>& rows, const std::vector<double>& margins,
+                       const std::string& path) {
+  std::ostringstream out;
+  out << "#a\tb\tmargin\twinner\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out << rows[i].a << '\t' << rows[i].b << '\t' << StrFormat("%+.6f", margins[i])
+        << '\t' << (margins[i] >= 0 ? 'a' : 'b') << '\n';
+  }
+  return WriteArtifactAtomic(path, out.str(), static_cast<int64_t>(rows.size()));
+}
+
+/// Thin client for the mbserved line protocol (one request in flight at a
+/// time, so responses arrive in order).
+class ServeClient {
+ public:
+  static Result<std::unique_ptr<ServeClient>> Connect(const std::string& spec) {
+    std::string host = "127.0.0.1";
+    std::string port_text = spec;
+    const size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+      if (colon > 0) host = spec.substr(0, colon);
+      port_text = spec.substr(colon + 1);
+    }
+    int64_t port = 0;
+    const auto [ptr, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc() || ptr != port_text.data() + port_text.size() || port < 1 ||
+        port > 65535) {
+      return Status::InvalidArgument("--server expects host:port, got '" + spec + "'");
+    }
+    auto socket = TcpConnect(host, static_cast<uint16_t>(port));
+    if (!socket.ok()) return socket.status();
+    auto client = std::make_unique<ServeClient>();
+    client->socket_ = std::make_unique<Socket>(std::move(*socket));
+    client->reader_ = std::make_unique<LineReader>(*client->socket_);
+    return client;
+  }
+
+  /// score_pair round trip; returns the margin of a over b.
+  Result<double> ScorePair(const std::string& a, const std::string& b) {
+    serve::JsonWriter request;
+    request.String("type", "score_pair").String("a", a).String("b", b);
+    auto response = RoundTrip(request.Finish());
+    if (!response.ok()) return response.status();
+    const std::string margin_text = response->Get("margin");
+    char* end = nullptr;
+    const double margin = std::strtod(margin_text.c_str(), &end);
+    if (margin_text.empty() || end != margin_text.c_str() + margin_text.size()) {
+      return Status::Internal("server response has no parsable margin");
+    }
+    return margin;
+  }
+
+ private:
+  Result<serve::Request> RoundTrip(const std::string& request_line) {
+    if (const Status status = SendAll(*socket_, request_line + "\n"); !status.ok()) {
+      return status;
+    }
+    std::string line;
+    auto got = reader_->ReadLine(&line);
+    if (!got.ok()) return got.status();
+    if (!*got) return Status::IOError("server closed the connection");
+    auto response = serve::ParseRequest(line);
+    if (!response.ok()) return response.status();
+    if (response->Get("ok") != "true") {
+      return Status::Internal("server error: " + response->Get("error", "(no detail)"));
+    }
+    return response;
+  }
+
+  std::unique_ptr<Socket> socket_;
+  std::unique_ptr<LineReader> reader_;
+};
+
 int CmdGenerate(const Flags& flags) {
   AdCorpusOptions options;
   auto adgroups = flags.GetInt("--adgroups", 2000, /*min=*/1, /*max=*/10'000'000);
@@ -154,8 +303,13 @@ int CmdGenerate(const Flags& flags) {
 }
 
 int CmdStats(const Flags& flags) {
-  auto corpus = LoadAdCorpus(flags.Get("--corpus", "corpus.tsv"));
+  auto load_options = RecoveryOptions(flags);
+  if (!load_options.ok()) return Fail(load_options.status());
+  const std::string corpus_path = flags.Get("--corpus", "corpus.tsv");
+  LoadReport report;
+  auto corpus = LoadAdCorpus(corpus_path, *load_options, &report);
   if (!corpus.ok()) return Fail(corpus.status());
+  PrintLoadReport(corpus_path, report);
   const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
   std::printf("extracted %zu significant pairs\n", pairs.pairs.size());
   const FeatureStatsDb db = BuildFeatureStats(pairs, {});
@@ -167,8 +321,13 @@ int CmdStats(const Flags& flags) {
 }
 
 int CmdMine(const Flags& flags) {
-  auto db = LoadFeatureStats(flags.Get("--stats", "stats.tsv"));
+  auto load_options = RecoveryOptions(flags);
+  if (!load_options.ok()) return Fail(load_options.status());
+  const std::string stats_path = flags.Get("--stats", "stats.tsv");
+  LoadReport report;
+  auto db = LoadFeatureStats(stats_path, *load_options, &report);
   if (!db.ok()) return Fail(db.status());
+  PrintLoadReport(stats_path, report);
   const std::string prefix = flags.Get("--prefix", "rw:");
   auto min_count_flag = flags.GetInt("--min-count", 10, /*min=*/0);
   if (!min_count_flag.ok()) return Fail(min_count_flag.status());
@@ -195,8 +354,13 @@ int CmdMine(const Flags& flags) {
 }
 
 int CmdTrain(const Flags& flags) {
-  auto corpus = LoadAdCorpus(flags.Get("--corpus", "corpus.tsv"));
+  auto load_options = RecoveryOptions(flags);
+  if (!load_options.ok()) return Fail(load_options.status());
+  const std::string corpus_path = flags.Get("--corpus", "corpus.tsv");
+  LoadReport report;
+  auto corpus = LoadAdCorpus(corpus_path, *load_options, &report);
   if (!corpus.ok()) return Fail(corpus.status());
+  PrintLoadReport(corpus_path, report);
   const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
   const FeatureStatsDb db = BuildFeatureStats(pairs, {});
   const ClassifierConfig config = ConfigByName(flags.Get("--model", "M6"));
@@ -217,8 +381,13 @@ int CmdTrain(const Flags& flags) {
 }
 
 int CmdEvaluate(const Flags& flags) {
-  auto corpus = LoadAdCorpus(flags.Get("--corpus", "corpus.tsv"));
+  auto load_options = RecoveryOptions(flags);
+  if (!load_options.ok()) return Fail(load_options.status());
+  const std::string corpus_path = flags.Get("--corpus", "corpus.tsv");
+  LoadReport report;
+  auto corpus = LoadAdCorpus(corpus_path, *load_options, &report);
   if (!corpus.ok()) return Fail(corpus.status());
+  PrintLoadReport(corpus_path, report);
   const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
   PipelineOptions pipeline;
   auto folds = flags.GetInt("--folds", 5, /*min=*/2, /*max=*/1000);
@@ -252,18 +421,93 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+/// Emits batch margins: to --out as a checksummed TSV artifact, otherwise
+/// to stdout.
+int EmitMargins(const std::vector<PairRow>& rows, const std::vector<double>& margins,
+                const Flags& flags) {
+  const std::string out = flags.Get("--out");
+  if (out.empty()) {
+    std::printf("#a\tb\tmargin\twinner\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("%s\t%s\t%+.6f\t%c\n", rows[i].a.c_str(), rows[i].b.c_str(), margins[i],
+                  margins[i] >= 0 ? 'a' : 'b');
+    }
+    return 0;
+  }
+  if (const Status status = WriteMarginRows(rows, margins, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %zu margins to %s\n", rows.size(), out.c_str());
+  return 0;
+}
+
 int CmdPredict(const Flags& flags) {
-  auto saved = LoadClassifier(flags.Get("--model", "model.txt"));
-  if (!saved.ok()) return Fail(saved.status());
-  auto db = LoadFeatureStats(flags.Get("--stats", "stats.tsv"));
-  if (!db.ok()) return Fail(db.status());
-  if (!flags.Has("--a") || !flags.Has("--b")) {
-    std::fprintf(stderr, "predict needs --a and --b snippets (\"line1|line2|line3\")\n");
+  const bool batch = flags.Has("--pairs");
+  if (!batch && (!flags.Has("--a") || !flags.Has("--b"))) {
+    std::fprintf(stderr,
+                 "predict needs --a and --b snippets (\"line1|line2|line3\") or --pairs\n");
     return 1;
   }
+
+  // --server mode: route scoring through a running mbserved instead of
+  // loading the bundle locally. The same --pairs input scored both ways is
+  // the serve-vs-batch parity check.
+  if (flags.Has("--server")) {
+    auto client = ServeClient::Connect(flags.Get("--server"));
+    if (!client.ok()) return Fail(client.status());
+    if (batch) {
+      auto rows = LoadPairRows(flags.Get("--pairs"));
+      if (!rows.ok()) return Fail(rows.status());
+      std::vector<double> margins;
+      margins.reserve(rows->size());
+      for (const PairRow& row : *rows) {
+        auto margin = (*client)->ScorePair(row.a, row.b);
+        if (!margin.ok()) return Fail(margin.status());
+        margins.push_back(*margin);
+      }
+      return EmitMargins(*rows, margins, flags);
+    }
+    auto margin = (*client)->ScorePair(flags.Get("--a"), flags.Get("--b"));
+    if (!margin.ok()) return Fail(margin.status());
+    std::printf("A: %s\nB: %s\nmargin(A over B) = %+.4f  ->  %s\n",
+                flags.Get("--a").c_str(), flags.Get("--b").c_str(), *margin,
+                *margin >= 0 ? "A predicted to win" : "B predicted to win");
+    return 0;
+  }
+
+  auto load_options = RecoveryOptions(flags);
+  if (!load_options.ok()) return Fail(load_options.status());
+  const std::string model_path = flags.Get("--model", "model.txt");
+  LoadReport model_report;
+  auto saved = LoadClassifier(model_path, *load_options, &model_report);
+  if (!saved.ok()) return Fail(saved.status());
+  PrintLoadReport(model_path, model_report);
+  const std::string stats_path = flags.Get("--stats", "stats.tsv");
+  LoadReport stats_report;
+  auto db = LoadFeatureStats(stats_path, *load_options, &stats_report);
+  if (!db.ok()) return Fail(db.status());
+  PrintLoadReport(stats_path, stats_report);
+  const ClassifierConfig config = ConfigByName(flags.Get("--model-type", "M6"));
+
+  if (batch) {
+    auto rows = LoadPairRows(flags.Get("--pairs"));
+    if (!rows.ok()) return Fail(rows.status());
+    // One mutable registry pair is reused across all rows (features interned
+    // by earlier rows stay interned — scores are unaffected, see optimizer.h).
+    FeatureRegistry t_registry = saved->t_registry;
+    FeatureRegistry p_registry = saved->p_registry;
+    std::vector<double> margins;
+    margins.reserve(rows->size());
+    for (const PairRow& row : *rows) {
+      margins.push_back(PredictPairMargin(ParseSnippetFlag(row.a), ParseSnippetFlag(row.b),
+                                          *db, config, saved->model, &t_registry,
+                                          &p_registry));
+    }
+    return EmitMargins(*rows, margins, flags);
+  }
+
   const Snippet a = ParseSnippetFlag(flags.Get("--a"));
   const Snippet b = ParseSnippetFlag(flags.Get("--b"));
-  const ClassifierConfig config = ConfigByName(flags.Get("--model-type", "M6"));
   const double margin = PredictPairMargin(a, b, *db, config, saved->model,
                                           saved->t_registry, saved->p_registry);
   std::printf("A: %s\nB: %s\nmargin(A over B) = %+.4f  ->  %s\n", a.ToString().c_str(),
@@ -282,6 +526,9 @@ void PrintUsage() {
       "  mbctl evaluate --corpus corpus.tsv [--model M1..M6|all] [--folds K]\n"
       "                 [--checkpoint-dir run1/] [--threads N]\n"
       "  mbctl predict  --model model.txt --stats stats.tsv --a \"l1|l2|l3\" --b \"l1|l2|l3\"\n"
+      "  mbctl predict  --model model.txt --stats stats.tsv --pairs pairs.tsv [--out m.tsv]\n"
+      "  mbctl predict  --server host:port {--a ... --b ... | --pairs pairs.tsv}\n"
+      "recovery: loading commands accept --recovery strict|skip_and_log\n"
       "fault injection: MB_FAILPOINTS=name=spec,... (see common/failpoint.h)\n");
 }
 
@@ -291,21 +538,26 @@ Result<Flags> ParseCommandFlags(const std::string& command, int argc, char** arg
     return Flags::Parse(argc, argv, {"--out", "--adgroups", "--seed"}, {"--rhs"});
   }
   if (command == "stats") {
-    return Flags::Parse(argc, argv, {"--corpus", "--out"}, {});
+    return Flags::Parse(argc, argv, {"--corpus", "--out", "--recovery"}, {});
   }
   if (command == "mine") {
-    return Flags::Parse(argc, argv, {"--stats", "--prefix", "--top", "--min-count"}, {});
+    return Flags::Parse(argc, argv,
+                        {"--stats", "--prefix", "--top", "--min-count", "--recovery"}, {});
   }
   if (command == "train") {
-    return Flags::Parse(argc, argv, {"--corpus", "--out", "--model", "--seed"}, {});
+    return Flags::Parse(argc, argv, {"--corpus", "--out", "--model", "--seed", "--recovery"},
+                        {});
   }
   if (command == "evaluate") {
-    return Flags::Parse(
-        argc, argv,
-        {"--corpus", "--model", "--folds", "--seed", "--checkpoint-dir", "--threads"}, {});
+    return Flags::Parse(argc, argv,
+                        {"--corpus", "--model", "--folds", "--seed", "--checkpoint-dir",
+                         "--threads", "--recovery"},
+                        {});
   }
   if (command == "predict") {
-    return Flags::Parse(argc, argv, {"--model", "--stats", "--a", "--b", "--model-type"},
+    return Flags::Parse(argc, argv,
+                        {"--model", "--stats", "--a", "--b", "--model-type", "--pairs",
+                         "--out", "--server", "--recovery"},
                         {});
   }
   return Status::InvalidArgument("unknown command '" + command + "'");

@@ -1,0 +1,155 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// mbserved — the online snippet-scoring service.
+//
+//   mbserved --model model.txt --stats stats.tsv [--model-type M1..M6]
+//            [--port 7077] [--threads N] [--max-queue N] [--max-batch N]
+//            [--cache-capacity N]
+//
+// Speaks the newline-delimited JSON protocol of serve/protocol.h:
+//
+//   echo '{"type":"score_pair","a":"l1|l2|l3","b":"l1|l2|l3"}' | nc host 7077
+//
+// Request types: score_pair, predict_ctr, examine, reload, statsz, ping.
+// SIGHUP (or a {"type":"reload"} request) hot-reloads the model bundle
+// from the same paths; a corrupt replacement artifact is rejected and the
+// previous generation keeps serving. SIGINT/SIGTERM shut down gracefully.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "serve/server.h"
+
+using namespace microbrowse;
+
+namespace {
+
+std::atomic<int> g_pending_reloads{0};
+std::atomic<bool> g_shutdown{false};
+
+void OnSighup(int) { g_pending_reloads.fetch_add(1, std::memory_order_relaxed); }
+void OnShutdownSignal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Tiny flag parser (mbctl's full one lives in mbctl.cc; mbserved has few
+/// enough flags to keep this local). Every flag takes a value.
+struct Flags {
+  serve::BundlePaths paths;
+  serve::ServerOptions server;
+  serve::ServiceOptions service;
+
+  static int Usage() {
+    std::fprintf(stderr,
+                 "usage: mbserved --model model.txt --stats stats.tsv\n"
+                 "                [--model-type M1..M6] [--port N] [--threads N]\n"
+                 "                [--max-queue N] [--max-batch N] [--cache-capacity N]\n"
+                 "fault injection: MB_FAILPOINTS=name=spec,...\n");
+    return 1;
+  }
+
+  static bool ParseInt(const std::string& text, long long* out) {
+    char* end = nullptr;
+    *out = std::strtoll(text.c_str(), &end, 10);
+    return end == text.c_str() + text.size() && !text.empty() && *out >= 0;
+  }
+
+  bool Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; i += 2) {
+      const std::string key = argv[i];
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s requires a value\n", key.c_str());
+        return false;
+      }
+      const std::string value = argv[i + 1];
+      long long n = 0;
+      if (key == "--model") {
+        paths.model_path = value;
+      } else if (key == "--stats") {
+        paths.stats_path = value;
+      } else if (key == "--model-type") {
+        paths.model_type = value;
+      } else if (key == "--port" && ParseInt(value, &n) && n <= 65535) {
+        server.port = static_cast<uint16_t>(n);
+      } else if (key == "--threads" && ParseInt(value, &n) && n >= 1 && n <= 256) {
+        server.num_threads = static_cast<int>(n);
+      } else if (key == "--max-queue" && ParseInt(value, &n) && n >= 1) {
+        server.max_queue = static_cast<size_t>(n);
+      } else if (key == "--max-batch" && ParseInt(value, &n) && n >= 1) {
+        server.max_batch = static_cast<size_t>(n);
+      } else if (key == "--cache-capacity" && ParseInt(value, &n)) {
+        service.cache_capacity = static_cast<size_t>(n);
+      } else {
+        std::fprintf(stderr, "unknown flag or bad value: %s %s\n", key.c_str(),
+                     value.c_str());
+        return false;
+      }
+    }
+    if (paths.model_path.empty() || paths.stats_path.empty()) {
+      std::fprintf(stderr, "--model and --stats are required\n");
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(argc, argv)) return Flags::Usage();
+
+  if (const char* spec = std::getenv("MB_FAILPOINTS"); spec != nullptr && *spec != '\0') {
+    const Status status = failpoint::ActivateFromList(spec);
+    if (!status.ok()) {
+      MB_LOG(kWarning) << "ignoring malformed MB_FAILPOINTS: " << status.ToString();
+    }
+  }
+
+  serve::BundleRegistry registry;
+  if (const Status status = registry.LoadInitial(flags.paths); !status.ok()) {
+    return Fail(status);
+  }
+  MB_LOG(kInfo) << "loaded " << flags.paths.model_type << " bundle from "
+                << flags.paths.model_path << " + " << flags.paths.stats_path
+                << " (generation 1)";
+
+  serve::ScoringService service(&registry, flags.service);
+  serve::Server server(&service, flags.server);
+  auto port = server.Start();
+  if (!port.ok()) return Fail(port.status());
+  std::printf("mbserved listening on port %u (%d threads, queue %zu, batch %zu)\n",
+              static_cast<unsigned>(*port), flags.server.num_threads,
+              flags.server.max_queue, flags.server.max_batch);
+  std::fflush(stdout);
+
+  std::signal(SIGHUP, OnSighup);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+
+  // Signal loop: SIGHUP reloads asynchronously to the serving traffic (the
+  // registry swap itself is atomic), SIGINT/SIGTERM drain and exit.
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    if (g_pending_reloads.exchange(0, std::memory_order_relaxed) > 0) {
+      // Route through the service so the result caches are flushed with
+      // the same code path an admin "reload" request takes.
+      const std::string response = service.HandleLine("{\"type\":\"reload\"}");
+      MB_LOG(kInfo) << "SIGHUP reload: " << response;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  MB_LOG(kInfo) << "shutting down";
+  server.Stop();
+  return 0;
+}
