@@ -72,7 +72,9 @@ Result<Socket> TcpAccept(const Socket& listener) {
       SetNoDelay(fd);
       return Socket(fd);
     }
-    if (errno == EINTR) continue;
+    // ECONNABORTED: the peer reset between the handshake and our accept —
+    // a fact about that one connection, not the listener; take the next.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
     return Errno("accept");
   }
 }
@@ -126,6 +128,13 @@ Result<bool> LineReader::ReadLine(std::string* line) {
         start_ = 0;
       }
       return true;
+    }
+    // No complete line buffered: bound the partial line before reading
+    // more, so a peer that never sends '\n' cannot grow the buffer
+    // without limit.
+    if (buffer_.size() - start_ >= max_line_bytes_) {
+      return Status::IOError(
+          StrFormat("line exceeds maximum length (%zu bytes)", max_line_bytes_));
     }
     char chunk[4096];
     const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);

@@ -75,18 +75,27 @@ Status SendAll(const Socket& socket, std::string_view data);
 /// Buffered reader returning one '\n'-terminated line at a time (terminator
 /// stripped, '\r' before it too). Reads from the fd only when the buffer
 /// runs dry, so pipelined requests already received are served without
-/// another syscall.
+/// another syscall. A line longer than `max_line_bytes` fails with
+/// kIOError instead of buffering without bound — a peer that never sends
+/// '\n' cannot grow the buffer past the limit.
 class LineReader {
  public:
-  explicit LineReader(const Socket& socket) : socket_(socket) {}
+  static constexpr size_t kDefaultMaxLineBytes = 4 << 20;
+
+  explicit LineReader(const Socket& socket,
+                      size_t max_line_bytes = kDefaultMaxLineBytes)
+      : socket_(socket),
+        max_line_bytes_(max_line_bytes > 0 ? max_line_bytes
+                                           : kDefaultMaxLineBytes) {}
 
   /// Reads the next line into `line`. Returns OK with true on a line,
   /// OK with false on clean EOF (no partial line pending), and kIOError on
-  /// socket errors or EOF in the middle of a line.
+  /// socket errors, EOF in the middle of a line, or an over-long line.
   Result<bool> ReadLine(std::string* line);
 
  private:
   const Socket& socket_;
+  size_t max_line_bytes_;
   std::string buffer_;
   size_t start_ = 0;
 };

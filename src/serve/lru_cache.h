@@ -41,17 +41,23 @@ struct CacheStats {
 template <typename Value>
 class ShardedLruCache {
  public:
-  /// `capacity` is the total entry budget, split evenly across
-  /// `num_shards` (each shard gets at least one slot). A capacity of 0
-  /// disables the cache: Get always misses, Put is a no-op.
+  /// `capacity` is the total entry budget, split across `num_shards`. The
+  /// shard count is clamped to `capacity` and the per-shard slice rounds
+  /// up, so the cache always admits at least `capacity` entries before
+  /// evicting and never holds more than one extra entry per shard. A
+  /// capacity of 0 disables the cache: Get always misses, Put is a no-op.
   explicit ShardedLruCache(size_t capacity, size_t num_shards = 8) {
     if (num_shards == 0) num_shards = 1;
+    // More shards than entries would inflate the budget through the
+    // one-slot-per-shard minimum; small caches get fewer shards instead.
+    if (capacity > 0 && num_shards > capacity) num_shards = capacity;
     // Shard count rounded down to a power of two so shard selection is a
     // mask, not a modulo.
     while ((num_shards & (num_shards - 1)) != 0) num_shards &= num_shards - 1;
     shards_ = std::vector<Shard>(num_shards);
     mask_ = num_shards - 1;
-    per_shard_capacity_ = capacity == 0 ? 0 : std::max<size_t>(1, capacity / num_shards);
+    per_shard_capacity_ =
+        capacity == 0 ? 0 : (capacity + num_shards - 1) / num_shards;
   }
 
   bool enabled() const { return per_shard_capacity_ > 0; }

@@ -2,6 +2,7 @@
 
 #include "serve/protocol.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 
@@ -202,7 +203,14 @@ JsonWriter& JsonWriter::String(std::string_view key, std::string_view value) {
 JsonWriter& JsonWriter::Number(std::string_view key, double value) {
   Key(key);
   if (std::isfinite(value)) {
-    body_ += StrFormat("%.6g", value);
+    // Shortest round-trip representation: a client parsing the field gets
+    // the bit-identical double back, so server-side scores match local
+    // batch scoring exactly (the serve-vs-batch parity check relies on
+    // this).
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    body_.append(buffer, end);
   } else {
     body_ += "null";  // JSON has no Inf/NaN literals.
   }

@@ -3,6 +3,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
@@ -42,19 +43,25 @@ void Server::Stop() {
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  // Wake every reader blocked in recv, then join them.
+  // Wake every reader blocked in recv, then join them. Taking ownership of
+  // connections_ here means a reader exiting concurrently finds itself
+  // already removed and leaves its thread handle for us to join via the
+  // Connection we hold.
   std::vector<std::shared_ptr<Connection>> connections;
-  std::vector<std::thread> readers;
+  std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
-    connections = connections_;
-    readers.swap(reader_threads_);
+    connections.swap(connections_);
+    finished.swap(finished_readers_);
   }
   for (const auto& connection : connections) {
     connection->alive.store(false, std::memory_order_relaxed);
     connection->socket.Shutdown();
   }
-  for (std::thread& reader : readers) {
+  for (const auto& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+  for (std::thread& reader : finished) {
     if (reader.joinable()) reader.join();
   }
   // Drain the worker pool: queued batches still run (their writes fail
@@ -63,19 +70,29 @@ void Server::Stop() {
     pool_->Wait();
     pool_.reset();
   }
-  {
-    std::lock_guard<std::mutex> lock(connections_mu_);
-    connections_.clear();
-  }
+}
+
+size_t Server::active_connections() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  return connections_.size();
 }
 
 void Server::AcceptLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
+    ReapFinishedReaders();
     auto accepted = TcpAccept(listener_);
     if (!accepted.ok()) {
       if (stopping_.load(std::memory_order_relaxed)) break;
-      MB_LOG(kWarning) << "accept failed: " << accepted.status().ToString();
-      break;
+      // accept() errors are transient from the listener's point of view —
+      // a peer that reset before the handshake finished (ECONNABORTED) or
+      // fd exhaustion (EMFILE/ENFILE, which clears as connections close).
+      // Killing the loop would leave a zombie server that never answers
+      // again; log, back off briefly and keep accepting. Only Stop() (via
+      // stopping_) ends the loop.
+      MB_LOG(kWarning) << "accept failed (retrying): "
+                       << accepted.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
     auto connection = std::make_shared<Connection>();
     connection->socket = std::move(*accepted);
@@ -85,12 +102,23 @@ void Server::AcceptLoop() {
       break;
     }
     connections_.push_back(connection);
-    reader_threads_.emplace_back([this, connection] { ReadLoop(connection); });
+    connection->reader = std::thread([this, connection] { ReadLoop(connection); });
+  }
+}
+
+void Server::ReapFinishedReaders() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    finished.swap(finished_readers_);
+  }
+  for (std::thread& reader : finished) {
+    if (reader.joinable()) reader.join();
   }
 }
 
 void Server::ReadLoop(std::shared_ptr<Connection> connection) {
-  LineReader reader(connection->socket);
+  LineReader reader(connection->socket, options_.max_line_bytes);
   std::string line;
   for (;;) {
     auto got = reader.ReadLine(&line);
@@ -122,6 +150,18 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
     WriteResponse(*connection, response.Finish());
   }
   connection->alive.store(false, std::memory_order_relaxed);
+  connection->socket.Shutdown();
+  // Reclaim per-connection resources now, not at Stop(): remove the
+  // connection from connections_ and leave this thread's own handle on the
+  // finished list for AcceptLoop/Stop to join. Queued requests still hold
+  // the shared_ptr; the fd closes when the last reference drops. If Stop()
+  // already emptied connections_, it owns the join via its snapshot.
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  auto it = std::find(connections_.begin(), connections_.end(), connection);
+  if (it != connections_.end()) {
+    finished_readers_.push_back(std::move(connection->reader));
+    connections_.erase(it);
+  }
 }
 
 void Server::DrainBatch() {

@@ -43,6 +43,9 @@ struct ServerOptions {
   size_t max_queue = 1024;
   /// Maximum requests one worker drains per batch.
   size_t max_batch = 32;
+  /// A request line longer than this fails its connection — bounds the
+  /// per-connection read buffer against a client that never sends '\n'.
+  size_t max_line_bytes = 4 << 20;
 };
 
 /// TCP front end over a ScoringService.
@@ -65,14 +68,21 @@ class Server {
 
   uint16_t port() const { return port_; }
 
+  /// Connections with a live reader. Drops to zero once every client has
+  /// disconnected and been reaped (test hook).
+  size_t active_connections();
+
  private:
   /// One live client connection; readers and workers share it via
   /// shared_ptr so a response can still be written (or skipped) after the
-  /// reader saw EOF.
+  /// reader saw EOF. Owns its reader thread: the handle is either joined
+  /// by Stop() or moved onto the finished-readers list when the reader
+  /// exits on its own.
   struct Connection {
     Socket socket;
     std::mutex write_mu;
     std::atomic<bool> alive{true};
+    std::thread reader;
   };
 
   struct PendingRequest {
@@ -84,6 +94,9 @@ class Server {
   void ReadLoop(std::shared_ptr<Connection> connection);
   void DrainBatch();
   void WriteResponse(Connection& connection, const std::string& response);
+  /// Joins reader threads whose connections already ended (the threads
+  /// have exited or are about to).
+  void ReapFinishedReaders();
 
   ScoringService* service_;
   ServerOptions options_;
@@ -98,7 +111,9 @@ class Server {
 
   std::mutex connections_mu_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> reader_threads_;
+  /// Handles of readers that removed themselves from connections_; joined
+  /// by AcceptLoop before each accept and by Stop().
+  std::vector<std::thread> finished_readers_;
 
   std::mutex stop_mu_;
   std::atomic<bool> stopping_{false};

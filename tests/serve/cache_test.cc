@@ -78,6 +78,27 @@ TEST(ShardedLruCacheTest, ZeroCapacityDisables) {
   EXPECT_EQ(cache.Stats().size, 0);
 }
 
+TEST(ShardedLruCacheTest, SmallCapacityNotInflatedByShardCount) {
+  // The shard count clamps to the capacity: a budget of 1 with the
+  // default 8 shards must behave as a one-entry cache, not silently grow
+  // to one entry per shard.
+  ShardedLruCache<double> tiny(/*capacity=*/1, /*num_shards=*/8);
+  tiny.Put(uint64_t{0} << 48, 0.0);
+  tiny.Put(uint64_t{5} << 48, 5.0);  // Would be another shard pre-clamp.
+  EXPECT_EQ(tiny.Stats().size, 1);
+  EXPECT_FALSE(tiny.Get(uint64_t{0} << 48).has_value());
+  EXPECT_TRUE(tiny.Get(uint64_t{5} << 48).has_value());
+
+  // capacity=12 across 8 shards rounds the slice up (2 per shard): 12
+  // hot entries fit even when they spread across every shard.
+  ShardedLruCache<double> cache(/*capacity=*/12, /*num_shards=*/8);
+  for (uint64_t i = 0; i < 12; ++i) {
+    cache.Put((i % 8) << 48 | i, static_cast<double>(i));
+  }
+  EXPECT_EQ(cache.Stats().evictions, 0);
+  EXPECT_EQ(cache.Stats().size, 12);
+}
+
 TEST(ShardedLruCacheTest, NonPowerOfTwoShardCountRoundsDown) {
   // 7 shards rounds down to 4; capacity splits across them without losing
   // entries to out-of-range shards.

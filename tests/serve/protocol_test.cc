@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 namespace microbrowse {
@@ -92,6 +93,22 @@ TEST(JsonWriterTest, RawSplicesNestedJson) {
   JsonWriter writer;
   writer.Raw("lines", R"([{"token":"a"}])").Bool("ok", true);
   EXPECT_EQ(writer.Finish(), R"({"lines":[{"token":"a"}],"ok":true})");
+}
+
+TEST(JsonWriterTest, NumbersSerializeWithRoundTripPrecision) {
+  // Truncated output (e.g. %.6g) would make server-mode margins differ
+  // from local batch scoring in the low decimal places; the parity check
+  // needs parse(serialize(x)) == x bit for bit.
+  const double values[] = {0.1, 1.0000001234567891, -123456.78901234567,
+                           3.0000000000000002e-17};
+  for (const double value : values) {
+    JsonWriter writer;
+    writer.Number("v", value);
+    auto response = ParseRequest(writer.Finish());
+    ASSERT_TRUE(response.ok()) << writer.Finish();
+    EXPECT_EQ(std::strtod(response->Get("v").c_str(), nullptr), value)
+        << response->Get("v");
+  }
 }
 
 TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {

@@ -46,6 +46,16 @@ class TestClient {
   Status Send(const std::string& line) { return SendAll(*socket_, line + "\n"); }
   Status SendRaw(const std::string& bytes) { return SendAll(*socket_, bytes); }
 
+  /// Closes the client side of the connection (as a one-shot client does).
+  void Close() {
+    reader_.reset();
+    socket_.reset();
+  }
+
+  /// Reads one line without failing the test — for asserting that the
+  /// server closed the connection (EOF / reset).
+  Result<bool> TryReadLine(std::string* line) { return reader_->ReadLine(line); }
+
   /// Reads one response line; fails the test on EOF or parse error.
   Request ReadResponse() {
     std::string line;
@@ -220,6 +230,69 @@ TEST_F(ServerTest, OverloadShedsWithErrorNotQueueing) {
   EXPECT_GE(ok_count, 2);
   EXPECT_GE(overloaded, 1);
   EXPECT_GE(service.metrics().rejected_overload.load(), static_cast<int64_t>(overloaded));
+  server.Stop();
+}
+
+TEST_F(ServerTest, DisconnectedClientsAreReapedWhileRunning) {
+  ScoringService service(&registry_);
+  ServerOptions options;
+  options.port = 0;
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Send(R"({"type":"ping"})").ok());
+  EXPECT_EQ(client->ReadResponse().Get("ok"), "true");
+  EXPECT_EQ(server.active_connections(), 1u);
+
+  // A one-shot client disconnecting must release its connection while the
+  // server keeps running — not only at Stop() — or fds and reader threads
+  // accumulate until the process hits the fd limit.
+  client->Close();
+  for (int i = 0; i < 500 && server.active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.active_connections(), 0u);
+
+  // The server still accepts and serves new connections afterwards.
+  auto next = TestClient::ConnectTo(*port);
+  ASSERT_NE(next, nullptr);
+  ASSERT_TRUE(next->Send(R"({"type":"ping","id":"n"})").ok());
+  EXPECT_EQ(next->ReadResponse().Get("id"), "n");
+  server.Stop();
+}
+
+TEST_F(ServerTest, OverlongLineFailsTheConnection) {
+  ScoringService service(&registry_);
+  ServerOptions options;
+  options.port = 0;
+  options.max_line_bytes = 1024;
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  // 8 KB with no newline: the server must fail the connection instead of
+  // buffering the never-ending line. The send may itself fail with EPIPE
+  // once the server shuts the socket down — both outcomes are fine.
+  (void)client->SendRaw(std::string(8 * 1024, 'a'));
+  std::string line;
+  const auto got = client->TryReadLine(&line);
+  EXPECT_TRUE(!got.ok() || !*got) << "server kept an unbounded line open";
+
+  for (int i = 0; i < 500 && server.active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.active_connections(), 0u);
+
+  // The flood did not take the server down for other clients.
+  auto next = TestClient::ConnectTo(*port);
+  ASSERT_NE(next, nullptr);
+  ASSERT_TRUE(next->Send(R"({"type":"ping"})").ok());
+  EXPECT_EQ(next->ReadResponse().Get("ok"), "true");
   server.Stop();
 }
 
