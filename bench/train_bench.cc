@@ -1,0 +1,230 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Training-path benchmark: sweeps solver x thread count x corpus size over
+// a synthetic planted-model corpus, asserting that the parallel proximal
+// solver reproduces the single-thread weights bit for bit (the determinism
+// contract of DESIGN.md section 11) and reporting throughput to stdout and
+// BENCH_train.json.
+//
+// The speedup target (>= 3x examples/sec at 8 threads vs 1 on the
+// proximal-batch solver, 100k-pair corpus) is enforced only on hardware
+// with >= 8 cores and a large-enough corpus — a single-core CI box cannot
+// demonstrate scaling — but the bitwise determinism check is enforced
+// everywhere, at every sweep point. Set MB_REQUIRE_SPEEDUP=1 to force the
+// speedup gate regardless of detected hardware.
+//
+// Environment: MB_TRAIN_PAIRS (default 100000), MB_TRAIN_FEATURES (32768),
+// MB_TRAIN_NNZ (32), MB_TRAIN_EPOCHS (5), MB_TRAIN_REPS (3), MB_SEED,
+// MB_BENCH_OUT (default BENCH_train.json), MB_REQUIRE_SPEEDUP.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "eval/experiments.h"
+#include "ml/csr.h"
+#include "ml/logistic_regression.h"
+
+using namespace microbrowse;
+
+namespace {
+
+/// Builds a synthetic sparse corpus directly in CSR form: a planted
+/// Gaussian truth model scores each row's random features, and the label
+/// is a Bernoulli draw of the sigmoid score — so the solvers face a
+/// realistically noisy, realistically solvable problem.
+CsrDataset MakeSyntheticCorpus(size_t n, size_t n_features, size_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> truth(n_features);
+  for (double& w : truth) w = rng.Gaussian(0.0, 0.5);
+
+  CsrDataset data;
+  data.num_features = n_features;
+  data.row_offsets.reserve(n + 1);
+  data.ids.reserve(n * nnz);
+  data.values.reserve(n * nnz);
+  data.labels.reserve(n);
+  data.weights.assign(n, 1.0);
+  data.offsets.assign(n, 0.0);
+  data.row_offsets.push_back(0);
+  for (size_t i = 0; i < n; ++i) {
+    double score = 0.0;
+    for (size_t k = 0; k < nnz; ++k) {
+      const FeatureId id = static_cast<FeatureId>(rng.NextIndex(n_features));
+      const double value = rng.Uniform(0.5, 1.5);
+      data.ids.push_back(id);
+      data.values.push_back(value);
+      score += value * truth[id];
+    }
+    data.labels.push_back(rng.Bernoulli(Sigmoid(score)) ? 1.0 : 0.0);
+    data.row_offsets.push_back(data.ids.size());
+  }
+  return data;
+}
+
+struct SweepPoint {
+  std::string solver;
+  size_t pairs = 0;
+  int threads = 0;
+  double train_p50_seconds = 0.0;
+  double epoch_p50_seconds = 0.0;
+  double examples_per_sec = 0.0;
+  double speedup_vs_1_thread = 1.0;
+  bool deterministic = true;
+};
+
+/// Median of a small sample.
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Bitwise model equality: the determinism contract is exact, not
+/// approximate, so no tolerance is involved.
+bool BitwiseEqual(const LogisticModel& a, const LogisticModel& b) {
+  return a.bias() == b.bias() && a.weights() == b.weights();
+}
+
+void WriteBenchJson(const std::string& path, const std::vector<SweepPoint>& points,
+                    double headline_speedup, bool speedup_enforced) {
+  // Plain ofstream on purpose: WriteArtifactAtomic appends a checksum
+  // footer that would corrupt the JSON.
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"bench\": \"train\",\n";
+  out << "  \"target\": {\n"
+      << "    \"description\": \"proximal-batch examples/sec at 8 threads >= 3x 1 thread\",\n"
+      << "    \"min_speedup\": 3.0,\n"
+      << StrFormat("    \"measured_speedup\": %.4f,\n", headline_speedup)
+      << "    \"enforced\": " << (speedup_enforced ? "true" : "false") << "\n  },\n";
+  out << "  \"sweep\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    out << "    {"
+        << "\"solver\": \"" << p.solver << "\", "
+        << StrFormat("\"pairs\": %zu, \"threads\": %d, ", p.pairs, p.threads)
+        << StrFormat("\"train_p50_seconds\": %.6f, ", p.train_p50_seconds)
+        << StrFormat("\"epoch_p50_seconds\": %.6f, ", p.epoch_p50_seconds)
+        << StrFormat("\"examples_per_sec\": %.1f, ", p.examples_per_sec)
+        << StrFormat("\"speedup_vs_1_thread\": %.4f, ", p.speedup_vs_1_thread)
+        << "\"deterministic\": " << (p.deterministic ? "true" : "false") << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  const size_t pairs = static_cast<size_t>(EnvInt("MB_TRAIN_PAIRS", 100000));
+  const size_t n_features = static_cast<size_t>(EnvInt("MB_TRAIN_FEATURES", 32768));
+  const size_t nnz = static_cast<size_t>(EnvInt("MB_TRAIN_NNZ", 32));
+  const int epochs = static_cast<int>(EnvInt("MB_TRAIN_EPOCHS", 5));
+  const int reps = static_cast<int>(std::max<int64_t>(1, EnvInt("MB_TRAIN_REPS", 3)));
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("MB_SEED", 2026));
+  const std::string out_path = [] {
+    const char* env = std::getenv("MB_BENCH_OUT");
+    return env != nullptr && *env != '\0' ? std::string(env) : std::string("BENCH_train.json");
+  }();
+
+  const std::vector<size_t> sizes = pairs > 10000 ? std::vector<size_t>{pairs / 10, pairs}
+                                                  : std::vector<size_t>{pairs};
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("train_bench: %zu features, nnz=%zu, %d epochs, %d reps, %u hardware threads\n\n",
+              n_features, nnz, epochs, reps, hw);
+
+  TablePrinter table("TRAINING: solver x threads x corpus size (bitwise-deterministic)");
+  table.SetHeader({"Solver", "Pairs", "Threads", "Epoch p50 ms", "Examples/s", "Speedup",
+                   "Bitwise"});
+
+  std::vector<SweepPoint> points;
+  double headline_speedup = 0.0;
+  size_t headline_pairs = 0;
+  bool all_deterministic = true;
+
+  for (size_t n : sizes) {
+    const CsrDataset data = MakeSyntheticCorpus(n, n_features, nnz, seed);
+    for (const char* solver_name : {"adagrad", "proximal_batch"}) {
+      LrOptions options;
+      options.solver =
+          std::string(solver_name) == "adagrad" ? LrSolver::kAdaGrad : LrSolver::kProximalBatch;
+      options.epochs = epochs;
+      options.tolerance = 0.0;  // Fixed epoch count: time per epoch is comparable.
+
+      LogisticModel reference;
+      double reference_p50 = 0.0;
+      for (int threads : thread_counts) {
+        options.num_threads = threads;
+        std::vector<double> times;
+        LogisticModel model;
+        for (int rep = 0; rep < reps; ++rep) {
+          WallTimer timer;
+          auto trained = TrainLogisticRegression(data, options);
+          times.push_back(timer.ElapsedSeconds());
+          if (!trained.ok()) {
+            std::fprintf(stderr, "train_bench: training failed: %s\n",
+                         trained.status().ToString().c_str());
+            return 1;
+          }
+          model = std::move(*trained);
+        }
+        SweepPoint point;
+        point.solver = solver_name;
+        point.pairs = n;
+        point.threads = threads;
+        point.train_p50_seconds = Median(times);
+        point.epoch_p50_seconds = point.train_p50_seconds / std::max(1, epochs);
+        point.examples_per_sec = static_cast<double>(n) * epochs / point.train_p50_seconds;
+        if (threads == 1) {
+          reference = model;
+          reference_p50 = point.train_p50_seconds;
+        } else {
+          point.speedup_vs_1_thread = reference_p50 / std::max(1e-12, point.train_p50_seconds);
+          point.deterministic = BitwiseEqual(model, reference);
+          all_deterministic = all_deterministic && point.deterministic;
+        }
+        if (options.solver == LrSolver::kProximalBatch && threads == 8 &&
+            n >= headline_pairs) {
+          headline_pairs = n;
+          headline_speedup = point.speedup_vs_1_thread;
+        }
+        table.AddRow({point.solver, StrFormat("%zu", n), StrFormat("%d", threads),
+                      StrFormat("%.3f", point.epoch_p50_seconds * 1e3),
+                      StrFormat("%.0f", point.examples_per_sec),
+                      StrFormat("%.2fx", point.speedup_vs_1_thread),
+                      point.deterministic ? "yes" : "NO"});
+        points.push_back(point);
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  // The speedup gate needs hardware that can actually run 8 workers and a
+  // corpus big enough that per-epoch parallel overhead is amortised.
+  const bool speedup_enforced =
+      EnvInt("MB_REQUIRE_SPEEDUP", 0) != 0 || (hw >= 8 && headline_pairs >= 50000);
+  WriteBenchJson(out_path, points, headline_speedup, speedup_enforced);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!all_deterministic) {
+    std::fprintf(stderr,
+                 "train_bench: FAIL — parallel training diverged from the 1-thread weights\n");
+    return 1;
+  }
+  std::printf("determinism: all sweep points bitwise identical to 1 thread\n");
+  std::printf("proximal-batch 8-thread speedup on %zu pairs: %.2fx (target >= 3x, %s)\n",
+              headline_pairs, headline_speedup,
+              speedup_enforced ? (headline_speedup >= 3.0 ? "met" : "NOT met")
+                               : "not enforced on this hardware");
+  if (speedup_enforced && headline_speedup < 3.0) return 1;
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/string_util.h"
 
@@ -55,14 +56,8 @@ void Histogram::Record(double value) {
   buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, value);
-  if (!has_extrema_.load(std::memory_order_relaxed)) {
-    // First sample initialises min/max; races here at worst briefly leave
-    // min at 0.0, which AtomicMin/AtomicMax then repair for min via the
-    // explicit seed below.
-    double expected = 0.0;
-    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
-    has_extrema_.store(true, std::memory_order_relaxed);
-  }
+  // The +/-infinity seeds make the first sample win both CAS loops for any
+  // value, so no first-sample special case (and no race window) exists.
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
 }
@@ -77,8 +72,13 @@ HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snapshot;
   snapshot.count = total;
   snapshot.sum = sum_.load(std::memory_order_relaxed);
-  snapshot.min = min_.load(std::memory_order_relaxed);
-  snapshot.max = max_.load(std::memory_order_relaxed);
+  // Mask the +/-infinity seeds to 0: always while empty, and in the
+  // unlikely race where a concurrent Record has bumped a bucket but not
+  // yet updated the extrema.
+  const double raw_min = min_.load(std::memory_order_relaxed);
+  const double raw_max = max_.load(std::memory_order_relaxed);
+  snapshot.min = std::isfinite(raw_min) ? raw_min : 0.0;
+  snapshot.max = std::isfinite(raw_max) ? raw_max : 0.0;
   if (total == 0) return snapshot;
 
   const auto quantile = [&](double q) {
@@ -109,9 +109,8 @@ void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
-  has_extrema_.store(false, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
 std::string FormatLatencySnapshot(const HistogramSnapshot& snapshot) {

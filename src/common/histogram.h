@@ -14,6 +14,7 @@
 #include <atomic>
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace microbrowse {
@@ -66,11 +67,14 @@ class Histogram {
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
   std::atomic<int64_t> count_{0};
   /// Sum/min/max in fixed-point nanos-style resolution is overkill here;
-  /// doubles via CAS loops keep the API in natural units.
+  /// doubles via CAS loops keep the API in natural units. Min and max are
+  /// seeded with +/-infinity sentinels so the first Record wins the CAS
+  /// race outright for any sample value (a 0.0 seed silently floored the
+  /// max at zero for all-negative samples and raced on the min);
+  /// Snapshot masks the sentinels back to 0 while the histogram is empty.
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
-  std::atomic<bool> has_extrema_{false};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Renders "p50=1.2ms p95=3.4ms p99=9ms n=1234" for logs; values are

@@ -2,9 +2,11 @@
 
 #include "microbrowse/classifier.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "microbrowse/feature_keys.h"
+#include "ml/csr.h"
 #include "text/ngram.h"
 
 namespace microbrowse {
@@ -223,6 +225,30 @@ CoupledDataset BuildClassifierDataset(const PairCorpus& corpus, const FeatureSta
   return dataset;
 }
 
+CoupledCsr FlattenCoupledDataset(const CoupledDataset& dataset) {
+  CoupledCsr csr;
+  size_t total = 0;
+  for (const CoupledExample& example : dataset.examples) total += example.occurrences.size();
+  csr.row_offsets.reserve(dataset.examples.size() + 1);
+  csr.t_ids.reserve(total);
+  csr.p_ids.reserve(total);
+  csr.signs.reserve(total);
+  csr.labels.reserve(dataset.examples.size());
+  csr.row_offsets.push_back(0);
+  for (const CoupledExample& example : dataset.examples) {
+    for (const CoupledOccurrence& occ : example.occurrences) {
+      csr.t_ids.push_back(occ.t);
+      csr.p_ids.push_back(occ.p);
+      csr.signs.push_back(occ.sign);
+    }
+    csr.labels.push_back(example.label);
+    csr.row_offsets.push_back(csr.t_ids.size());
+  }
+  csr.t_init = dataset.t_registry.InitialWeights();
+  csr.p_init = dataset.p_registry.InitialWeights();
+  return csr;
+}
+
 double SnippetClassifierModel::Score(const CoupledExample& example) const {
   double score = bias;
   for (const CoupledOccurrence& occ : example.occurrences) {
@@ -234,25 +260,66 @@ double SnippetClassifierModel::Score(const CoupledExample& example) const {
   return score;
 }
 
+double SnippetClassifierModel::ScoreRow(const CoupledCsr& csr, size_t row) const {
+  double score = bias;
+  const size_t end = csr.row_offsets[row + 1];
+  for (size_t k = csr.row_offsets[row]; k < end; ++k) {
+    const FeatureId t_id = csr.t_ids[k];
+    const FeatureId p_id = csr.p_ids[k];
+    const double t = t_id < t_weights.size() ? t_weights[t_id] : 0.0;
+    const double p =
+        p_id == kInvalidFeatureId ? 1.0 : (p_id < p_weights.size() ? p_weights[p_id] : 1.0);
+    score += csr.signs[k] * p * t;
+  }
+  return score;
+}
+
 namespace {
 
-/// Builds the T-phase dataset: features are T ids with value
-/// sign * P[p] (or sign when positionless).
-Dataset BuildTDataset(const CoupledDataset& coupled, const std::vector<size_t>& indices,
-                      const std::vector<double>& p_values) {
-  Dataset data;
-  data.num_features = coupled.t_registry.size();
-  data.examples.reserve(indices.size());
-  for (size_t idx : indices) {
-    const CoupledExample& source = coupled.examples[idx];
-    Example example;
-    example.label = source.label;
-    for (const CoupledOccurrence& occ : source.occurrences) {
-      const double p = occ.p == kInvalidFeatureId ? 1.0 : p_values[occ.p];
-      example.features.Add(occ.t, occ.sign * p);
+/// Finishes one accumulated row into `out`, replicating
+/// SparseVector::Finish exactly (sort by id, sum duplicate runs in sorted
+/// order, drop zero sums) so phase datasets built here are numerically
+/// identical to the historical SparseVector path.
+void FinishRowInto(std::vector<FeatureEntry>* scratch, CsrDataset* out) {
+  std::sort(scratch->begin(), scratch->end(),
+            [](const FeatureEntry& a, const FeatureEntry& b) { return a.id < b.id; });
+  size_t i = 0;
+  while (i < scratch->size()) {
+    const FeatureId id = (*scratch)[i].id;
+    double sum = 0.0;
+    while (i < scratch->size() && (*scratch)[i].id == id) {
+      sum += (*scratch)[i].value;
+      ++i;
     }
-    example.features.Finish();
-    data.examples.push_back(std::move(example));
+    if (sum != 0.0) {
+      out->ids.push_back(id);
+      out->values.push_back(sum);
+    }
+  }
+  out->row_offsets.push_back(out->ids.size());
+}
+
+/// Builds the T-phase dataset in CSR form: features are T ids with value
+/// sign * P[p] (or sign when positionless).
+CsrDataset BuildTCsr(const CoupledCsr& coupled, const std::vector<size_t>& indices,
+                     const std::vector<double>& p_values) {
+  CsrDataset data;
+  data.num_features = coupled.num_t_features();
+  data.row_offsets.reserve(indices.size() + 1);
+  data.row_offsets.push_back(0);
+  std::vector<FeatureEntry> scratch;
+  for (size_t idx : indices) {
+    scratch.clear();
+    const size_t end = coupled.row_offsets[idx + 1];
+    for (size_t k = coupled.row_offsets[idx]; k < end; ++k) {
+      const FeatureId p_id = coupled.p_ids[k];
+      const double p = p_id == kInvalidFeatureId ? 1.0 : p_values[p_id];
+      scratch.push_back(FeatureEntry{coupled.t_ids[k], coupled.signs[k] * p});
+    }
+    data.labels.push_back(coupled.labels[idx]);
+    data.weights.push_back(1.0);
+    data.offsets.push_back(0.0);
+    FinishRowInto(&scratch, &data);
   }
   return data;
 }
@@ -264,28 +331,32 @@ Dataset BuildTDataset(const CoupledDataset& coupled, const std::vector<size_t>& 
 /// (instead of P itself) anchors the factorisation at the statistics-
 /// database initialisation and prevents the multiplicative scale race
 /// between the P and T factors.
-Dataset BuildPDataset(const CoupledDataset& coupled, const std::vector<size_t>& indices,
-                      const std::vector<double>& t_values, const std::vector<double>& p_init,
-                      double bias) {
-  Dataset data;
-  data.num_features = coupled.p_registry.size();
-  data.examples.reserve(indices.size());
+CsrDataset BuildPCsr(const CoupledCsr& coupled, const std::vector<size_t>& indices,
+                     const std::vector<double>& t_values, const std::vector<double>& p_init,
+                     double bias) {
+  CsrDataset data;
+  data.num_features = coupled.num_p_features();
+  data.row_offsets.reserve(indices.size() + 1);
+  data.row_offsets.push_back(0);
+  std::vector<FeatureEntry> scratch;
   for (size_t idx : indices) {
-    const CoupledExample& source = coupled.examples[idx];
-    Example example;
-    example.label = source.label;
-    example.offset = bias;
-    for (const CoupledOccurrence& occ : source.occurrences) {
-      const double value = occ.sign * t_values[occ.t];
-      if (occ.p == kInvalidFeatureId) {
-        example.offset += value;
+    scratch.clear();
+    double offset = bias;
+    const size_t end = coupled.row_offsets[idx + 1];
+    for (size_t k = coupled.row_offsets[idx]; k < end; ++k) {
+      const double value = coupled.signs[k] * t_values[coupled.t_ids[k]];
+      const FeatureId p_id = coupled.p_ids[k];
+      if (p_id == kInvalidFeatureId) {
+        offset += value;
       } else {
-        example.offset += value * p_init[occ.p];
-        example.features.Add(occ.p, value);
+        offset += value * p_init[p_id];
+        scratch.push_back(FeatureEntry{p_id, value});
       }
     }
-    example.features.Finish();
-    data.examples.push_back(std::move(example));
+    data.labels.push_back(coupled.labels[idx]);
+    data.weights.push_back(1.0);
+    data.offsets.push_back(offset);
+    FinishRowInto(&scratch, &data);
   }
   return data;
 }
@@ -298,18 +369,27 @@ Result<SnippetClassifierModel> TrainSnippetClassifier(const CoupledDataset& data
   if (dataset.examples.empty()) {
     return Status::InvalidArgument("TrainSnippetClassifier: empty dataset");
   }
+  return TrainSnippetClassifier(FlattenCoupledDataset(dataset), config, train_indices);
+}
+
+Result<SnippetClassifierModel> TrainSnippetClassifier(const CoupledCsr& csr,
+                                                      const ClassifierConfig& config,
+                                                      const std::vector<size_t>& train_indices) {
+  if (csr.empty()) {
+    return Status::InvalidArgument("TrainSnippetClassifier: empty dataset");
+  }
   std::vector<size_t> indices = train_indices;
   if (indices.empty()) {
-    indices.resize(dataset.examples.size());
+    indices.resize(csr.size());
     std::iota(indices.begin(), indices.end(), 0);
   }
 
   SnippetClassifierModel model;
-  model.t_weights = dataset.t_registry.InitialWeights();
-  model.p_weights = dataset.p_registry.InitialWeights();
+  model.t_weights = csr.t_init;
+  model.p_weights = csr.p_init;
 
   if (!config.use_position) {
-    const Dataset t_data = BuildTDataset(dataset, indices, model.p_weights);
+    const CsrDataset t_data = BuildTCsr(csr, indices, model.p_weights);
     auto trained = TrainLogisticRegression(t_data, config.lr, &model.t_weights);
     if (!trained.ok()) return trained.status();
     model.t_weights = trained->weights();
@@ -319,23 +399,22 @@ Result<SnippetClassifierModel> TrainSnippetClassifier(const CoupledDataset& data
 
   LrOptions p_options = config.position_lr;
   p_options.fit_bias = false;  // Enforced regardless of caller settings.
-  const std::vector<double> p_init = dataset.p_registry.InitialWeights();
+  const std::vector<double>& p_init = csr.p_init;
   std::vector<double> p_delta(p_init.size(), 0.0);
   // Alternating minimisation of Eq. 9, position factor first: P is fit
   // against the statistics-database-calibrated T, then T is retrained
   // consistently with that P. (Ending on a T phase also keeps the bias
   // consistent with the final factor pairing.)
   for (int iteration = 0; iteration < std::max(1, config.coupled_iterations); ++iteration) {
-    if (!dataset.p_registry.empty()) {
-      const Dataset p_data =
-          BuildPDataset(dataset, indices, model.t_weights, p_init, model.bias);
+    if (!p_init.empty()) {
+      const CsrDataset p_data = BuildPCsr(csr, indices, model.t_weights, p_init, model.bias);
       auto p_trained = TrainLogisticRegression(p_data, p_options, &p_delta);
       if (!p_trained.ok()) return p_trained.status();
       p_delta = p_trained->weights();
       for (size_t j = 0; j < p_init.size(); ++j) model.p_weights[j] = p_init[j] + p_delta[j];
     }
 
-    const Dataset t_data = BuildTDataset(dataset, indices, model.p_weights);
+    const CsrDataset t_data = BuildTCsr(csr, indices, model.p_weights);
     auto t_trained = TrainLogisticRegression(t_data, config.lr, &model.t_weights);
     if (!t_trained.ok()) return t_trained.status();
     model.t_weights = t_trained->weights();

@@ -130,6 +130,32 @@ void ExtractPairOccurrences(const Snippet& first, const Snippet& second,
 CoupledDataset BuildClassifierDataset(const PairCorpus& corpus, const FeatureStatsDb& db,
                                       const ClassifierConfig& config, uint64_t seed);
 
+/// A CoupledDataset flattened into compressed-sparse-row form: example
+/// i's occurrences live in t_ids/p_ids/signs[row_offsets[i] ..
+/// row_offsets[i+1]). Built once per dataset (FlattenCoupledDataset) and
+/// streamed by training and scoring, replacing the per-example occurrence
+/// vector indirection on the hot path. Registry initial weights are
+/// snapshotted at flatten time so the CSR view is self-contained.
+struct CoupledCsr {
+  std::vector<size_t> row_offsets;  ///< size() + 1 entries; front() == 0.
+  std::vector<FeatureId> t_ids;     ///< Packed relevance-feature ids.
+  std::vector<FeatureId> p_ids;     ///< Parallel; kInvalidFeatureId = no P.
+  std::vector<double> signs;        ///< Parallel occurrence signs.
+  std::vector<double> labels;       ///< One per example (0.0 / 1.0).
+  std::vector<double> t_init;       ///< T warm-start weights (log odds).
+  std::vector<double> p_init;       ///< P warm-start weights (odds ratios).
+
+  size_t size() const { return labels.size(); }
+  bool empty() const { return labels.empty(); }
+  size_t num_t_features() const { return t_init.size(); }
+  size_t num_p_features() const { return p_init.size(); }
+};
+
+/// Flattens `dataset` (including the registries' current initial weights)
+/// into CSR form. Occurrence order within each example is preserved, so
+/// training and scoring results are identical to the per-example path.
+CoupledCsr FlattenCoupledDataset(const CoupledDataset& dataset);
+
 /// Trained factor weights.
 struct SnippetClassifierModel {
   std::vector<double> t_weights;
@@ -139,13 +165,26 @@ struct SnippetClassifierModel {
   /// Linear score of an example (positive = first snippet predicted
   /// better).
   double Score(const CoupledExample& example) const;
+
+  /// Linear score of CSR row `row`; identical to Score on the example the
+  /// row was flattened from.
+  double ScoreRow(const CoupledCsr& csr, size_t row) const;
 };
 
 /// Trains the classifier on `train_indices` of `dataset` (all examples
 /// when empty). Plain configurations run one L1 LR over T; position
-/// configurations alternate T and P phases (Eq. 9).
+/// configurations alternate T and P phases (Eq. 9). Flattens the dataset
+/// once and delegates to the CSR overload.
 Result<SnippetClassifierModel> TrainSnippetClassifier(
     const CoupledDataset& dataset, const ClassifierConfig& config,
+    const std::vector<size_t>& train_indices = {});
+
+/// CSR entry point for callers that reuse one flattened dataset across
+/// many training runs (the CV pipeline trains every fold against the same
+/// CoupledCsr). Thread count for the phase solvers comes from
+/// config.lr.num_threads / config.position_lr.num_threads.
+Result<SnippetClassifierModel> TrainSnippetClassifier(
+    const CoupledCsr& csr, const ClassifierConfig& config,
     const std::vector<size_t>& train_indices = {});
 
 }  // namespace microbrowse

@@ -21,12 +21,30 @@ namespace microbrowse {
 namespace {
 
 /// Evaluates `model` on the test indices, appending scored labels.
-void ScoreFold(const CoupledDataset& dataset, const SnippetClassifierModel& model,
+void ScoreFold(const CoupledCsr& csr, const SnippetClassifierModel& model,
                const std::vector<size_t>& test_indices, std::vector<ScoredLabel>* scored) {
   for (size_t idx : test_indices) {
-    const CoupledExample& example = dataset.examples[idx];
-    scored->push_back(ScoredLabel{model.Score(example), example.label > 0.5});
+    scored->push_back(ScoredLabel{model.ScoreRow(csr, idx), csr.labels[idx] > 0.5});
   }
+}
+
+/// Copies `config` with the in-training thread count raised to
+/// options.train_threads. The copy (not the original) is what trains, so
+/// the checkpoint fingerprint — computed from the caller's config — never
+/// sees the thread count.
+ClassifierConfig ThreadedConfig(const ClassifierConfig& config, const PipelineOptions& options) {
+  ClassifierConfig threaded = config;
+  threaded.lr.num_threads = std::max(threaded.lr.num_threads, options.train_threads);
+  threaded.position_lr.num_threads =
+      std::max(threaded.position_lr.num_threads, options.train_threads);
+  return threaded;
+}
+
+/// Copies the stats-build options with the thread count raised likewise.
+BuildStatsOptions ThreadedStats(const PipelineOptions& options) {
+  BuildStatsOptions stats = options.stats;
+  stats.num_threads = std::max(stats.num_threads, options.train_threads);
+  return stats;
 }
 
 }  // namespace
@@ -86,6 +104,8 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
 
   std::vector<ScoredLabel> all_scored;
   all_scored.reserve(corpus.pairs.size());
+  const ClassifierConfig train_config = ThreadedConfig(config, options);
+  const BuildStatsOptions stats_options = ThreadedStats(options);
 
   if (!options.per_fold_stats) {
     FeatureStatsDb db;
@@ -94,7 +114,7 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
       MB_ASSIGN_OR_RETURN(stats_resumed, checkpoint->LoadStats(&db));
     }
     if (!stats_resumed) {
-      db = BuildFeatureStats(corpus, options.stats);
+      db = BuildFeatureStats(corpus, stats_options);
       if (checkpoint != nullptr) {
         MB_RETURN_IF_ERROR(RetryWithBackoff([&] { return checkpoint->SaveStats(db); }));
       }
@@ -102,6 +122,9 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
     const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
     report.num_t_features = dataset.t_registry.size();
     report.num_p_features = dataset.p_registry.size();
+    // Flatten once; every fold trains and scores against the same CSR
+    // view (DESIGN.md section 11).
+    const CoupledCsr csr = FlattenCoupledDataset(dataset);
     // Folds are independent given the shared dataset; train them across
     // the pool and splice the per-fold scores back in fold order so the
     // result is identical for any thread count.
@@ -123,12 +146,12 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
         // folds.
         fold_status[f] = failpoint::Check("pipeline.fold");
         if (!fold_status[f].ok()) return;
-        auto model = TrainSnippetClassifier(dataset, config, folds[f].train_indices);
+        auto model = TrainSnippetClassifier(csr, train_config, folds[f].train_indices);
         if (!model.ok()) {
           fold_status[f] = model.status();
           return;
         }
-        ScoreFold(dataset, *model, folds[f].test_indices, &fold_scores[f]);
+        ScoreFold(csr, *model, folds[f].test_indices, &fold_scores[f]);
         fold_status[f] = save_fold(f, fold_scores[f]);
       }));
     }
@@ -144,26 +167,33 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
       if (checkpoint != nullptr) {
         MB_ASSIGN_OR_RETURN(resumed, checkpoint->LoadFoldScores(f, &fold_scored));
       }
+      // The fold's statistics database and dataset are (re)built whether
+      // or not its scores were resumed: the feature counts reported below
+      // come from the dataset registries, and skipping the build for
+      // resumed folds used to leave num_t_features / num_p_features at
+      // zero on an all-resumed rerun (see PerFoldStatsResumeReportsFeatureCounts).
+      PairCorpus train_corpus;
+      train_corpus.pairs.reserve(fold.train_indices.size());
+      for (size_t idx : fold.train_indices) train_corpus.pairs.push_back(corpus.pairs[idx]);
+      const FeatureStatsDb db = BuildFeatureStats(train_corpus, stats_options);
+      const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
+      report.num_t_features = dataset.t_registry.size();
+      report.num_p_features = dataset.p_registry.size();
       if (!resumed) {
         MB_FAILPOINT("pipeline.fold");
-        PairCorpus train_corpus;
-        train_corpus.pairs.reserve(fold.train_indices.size());
-        for (size_t idx : fold.train_indices) train_corpus.pairs.push_back(corpus.pairs[idx]);
-        const FeatureStatsDb db = BuildFeatureStats(train_corpus, options.stats);
-        const CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
-        report.num_t_features = dataset.t_registry.size();
-        report.num_p_features = dataset.p_registry.size();
-        auto model = TrainSnippetClassifier(dataset, config, fold.train_indices);
+        const CoupledCsr fold_csr = FlattenCoupledDataset(dataset);
+        auto model = TrainSnippetClassifier(fold_csr, train_config, fold.train_indices);
         if (!model.ok()) return model.status();
-        ScoreFold(dataset, *model, fold.test_indices, &fold_scored);
+        ScoreFold(fold_csr, *model, fold.test_indices, &fold_scored);
         MB_RETURN_IF_ERROR(save_fold(f, fold_scored));
       }
       all_scored.insert(all_scored.end(), fold_scored.begin(), fold_scored.end());
     }
   }
 
-  report.metrics = ComputeBinaryMetrics(all_scored, /*threshold=*/0.0);
-  report.auc = ComputeAuc(all_scored);
+  report.metrics =
+      ComputeBinaryMetrics(all_scored, /*threshold=*/0.0, std::max(1, options.train_threads));
+  report.auc = ComputeAuc(all_scored, std::max(1, options.train_threads));
   report.train_seconds = timer.ElapsedSeconds();
   return report;
 }
@@ -177,7 +207,7 @@ Result<PositionWeightReport> LearnPositionWeights(const PairCorpus& corpus,
   if (corpus.pairs.empty()) {
     return Status::InvalidArgument("LearnPositionWeights: empty pair corpus");
   }
-  const FeatureStatsDb db = BuildFeatureStats(corpus, options.stats);
+  const FeatureStatsDb db = BuildFeatureStats(corpus, ThreadedStats(options));
   CoupledDataset dataset = BuildClassifierDataset(corpus, db, config, options.seed);
   // Anchor the position factor at zero rather than at its odds-ratio
   // initialisation: the L2 penalty of the P phase then shrinks positions
@@ -188,7 +218,7 @@ Result<PositionWeightReport> LearnPositionWeights(const PairCorpus& corpus,
   for (FeatureId id = 0; id < dataset.p_registry.size(); ++id) {
     dataset.p_registry.SetInitialWeight(id, 0.0);
   }
-  auto model = TrainSnippetClassifier(dataset, config);
+  auto model = TrainSnippetClassifier(dataset, ThreadedConfig(config, options));
   if (!model.ok()) return model.status();
 
   PositionWeightReport report;

@@ -37,6 +37,14 @@ struct PipelineOptions {
   /// Results are identical regardless of thread count: per-fold scores are
   /// collected in fold order.
   int num_threads = 1;
+  /// Worker threads *inside* each training run: forwarded to the LR
+  /// solvers (LrOptions::num_threads), the statistics build
+  /// (BuildStatsOptions::num_threads) and the final metrics pass.
+  /// Orthogonal to `num_threads` (fold-level parallelism). Results are
+  /// bitwise identical for any value — see DESIGN.md section 11 — and the
+  /// value is deliberately excluded from the checkpoint fingerprint, so
+  /// changing it never invalidates a resumable run.
+  int train_threads = 1;
   /// When non-empty, the run checkpoints into this directory (created on
   /// demand): the statistics database and each completed fold's scores are
   /// persisted atomically, and a rerun pointed at the same directory

@@ -2,9 +2,13 @@
 
 #include "microbrowse/stats_db.h"
 
+#include <algorithm>
+#include <functional>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "microbrowse/feature_keys.h"
 #include "microbrowse/rewrite.h"
 #include "text/ngram.h"
@@ -40,14 +44,17 @@ void ObserveUniqueTerms(const Snippet& snippet,
   }
 }
 
-/// One accumulation pass over the corpus. `db` (nullable) guides rewrite
-/// matching; results go into `out`.
-void AccumulatePass(const PairCorpus& corpus, const BuildStatsOptions& options,
-                    const FeatureStatsDb* matching_db, FeatureStatsDb* out) {
+/// One accumulation pass over pairs [begin, end) of the corpus.
+/// `matching_db` (nullable) guides rewrite matching; results go into
+/// `out`.
+void AccumulateRange(const PairCorpus& corpus, const BuildStatsOptions& options,
+                     const FeatureStatsDb* matching_db, size_t begin, size_t end,
+                     FeatureStatsDb* out) {
   RewriteMatchOptions match_options;
   match_options.max_ngram = options.max_ngram;
 
-  for (const SnippetPair& pair : corpus.pairs) {
+  for (size_t pair_index = begin; pair_index < end; ++pair_index) {
+    const SnippetPair& pair = corpus.pairs[pair_index];
     const int delta = pair.delta_sw();
 
     // --- Term statistics: n-grams unique to one side (plain and
@@ -82,6 +89,44 @@ void AccumulatePass(const PairCorpus& corpus, const BuildStatsOptions& options,
       out->AddObservation(TermPositionKey(MakePositionKey(span)), -delta);
     }
   }
+}
+
+/// Below this corpus size one thread wins: the per-chunk databases and the
+/// merge cost more than the accumulation they split.
+constexpr size_t kParallelStatsThreshold = 256;
+
+/// One accumulation pass over the whole corpus, parallelised over a fixed
+/// chunk grid when num_threads > 1. Each chunk accumulates into a private
+/// database; the chunk databases are then merged by key, sharded on the
+/// key hash so shards can merge in parallel without locking. The merged
+/// counts are integer sums, identical for any thread and shard count.
+void AccumulatePass(const PairCorpus& corpus, const BuildStatsOptions& options,
+                    const FeatureStatsDb* matching_db, FeatureStatsDb* out) {
+  const size_t n = corpus.pairs.size();
+  if (options.num_threads <= 1 || n < kParallelStatsThreshold) {
+    AccumulateRange(corpus, options, matching_db, 0, n, out);
+    return;
+  }
+  const size_t n_chunks = std::min<size_t>(64, std::max<size_t>(1, n / 32));
+  std::vector<FeatureStatsDb> chunks(n_chunks);
+  ThreadPool pool(static_cast<size_t>(options.num_threads));
+  (void)pool.ParallelFor(n_chunks, [&](size_t c) {
+    AccumulateRange(corpus, options, matching_db, c * n / n_chunks, (c + 1) * n / n_chunks,
+                    &chunks[c]);
+  });
+  const size_t n_shards = std::min<size_t>(static_cast<size_t>(options.num_threads), 16);
+  std::vector<std::unordered_map<std::string, FeatureStat>> shards(n_shards);
+  (void)pool.ParallelFor(n_shards, [&](size_t s) {
+    for (const FeatureStatsDb& chunk : chunks) {
+      for (const auto& [key, stat] : chunk.stats()) {
+        if (std::hash<std::string>{}(key) % n_shards != s) continue;
+        FeatureStat& merged = shards[s][key];
+        merged.positive += stat.positive;
+        merged.total += stat.total;
+      }
+    }
+  });
+  for (auto& shard : shards) out->mutable_stats().merge(shard);
 }
 
 }  // namespace

@@ -61,6 +61,15 @@ class FeatureStatsDb {
     stats_[key] = FeatureStat{positive, total};
   }
 
+  /// Adds pre-aggregated counts for `key` onto any prior value. Used when
+  /// merging partial databases accumulated over corpus chunks; integer
+  /// counts make the merge order-independent.
+  void AddCounts(const std::string& key, int64_t positive, int64_t total) {
+    FeatureStat& stat = stats_[key];
+    stat.positive += positive;
+    stat.total += total;
+  }
+
   /// Stat for `key`, or nullptr when unseen.
   const FeatureStat* Find(std::string_view key) const {
     auto it = stats_.find(std::string(key));
@@ -101,6 +110,9 @@ class FeatureStatsDb {
 
   size_t size() const { return stats_.size(); }
   const std::unordered_map<std::string, FeatureStat>& stats() const { return stats_; }
+  /// Mutable access for bulk splicing (unordered_map::merge) when
+  /// assembling a database from disjoint shards.
+  std::unordered_map<std::string, FeatureStat>& mutable_stats() { return stats_; }
 
  private:
   double smoothing_ = 1.0;
@@ -119,6 +131,11 @@ struct BuildStatsOptions {
   /// text + positional heuristics); pass >= 2 re-matches with the previous
   /// pass's database, sharpening phrase boundaries (Section IV-A).
   int matching_passes = 2;
+  /// Worker threads per accumulation pass. Pairs are accumulated into
+  /// per-chunk databases over a fixed chunk grid and merged by key; the
+  /// counts are integers, so the resulting database is identical for any
+  /// thread count (DESIGN.md section 11).
+  int num_threads = 1;
 };
 
 /// Builds the feature-statistics database from a pair corpus (phase one of

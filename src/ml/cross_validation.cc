@@ -57,8 +57,11 @@ Result<std::vector<CvFold>> MakeStratifiedKFolds(const std::vector<bool>& labels
   Rng rng(seed);
   rng.Shuffle(positives);
   rng.Shuffle(negatives);
-  // Interleave the shuffled strata so round-robin dealing preserves the
-  // class ratio in every fold.
+  // Concatenate the shuffled strata: FoldsFromPermutation deals the
+  // permutation round-robin into k test sets, so each stratum spreads
+  // across the folds independently and every fold's positive / negative
+  // counts land within one of the ideal k-way split — no interleaving is
+  // needed for balance (asserted by StratifiedFoldsBalanceEachFold).
   std::vector<size_t> permutation;
   permutation.reserve(labels.size());
   permutation.insert(permutation.end(), positives.begin(), positives.end());

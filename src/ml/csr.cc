@@ -1,0 +1,33 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "ml/csr.h"
+
+namespace microbrowse {
+
+CsrDataset FlattenDataset(const Dataset& data) {
+  CsrDataset csr;
+  csr.num_features = data.num_features;
+  const size_t n = data.size();
+  size_t entries = 0;
+  for (const Example& example : data.examples) entries += example.features.size();
+  csr.row_offsets.reserve(n + 1);
+  csr.ids.reserve(entries);
+  csr.values.reserve(entries);
+  csr.labels.reserve(n);
+  csr.weights.reserve(n);
+  csr.offsets.reserve(n);
+  csr.row_offsets.push_back(0);
+  for (const Example& example : data.examples) {
+    for (const FeatureEntry& entry : example.features.entries()) {
+      csr.ids.push_back(entry.id);
+      csr.values.push_back(entry.value);
+    }
+    csr.row_offsets.push_back(csr.ids.size());
+    csr.labels.push_back(example.label);
+    csr.weights.push_back(example.weight);
+    csr.offsets.push_back(example.offset);
+  }
+  return csr;
+}
+
+}  // namespace microbrowse

@@ -4,9 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <numeric>
+#include <optional>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace microbrowse {
 
@@ -41,7 +45,34 @@ double SoftThreshold(double x, double threshold) {
   return 0.0;
 }
 
-LogisticModel TrainAdaGrad(const Dataset& data, const LrOptions& options,
+/// Runs `fn(i)` for i in [0, count): across `pool` when present, serially
+/// otherwise. The two paths compute identical results — parallelism is
+/// purely a scheduling choice here (see the block partition below).
+void ForEach(std::optional<ThreadPool>& pool, size_t count,
+             const std::function<void(size_t)>& fn) {
+  if (pool.has_value()) {
+    (void)pool->ParallelFor(count, fn);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) fn(i);
+}
+
+/// Fixed example-block partition for the proximal solver's parallel epoch
+/// body. The partition depends only on the dataset shape — never on the
+/// thread count — so the block-ordered reduction below produces bitwise
+/// identical gradients for any number of workers. Block count is bounded
+/// both by a minimum block size (tiny blocks are all overhead) and by the
+/// partial-gradient scratch budget (one dense vector per block).
+size_t NumGradientBlocks(size_t n, size_t n_features) {
+  constexpr size_t kMinBlockSize = 256;
+  constexpr size_t kMaxBlocks = 64;
+  constexpr size_t kScratchBudgetBytes = size_t{256} << 20;
+  const size_t row_bytes = std::max<size_t>(1, n_features) * sizeof(double);
+  const size_t memory_cap = std::max<size_t>(1, kScratchBudgetBytes / row_bytes);
+  return std::clamp<size_t>(n / kMinBlockSize, 1, std::min(kMaxBlocks, memory_cap));
+}
+
+LogisticModel TrainAdaGrad(const CsrDataset& data, const LrOptions& options,
                            std::vector<double> weights) {
   const size_t n_features = data.num_features;
   double bias = 0.0;
@@ -53,30 +84,35 @@ LogisticModel TrainAdaGrad(const Dataset& data, const LrOptions& options,
   Rng rng(options.seed);
   double prev_loss = std::numeric_limits<double>::infinity();
 
+  // AdaGrad is inherently sequential — each step reads the weights the
+  // previous step wrote — so options.num_threads is ignored here; the CSR
+  // layout still removes the per-example vector indirection.
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     if (options.shuffle_each_epoch) rng.Shuffle(order);
     double loss_sum = 0.0;
     double weight_sum = 0.0;
     for (size_t idx : order) {
-      const Example& example = data.examples[idx];
-      double score = bias + example.offset;
-      for (const auto& entry : example.features.entries()) {
-        if (entry.id < n_features) score += entry.value * weights[entry.id];
+      const size_t begin = data.row_offsets[idx];
+      const size_t end = data.row_offsets[idx + 1];
+      double score = bias + data.offsets[idx];
+      for (size_t k = begin; k < end; ++k) {
+        if (data.ids[k] < n_features) score += data.values[k] * weights[data.ids[k]];
       }
       const double predicted = Sigmoid(score);
-      loss_sum += example.weight * LogLoss(example.label, predicted);
-      weight_sum += example.weight;
-      const double gradient_scale = example.weight * (predicted - example.label);
+      loss_sum += data.weights[idx] * LogLoss(data.labels[idx], predicted);
+      weight_sum += data.weights[idx];
+      const double gradient_scale = data.weights[idx] * (predicted - data.labels[idx]);
 
-      for (const auto& entry : example.features.entries()) {
-        if (entry.id >= n_features) continue;
-        const double g = gradient_scale * entry.value + options.l2 * weights[entry.id];
-        grad_sq[entry.id] += g * g;
-        const double step = options.learning_rate / std::sqrt(grad_sq[entry.id]);
+      for (size_t k = begin; k < end; ++k) {
+        const FeatureId id = data.ids[k];
+        if (id >= n_features) continue;
+        const double g = gradient_scale * data.values[k] + options.l2 * weights[id];
+        grad_sq[id] += g * g;
+        const double step = options.learning_rate / std::sqrt(grad_sq[id]);
         // Truncated-gradient L1: gradient step then shrink toward zero by
         // step * l1, clipping at zero.
-        const double updated = weights[entry.id] - step * g;
-        weights[entry.id] = SoftThreshold(updated, step * options.l1);
+        const double updated = weights[id] - step * g;
+        weights[id] = SoftThreshold(updated, step * options.l1);
       }
       if (options.fit_bias) {
         const double g = gradient_scale;
@@ -91,45 +127,100 @@ LogisticModel TrainAdaGrad(const Dataset& data, const LrOptions& options,
   return LogisticModel(std::move(weights), bias);
 }
 
-LogisticModel TrainProximalBatch(const Dataset& data, const LrOptions& options,
+LogisticModel TrainProximalBatch(const CsrDataset& data, const LrOptions& options,
                                  std::vector<double> weights) {
   const size_t n_features = data.num_features;
   const size_t n = data.size();
   double bias = 0.0;
 
-  // Lipschitz-style step size: mean squared feature norm bounds the
-  // logistic Hessian by norm^2 / 4.
+  // Lipschitz-style step size: the *max* squared feature norm (plus one
+  // for the implicit bias column) bounds every per-example logistic
+  // Hessian by norm^2 / 4, hence the 4 / max_norm_sq step scale.
   double max_norm_sq = 1.0;
-  for (const auto& example : data.examples) {
-    max_norm_sq = std::max(max_norm_sq, example.features.SquaredNorm() + 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    double norm_sq = 0.0;
+    const size_t end = data.row_offsets[i + 1];
+    for (size_t k = data.row_offsets[i]; k < end; ++k) {
+      norm_sq += data.values[k] * data.values[k];
+    }
+    max_norm_sq = std::max(max_norm_sq, norm_sq + 1.0);
   }
   const double step = options.learning_rate * 4.0 / max_norm_sq;
 
+  // Deterministic parallel epoch body: examples are split into a fixed
+  // block grid (independent of thread count), every block accumulates its
+  // own dense partial gradient, and each feature's total sums the block
+  // partials in ascending block index. Floating-point addition order is
+  // therefore a function of the dataset alone, so the trained weights are
+  // bitwise identical for 1, 2 or 64 threads (the determinism suite
+  // asserts exactly this; see DESIGN.md section 11).
+  const size_t n_blocks = NumGradientBlocks(n, n_features);
+  std::optional<ThreadPool> pool;
+  const size_t pool_threads =
+      std::min<size_t>(static_cast<size_t>(std::max(1, options.num_threads)), n_blocks);
+  if (pool_threads > 1) pool.emplace(pool_threads);
+
+  std::vector<std::vector<double>> block_gradients(n_blocks);
+  for (auto& gradient : block_gradients) gradient.assign(n_features, 0.0);
+  struct BlockSums {
+    double bias_gradient = 0.0;
+    double loss = 0.0;
+    double weight = 0.0;
+  };
+  std::vector<BlockSums> block_sums(n_blocks);
+
+  // Feature chunks for the reduction + proximal update. Chunking does not
+  // affect results at all (each feature reduces independently); it only
+  // sizes the parallel tasks.
+  const size_t n_feature_chunks =
+      n_features == 0 ? 0 : std::min<size_t>(n_blocks, n_features);
+
   double prev_loss = std::numeric_limits<double>::infinity();
-  std::vector<double> gradient(n_features, 0.0);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    std::fill(gradient.begin(), gradient.end(), 0.0);
+    ForEach(pool, n_blocks, [&](size_t b) {
+      std::vector<double>& gradient = block_gradients[b];
+      std::fill(gradient.begin(), gradient.end(), 0.0);
+      BlockSums sums;
+      const size_t begin_row = b * n / n_blocks;
+      const size_t end_row = (b + 1) * n / n_blocks;
+      for (size_t i = begin_row; i < end_row; ++i) {
+        const size_t begin = data.row_offsets[i];
+        const size_t end = data.row_offsets[i + 1];
+        double score = bias + data.offsets[i];
+        for (size_t k = begin; k < end; ++k) {
+          if (data.ids[k] < n_features) score += data.values[k] * weights[data.ids[k]];
+        }
+        const double predicted = Sigmoid(score);
+        sums.loss += data.weights[i] * LogLoss(data.labels[i], predicted);
+        sums.weight += data.weights[i];
+        const double gradient_scale =
+            data.weights[i] * (predicted - data.labels[i]) / static_cast<double>(n);
+        for (size_t k = begin; k < end; ++k) {
+          if (data.ids[k] < n_features) gradient[data.ids[k]] += gradient_scale * data.values[k];
+        }
+        sums.bias_gradient += gradient_scale;
+      }
+      block_sums[b] = sums;
+    });
+
+    ForEach(pool, n_feature_chunks, [&](size_t c) {
+      const size_t begin_feature = c * n_features / n_feature_chunks;
+      const size_t end_feature = (c + 1) * n_features / n_feature_chunks;
+      for (size_t j = begin_feature; j < end_feature; ++j) {
+        double gradient = 0.0;
+        for (size_t b = 0; b < n_blocks; ++b) gradient += block_gradients[b][j];
+        const double updated = weights[j] - step * (gradient + options.l2 * weights[j]);
+        weights[j] = SoftThreshold(updated, step * options.l1);
+      }
+    });
+
     double bias_gradient = 0.0;
     double loss_sum = 0.0;
     double weight_sum = 0.0;
-    for (const auto& example : data.examples) {
-      double score = bias + example.offset;
-      for (const auto& entry : example.features.entries()) {
-        if (entry.id < n_features) score += entry.value * weights[entry.id];
-      }
-      const double predicted = Sigmoid(score);
-      loss_sum += example.weight * LogLoss(example.label, predicted);
-      weight_sum += example.weight;
-      const double gradient_scale =
-          example.weight * (predicted - example.label) / static_cast<double>(n);
-      for (const auto& entry : example.features.entries()) {
-        if (entry.id < n_features) gradient[entry.id] += gradient_scale * entry.value;
-      }
-      bias_gradient += gradient_scale;
-    }
-    for (size_t j = 0; j < n_features; ++j) {
-      const double updated = weights[j] - step * (gradient[j] + options.l2 * weights[j]);
-      weights[j] = SoftThreshold(updated, step * options.l1);
+    for (const BlockSums& sums : block_sums) {
+      bias_gradient += sums.bias_gradient;
+      loss_sum += sums.loss;
+      weight_sum += sums.weight;
     }
     if (options.fit_bias) bias -= step * bias_gradient;
 
@@ -142,14 +233,14 @@ LogisticModel TrainProximalBatch(const Dataset& data, const LrOptions& options,
 
 }  // namespace
 
-Result<LogisticModel> TrainLogisticRegression(const Dataset& data, const LrOptions& options,
+Result<LogisticModel> TrainLogisticRegression(const CsrDataset& data, const LrOptions& options,
                                               const std::vector<double>* initial_weights) {
   if (data.empty()) return Status::InvalidArgument("TrainLogisticRegression: empty dataset");
   if (initial_weights != nullptr && initial_weights->size() != data.num_features) {
     return Status::InvalidArgument("TrainLogisticRegression: initial_weights size mismatch");
   }
-  for (const auto& example : data.examples) {
-    if (example.label != 0.0 && example.label != 1.0) {
+  for (double label : data.labels) {
+    if (label != 0.0 && label != 1.0) {
       return Status::InvalidArgument("TrainLogisticRegression: labels must be 0 or 1");
     }
   }
@@ -162,6 +253,11 @@ Result<LogisticModel> TrainLogisticRegression(const Dataset& data, const LrOptio
       return TrainProximalBatch(data, options, std::move(weights));
   }
   return Status::Internal("TrainLogisticRegression: unknown solver");
+}
+
+Result<LogisticModel> TrainLogisticRegression(const Dataset& data, const LrOptions& options,
+                                              const std::vector<double>* initial_weights) {
+  return TrainLogisticRegression(FlattenDataset(data), options, initial_weights);
 }
 
 }  // namespace microbrowse

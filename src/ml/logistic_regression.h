@@ -17,6 +17,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "ml/csr.h"
 #include "ml/dataset.h"
 #include "ml/sparse_vector.h"
 
@@ -38,6 +39,12 @@ struct LrOptions {
   /// Stop early when the training log-loss improves by less than this
   /// between epochs (<= 0 disables).
   double tolerance = 1e-6;
+  /// Worker threads for the batch proximal solver's epoch body. Results
+  /// are bitwise identical for any value: examples are split into a fixed
+  /// block grid (independent of thread count) and each feature's gradient
+  /// sums the per-block partials in ascending block index (DESIGN.md
+  /// section 11). AdaGrad is inherently sequential and ignores this.
+  int num_threads = 1;
 };
 
 /// A trained (or warm-started) linear model over sparse features.
@@ -79,8 +86,15 @@ class LogisticModel {
 
 /// Trains a logistic regression on `data`. When `initial_weights` is
 /// non-null it supplies the warm start (its length must equal
-/// data.num_features); otherwise training starts from zero.
+/// data.num_features); otherwise training starts from zero. Flattens the
+/// dataset to CSR once and delegates to the CSR overload.
 Result<LogisticModel> TrainLogisticRegression(const Dataset& data, const LrOptions& options,
+                                              const std::vector<double>* initial_weights = nullptr);
+
+/// CSR-layout entry point for callers that already hold (or reuse) a
+/// flattened dataset — the training hot path proper. Both solvers stream
+/// the packed arrays directly.
+Result<LogisticModel> TrainLogisticRegression(const CsrDataset& data, const LrOptions& options,
                                               const std::vector<double>* initial_weights = nullptr);
 
 }  // namespace microbrowse

@@ -35,15 +35,21 @@ struct BinaryMetrics {
 };
 
 /// Computes the confusion matrix of `scored` at `threshold` on the score.
+/// With `num_threads` > 1, fixed chunks are counted in parallel and
+/// merged; the counts are integers, so the result is identical for any
+/// thread count.
 BinaryMetrics ComputeBinaryMetrics(const std::vector<ScoredLabel>& scored,
-                                   double threshold = 0.0);
+                                   double threshold = 0.0, int num_threads = 1);
 
 /// Merges two confusion matrices (e.g., across CV folds).
 BinaryMetrics MergeMetrics(const BinaryMetrics& a, const BinaryMetrics& b);
 
 /// Area under the ROC curve via the rank-sum estimator; ties get half
-/// credit. Returns 0.5 when either class is empty.
-double ComputeAuc(const std::vector<ScoredLabel>& scored);
+/// credit. Returns 0.5 when either class is empty. With `num_threads` > 1
+/// the sort runs as a parallel chunked merge sort over a fixed chunk grid;
+/// the rank-sum walk groups equal scores, so the value is bitwise
+/// identical for any thread count.
+double ComputeAuc(const std::vector<ScoredLabel>& scored, int num_threads = 1);
 
 /// Mean binary cross-entropy; `scored.score` must be a probability here.
 double ComputeMeanLogLoss(const std::vector<ScoredLabel>& scored);

@@ -164,5 +164,27 @@ TEST_F(PipelineResumeTest, PerFoldStatsPathCheckpointsFolds) {
   std::filesystem::remove_all(options.checkpoint_dir);
 }
 
+TEST_F(PipelineResumeTest, PerFoldStatsResumeReportsFeatureCounts) {
+  const PairCorpus pairs = MakePairs(17);
+  const ClassifierConfig config = ClassifierConfig::M1();
+  PipelineOptions options = BaseOptions();
+  options.per_fold_stats = true;
+  options.checkpoint_dir = FreshDir("perfold_report_ckpt");
+  auto first = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(first->num_t_features, 0u);
+
+  // Every fold resumes from disk on the rerun. The report must still carry
+  // the feature counts: they used to be set only inside the !resumed
+  // branch, so an all-resumed run reported 0 T / 0 P features.
+  auto resumed = RunPairClassificationCv(pairs, config, options);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_GT(resumed->num_t_features, 0u);
+  EXPECT_EQ(resumed->num_t_features, first->num_t_features);
+  EXPECT_EQ(resumed->num_p_features, first->num_p_features);
+  EXPECT_EQ(resumed->auc, first->auc);
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
 }  // namespace
 }  // namespace microbrowse

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "ml/cross_validation.h"
+#include "ml/csr.h"
 #include "ml/dataset.h"
 #include "ml/feature_registry.h"
 #include "ml/logistic_regression.h"
@@ -361,6 +362,28 @@ TEST(CrossValidationTest, StratifiedPreservesClassRatio) {
   }
 }
 
+TEST(CrossValidationTest, StratifiedFoldsBalanceEachFold) {
+  // 37 positives / 163 negatives: neither stratum divides evenly by k, so
+  // any dealing-order bug (e.g. a stratum landing contiguously in one
+  // fold) shows up as a lopsided fold. Every fold's class counts must sit
+  // within one of the ideal k-way split of each stratum.
+  for (int k : {5, 7}) {
+    std::vector<bool> labels(200);
+    for (int i = 0; i < 37; ++i) labels[i] = true;
+    auto folds = MakeStratifiedKFolds(labels, k, 23);
+    ASSERT_TRUE(folds.ok());
+    const double ideal_pos = 37.0 / k;
+    const double ideal_neg = 163.0 / k;
+    for (const auto& fold : *folds) {
+      int pos = 0;
+      int neg = 0;
+      for (size_t idx : fold.test_indices) (labels[idx] ? pos : neg) += 1;
+      EXPECT_LE(std::fabs(pos - ideal_pos), 1.0) << "k=" << k;
+      EXPECT_LE(std::fabs(neg - ideal_neg), 1.0) << "k=" << k;
+    }
+  }
+}
+
 TEST(CrossValidationTest, GroupedKeepsGroupsTogether) {
   // 12 examples in 6 groups of 2.
   std::vector<int64_t> groups = {0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5};
@@ -401,6 +424,69 @@ TEST(DatasetTest, SubsetCopiesSelected) {
   EXPECT_EQ(subset.num_features, 1u);
   EXPECT_EQ(subset.num_positives(), 0u);
   EXPECT_EQ(data.Subset({1, 3}).num_positives(), 2u);
+}
+
+// --- CSR layout
+
+TEST(CsrTest, FlattenDatasetRoundTrip) {
+  Dataset data;
+  data.num_features = 5;
+  {
+    Example example;
+    example.features.Add(3, 1.5);
+    example.features.Add(0, -2.0);
+    example.features.Finish();
+    example.label = 1.0;
+    example.weight = 2.0;
+    example.offset = 0.25;
+    data.examples.push_back(std::move(example));
+  }
+  {
+    Example example;  // Empty row: no features.
+    example.label = 0.0;
+    data.examples.push_back(std::move(example));
+  }
+  {
+    Example example;
+    example.features.Add(4, 3.0);
+    example.features.Finish();
+    example.label = 1.0;
+    data.examples.push_back(std::move(example));
+  }
+
+  const CsrDataset csr = FlattenDataset(data);
+  ASSERT_EQ(csr.size(), 3u);
+  EXPECT_EQ(csr.num_features, 5u);
+  EXPECT_EQ(csr.num_entries(), 3u);
+  ASSERT_EQ(csr.row_offsets, (std::vector<size_t>{0, 2, 2, 3}));
+  EXPECT_EQ(csr.ids, (std::vector<FeatureId>{0, 3, 4}));
+  EXPECT_EQ(csr.values, (std::vector<double>{-2.0, 1.5, 3.0}));
+  EXPECT_EQ(csr.labels, (std::vector<double>{1.0, 0.0, 1.0}));
+  EXPECT_EQ(csr.weights, (std::vector<double>{2.0, 1.0, 1.0}));
+  EXPECT_EQ(csr.offsets, (std::vector<double>{0.25, 0.0, 0.0}));
+
+  // RowScore must agree exactly with the SparseVector path.
+  const std::vector<double> weights = {0.5, 0.0, 0.0, -1.0, 2.0};
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double expected =
+        data.examples[i].features.Dot(weights) + data.examples[i].offset + 0.125;
+    EXPECT_EQ(csr.RowScore(i, weights, 0.125), expected) << "row " << i;
+  }
+  // Ids beyond the weight vector contribute zero, matching SparseVector::Dot.
+  EXPECT_EQ(csr.RowScore(2, {}, 0.0), 0.0);
+}
+
+TEST(CsrTest, CsrTrainingMatchesDatasetTraining) {
+  const Dataset data = MakeSeparableDataset(500, 17);
+  LrOptions options;
+  options.solver = LrSolver::kProximalBatch;
+  options.epochs = 20;
+  auto via_dataset = TrainLogisticRegression(data, options);
+  auto via_csr = TrainLogisticRegression(FlattenDataset(data), options);
+  ASSERT_TRUE(via_dataset.ok());
+  ASSERT_TRUE(via_csr.ok());
+  EXPECT_EQ(via_dataset->weights(), via_csr->weights());
+  EXPECT_EQ(via_dataset->bias(), via_csr->bias());
 }
 
 }  // namespace

@@ -173,6 +173,47 @@ TEST(HistogramTest, ConcurrentRecordLosesNothing) {
   EXPECT_EQ(histogram.Snapshot().count, 80000);
 }
 
+TEST(HistogramTest, AllNegativeSamplesReportNegativeMax) {
+  Histogram histogram;
+  histogram.Record(-5.0);
+  histogram.Record(-2.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  // A 0.0-seeded max never drops below zero, so all-negative samples used
+  // to report max = 0; the -infinity seed lets the true extrema through.
+  EXPECT_DOUBLE_EQ(snapshot.min, -5.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, -2.0);
+
+  // Reset restores the sentinel seeds, not 0.0.
+  histogram.Reset();
+  histogram.Record(-1.0);
+  EXPECT_DOUBLE_EQ(histogram.Snapshot().max, -1.0);
+}
+
+TEST(HistogramTest, ConcurrentExtremaAreExact) {
+  Histogram histogram;
+  // Every recorded value lies in [1.0, 2.0); one thread also records the
+  // exact global minimum (1.0) and maximum (2.5) mid-flight. Min/max must
+  // come out exact — no first-sample race may leave the 0-value seed (or a
+  // losing CAS) in either extremum.
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&histogram, w] {
+      for (int i = 0; i < 5000; ++i) {
+        histogram.Record(1.0 + static_cast<double>((w * 5000 + i) % 997) / 997.0);
+      }
+    });
+  }
+  workers.emplace_back([&histogram] {
+    histogram.Record(1.0);
+    histogram.Record(2.5);
+  });
+  for (std::thread& worker : workers) worker.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 8 * 5000 + 2);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 2.5);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace microbrowse

@@ -6,8 +6,9 @@
 //   mbctl stats     --corpus corpus.tsv --out stats.tsv
 //   mbctl mine      --stats stats.tsv [--prefix rw:] [--top N] [--min-count N]
 //   mbctl train     --corpus corpus.tsv --out model.txt [--model M1..M6]
+//                   [--train-threads N]
 //   mbctl evaluate  --corpus corpus.tsv [--model M1..M6] [--folds K]
-//                   [--checkpoint-dir run1/] [--threads N]
+//                   [--checkpoint-dir run1/] [--threads N] [--train-threads N]
 //   mbctl predict   --model model.txt --stats stats.tsv
 //                   --a "line1|line2|line3" --b "line1|line2|line3"
 //   mbctl predict   --model model.txt --stats stats.tsv
@@ -361,9 +362,16 @@ int CmdTrain(const Flags& flags) {
   auto corpus = LoadAdCorpus(corpus_path, *load_options, &report);
   if (!corpus.ok()) return Fail(corpus.status());
   PrintLoadReport(corpus_path, report);
+  auto train_threads = flags.GetInt("--train-threads", 1, /*min=*/1, /*max=*/256);
+  if (!train_threads.ok()) return Fail(train_threads.status());
   const PairCorpus pairs = ExtractSignificantPairs(*corpus, {});
-  const FeatureStatsDb db = BuildFeatureStats(pairs, {});
-  const ClassifierConfig config = ConfigByName(flags.Get("--model", "M6"));
+  BuildStatsOptions stats_options;
+  stats_options.num_threads = static_cast<int>(*train_threads);
+  const FeatureStatsDb db = BuildFeatureStats(pairs, stats_options);
+  ClassifierConfig config = ConfigByName(flags.Get("--model", "M6"));
+  // Results are bitwise identical for any thread count (DESIGN.md §11).
+  config.lr.num_threads = static_cast<int>(*train_threads);
+  config.position_lr.num_threads = static_cast<int>(*train_threads);
   auto seed = flags.GetInt("--seed", 99, /*min=*/0);
   if (!seed.ok()) return Fail(seed.status());
   const CoupledDataset dataset =
@@ -396,9 +404,12 @@ int CmdEvaluate(const Flags& flags) {
   if (!seed.ok()) return Fail(seed.status());
   auto threads = flags.GetInt("--threads", 1, /*min=*/1, /*max=*/256);
   if (!threads.ok()) return Fail(threads.status());
+  auto train_threads = flags.GetInt("--train-threads", 1, /*min=*/1, /*max=*/256);
+  if (!train_threads.ok()) return Fail(train_threads.status());
   pipeline.folds = static_cast<int>(*folds);
   pipeline.seed = static_cast<uint64_t>(*seed);
   pipeline.num_threads = static_cast<int>(*threads);
+  pipeline.train_threads = static_cast<int>(*train_threads);
   const std::string checkpoint_dir = flags.Get("--checkpoint-dir");
   const std::string model_flag = flags.Get("--model", "all");
   std::vector<ClassifierConfig> configs;
@@ -523,8 +534,9 @@ void PrintUsage() {
       "  mbctl stats    --corpus corpus.tsv --out stats.tsv\n"
       "  mbctl mine     --stats stats.tsv [--prefix rw:|t:|pp:] [--top N] [--min-count N]\n"
       "  mbctl train    --corpus corpus.tsv --out model.txt [--model M1..M6]\n"
+      "                 [--train-threads N]\n"
       "  mbctl evaluate --corpus corpus.tsv [--model M1..M6|all] [--folds K]\n"
-      "                 [--checkpoint-dir run1/] [--threads N]\n"
+      "                 [--checkpoint-dir run1/] [--threads N] [--train-threads N]\n"
       "  mbctl predict  --model model.txt --stats stats.tsv --a \"l1|l2|l3\" --b \"l1|l2|l3\"\n"
       "  mbctl predict  --model model.txt --stats stats.tsv --pairs pairs.tsv [--out m.tsv]\n"
       "  mbctl predict  --server host:port {--a ... --b ... | --pairs pairs.tsv}\n"
@@ -545,13 +557,15 @@ Result<Flags> ParseCommandFlags(const std::string& command, int argc, char** arg
                         {"--stats", "--prefix", "--top", "--min-count", "--recovery"}, {});
   }
   if (command == "train") {
-    return Flags::Parse(argc, argv, {"--corpus", "--out", "--model", "--seed", "--recovery"},
+    return Flags::Parse(argc, argv,
+                        {"--corpus", "--out", "--model", "--seed", "--train-threads",
+                         "--recovery"},
                         {});
   }
   if (command == "evaluate") {
     return Flags::Parse(argc, argv,
                         {"--corpus", "--model", "--folds", "--seed", "--checkpoint-dir",
-                         "--threads", "--recovery"},
+                         "--threads", "--train-threads", "--recovery"},
                         {});
   }
   if (command == "predict") {
