@@ -2,6 +2,8 @@
 
 #include "common/csv.h"
 
+#include "common/string_util.h"
+
 namespace microbrowse {
 
 std::string CsvEscape(std::string_view field) {
@@ -16,6 +18,59 @@ std::string CsvEscape(std::string_view field) {
   }
   out.push_back('"');
   return out;
+}
+
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view record) {
+  std::vector<std::string> fields;
+  std::string field;
+  size_t pos = 0;
+  const size_t n = record.size();
+  while (true) {
+    field.clear();
+    if (pos < n && record[pos] == '"') {
+      // Quoted field: runs to the matching quote; "" is a literal quote.
+      ++pos;
+      bool closed = false;
+      while (pos < n) {
+        const char c = record[pos++];
+        if (c != '"') {
+          field.push_back(c);
+          continue;
+        }
+        if (pos < n && record[pos] == '"') {
+          field.push_back('"');
+          ++pos;
+          continue;
+        }
+        closed = true;
+        break;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("CSV: unterminated quoted field");
+      }
+      if (pos < n && record[pos] != ',') {
+        return Status::InvalidArgument(
+            StrFormat("CSV: unexpected character after closing quote at byte %zu", pos));
+      }
+    } else {
+      // Unquoted field: runs to the next comma; bare quotes are invalid.
+      while (pos < n && record[pos] != ',') {
+        if (record[pos] == '"') {
+          return Status::InvalidArgument(
+              StrFormat("CSV: quote inside unquoted field at byte %zu", pos));
+        }
+        field.push_back(record[pos++]);
+      }
+    }
+    fields.push_back(field);
+    if (pos >= n) break;
+    ++pos;  // Consume the comma; a trailing comma yields a final empty field.
+    if (pos == n) {
+      fields.push_back(std::string());
+      break;
+    }
+  }
+  return fields;
 }
 
 Status CsvWriter::Open(const std::string& path) {

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace microbrowse {
@@ -18,6 +19,14 @@ namespace microbrowse {
 /// Quotes a CSV field per RFC 4180 when it contains separators, quotes or
 /// newlines; otherwise returns it unchanged.
 std::string CsvEscape(std::string_view field);
+
+/// Parses one CSV record (the inverse of joining CsvEscape'd cells with
+/// commas). Quoted fields may contain commas, doubled quotes and newlines,
+/// so `record` is the full record text, not necessarily a single file
+/// line. Strict per RFC 4180: a quote inside an unquoted field, text after
+/// a closing quote, or an unterminated quoted field is InvalidArgument.
+/// An empty record parses as one empty field.
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view record);
 
 /// Streams rows to a CSV file. Not thread-safe.
 class CsvWriter {

@@ -47,9 +47,20 @@ int Histogram::BucketOf(double value) {
   return std::min(bucket, kNumBuckets - 1);
 }
 
-double Histogram::BucketLow(int index) {
-  if (index <= 0) return 0.0;
-  return kFirstBucket * std::pow(kGrowth, index - 1);
+const std::array<double, Histogram::kNumBuckets>& Histogram::BucketBounds() {
+  // Memoized once per process: quantile reconstruction used to recompute
+  // pow(kGrowth, i) for every bucket of every snapshot, which multiplied
+  // out to real work once sharded histograms merged dozens of snapshots
+  // per scrape.
+  static const std::array<double, kNumBuckets> bounds = [] {
+    std::array<double, kNumBuckets> table{};
+    table[0] = 0.0;
+    for (int i = 1; i < kNumBuckets; ++i) {
+      table[i] = kFirstBucket * std::pow(kGrowth, i - 1);
+    }
+    return table;
+  }();
+  return bounds;
 }
 
 void Histogram::Record(double value) {
@@ -62,40 +73,44 @@ void Histogram::Record(double value) {
   AtomicMax(&max_, value);
 }
 
-HistogramSnapshot Histogram::Snapshot() const {
-  std::array<int64_t, kNumBuckets> counts;
-  int64_t total = 0;
+void Histogram::AccumulateTo(Accumulator* acc) const {
   for (int i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
+    const int64_t n = buckets_[i].load(std::memory_order_relaxed);
+    acc->buckets[i] += n;
+    acc->count += n;
   }
+  acc->sum += sum_.load(std::memory_order_relaxed);
+  acc->min = std::min(acc->min, min_.load(std::memory_order_relaxed));
+  acc->max = std::max(acc->max, max_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::SnapshotFrom(const Accumulator& acc) {
   HistogramSnapshot snapshot;
-  snapshot.count = total;
-  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.count = acc.count;
+  snapshot.sum = acc.sum;
   // Mask the +/-infinity seeds to 0: always while empty, and in the
   // unlikely race where a concurrent Record has bumped a bucket but not
   // yet updated the extrema.
-  const double raw_min = min_.load(std::memory_order_relaxed);
-  const double raw_max = max_.load(std::memory_order_relaxed);
-  snapshot.min = std::isfinite(raw_min) ? raw_min : 0.0;
-  snapshot.max = std::isfinite(raw_max) ? raw_max : 0.0;
-  if (total == 0) return snapshot;
+  snapshot.min = std::isfinite(acc.min) ? acc.min : 0.0;
+  snapshot.max = std::isfinite(acc.max) ? acc.max : 0.0;
+  if (acc.count == 0) return snapshot;
 
+  const std::array<double, kNumBuckets>& bounds = BucketBounds();
   const auto quantile = [&](double q) {
     // Rank of the q-quantile sample (1-based), clamped into range.
     const int64_t rank = std::clamp<int64_t>(
-        static_cast<int64_t>(std::ceil(q * static_cast<double>(total))), 1, total);
+        static_cast<int64_t>(std::ceil(q * static_cast<double>(acc.count))), 1, acc.count);
     int64_t seen = 0;
     for (int i = 0; i < kNumBuckets; ++i) {
-      if (counts[i] == 0) continue;
-      if (seen + counts[i] >= rank) {
-        const double low = BucketLow(i);
-        const double high = i + 1 < kNumBuckets ? BucketLow(i + 1) : snapshot.max;
+      if (acc.buckets[i] == 0) continue;
+      if (seen + acc.buckets[i] >= rank) {
+        const double low = bounds[i];
+        const double high = i + 1 < kNumBuckets ? bounds[i + 1] : snapshot.max;
         const double frac =
-            static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+            static_cast<double>(rank - seen) / static_cast<double>(acc.buckets[i]);
         return low + (std::max(high, low) - low) * frac;
       }
-      seen += counts[i];
+      seen += acc.buckets[i];
     }
     return snapshot.max;
   };
@@ -105,12 +120,47 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snapshot;
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  Accumulator acc;
+  AccumulateTo(&acc);
+  return SnapshotFrom(acc);
+}
+
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+ShardedHistogram::ShardedHistogram(int num_shards)
+    : num_shards_(std::max(1, num_shards)),
+      shards_(std::make_unique<Histogram[]>(static_cast<size_t>(num_shards_))) {}
+
+void ShardedHistogram::Record(double value) {
+  // Sticky per-thread shard: one atomic fetch_add per thread lifetime, then
+  // a plain thread-local read. Threads spread round-robin, so the worker
+  // pool's recorders land on distinct cache lines.
+  static std::atomic<unsigned> next_slot{0};
+  thread_local unsigned slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+  shards_[slot % static_cast<unsigned>(num_shards_)].Record(value);
+}
+
+int64_t ShardedHistogram::Count() const {
+  int64_t total = 0;
+  for (int s = 0; s < num_shards_; ++s) total += shards_[s].Count();
+  return total;
+}
+
+HistogramSnapshot ShardedHistogram::Snapshot() const {
+  Histogram::Accumulator acc;
+  for (int s = 0; s < num_shards_; ++s) shards_[s].AccumulateTo(&acc);
+  return Histogram::SnapshotFrom(acc);
+}
+
+void ShardedHistogram::Reset() {
+  for (int s = 0; s < num_shards_; ++s) shards_[s].Reset();
 }
 
 std::string FormatLatencySnapshot(const HistogramSnapshot& snapshot) {

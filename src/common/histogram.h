@@ -7,6 +7,13 @@
 // interpolation inside the containing bucket — accurate to the bucket
 // resolution (~7% with the default growth factor), which is plenty for
 // p50/p95/p99 reporting.
+//
+// For heavily contended recorders (every serving worker hammering one
+// latency histogram) ShardedHistogram spreads the atomic traffic over
+// per-thread shards; Snapshot() merges the shards through one shared
+// Histogram::Accumulator, using the memoized bucket-bound table so the
+// bound computation is paid once per process, not once per snapshot or
+// per shard.
 
 #ifndef MICROBROWSE_COMMON_HISTOGRAM_H_
 #define MICROBROWSE_COMMON_HISTOGRAM_H_
@@ -15,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 
 namespace microbrowse {
@@ -41,6 +49,18 @@ class Histogram {
  public:
   static constexpr int kNumBuckets = 128;
 
+  /// Raw additive state of one or more histograms. Accumulating N shards
+  /// into one Accumulator and finalizing once is equivalent to having
+  /// recorded every sample into a single histogram (bucket counts, count
+  /// and sum are plain integer/double sums; min/max combine by min/max).
+  struct Accumulator {
+    std::array<int64_t, kNumBuckets> buckets{};
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
   Histogram() = default;
 
   /// Records one sample. Thread-safe, wait-free.
@@ -54,6 +74,18 @@ class Histogram {
   /// in a way that produces out-of-range quantiles.
   HistogramSnapshot Snapshot() const;
 
+  /// Adds this histogram's current state onto `*acc` (shard merging).
+  void AccumulateTo(Accumulator* acc) const;
+
+  /// Finalizes an accumulator into a snapshot (quantile interpolation over
+  /// the merged bucket counts).
+  static HistogramSnapshot SnapshotFrom(const Accumulator& acc);
+
+  /// Lower bucket edges, computed once per process and memoized — every
+  /// snapshot/merge reads this table instead of recomputing pow() per
+  /// bucket per call.
+  static const std::array<double, kNumBuckets>& BucketBounds();
+
   /// Resets all counters to zero. Not atomic with respect to concurrent
   /// Record calls (samples landing mid-reset may survive); intended for
   /// between-phase resets in benchmarks.
@@ -61,8 +93,6 @@ class Histogram {
 
  private:
   static int BucketOf(double value);
-  /// Lower edge of bucket `index`.
-  static double BucketLow(int index);
 
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
   std::atomic<int64_t> count_{0};
@@ -75,6 +105,37 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// A histogram whose atomic state is spread over several shards to cut
+/// cache-line contention between recording threads. Each thread sticks to
+/// one shard (round-robin assignment on first use); Snapshot() merges all
+/// shards into one Accumulator and finalizes once.
+class ShardedHistogram {
+ public:
+  explicit ShardedHistogram(int num_shards = 8);
+
+  ShardedHistogram(const ShardedHistogram&) = delete;
+  ShardedHistogram& operator=(const ShardedHistogram&) = delete;
+
+  /// Records into the calling thread's shard. Thread-safe, wait-free.
+  void Record(double value);
+
+  /// Total samples across all shards.
+  int64_t Count() const;
+
+  /// Merged snapshot over all shards; equal to the snapshot a single
+  /// Histogram fed the same samples would produce.
+  HistogramSnapshot Snapshot() const;
+
+  /// Resets every shard (same caveats as Histogram::Reset).
+  void Reset();
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  std::unique_ptr<Histogram[]> shards_;
 };
 
 /// Renders "p50=1.2ms p95=3.4ms p99=9ms n=1234" for logs; values are

@@ -1,0 +1,206 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace microbrowse {
+
+namespace {
+
+/// One completed span.
+struct SpanEvent {
+  std::string name;
+  int64_t id = -1;
+  int64_t parent = -1;
+  int tid = 0;
+  int depth = 0;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ThreadBuffer;
+
+/// Global trace state. Buffers register on a thread's first span and
+/// unregister (moving their events to the orphan list) at thread exit, so
+/// WriteJson sees spans from pool threads that have already terminated.
+struct GlobalState {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  std::vector<SpanEvent> orphans;
+  std::atomic<bool> enabled{false};
+  std::atomic<int64_t> next_id{0};
+  std::atomic<int> next_tid{0};
+  std::atomic<int64_t> epoch_ns{0};
+};
+
+GlobalState& State() {
+  // Leaked: thread-exit destructors of ThreadBuffers may run after main.
+  static GlobalState* state = new GlobalState();
+  return *state;
+}
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanEvent> events;
+  int tid;
+
+  ThreadBuffer() : tid(State().next_tid.fetch_add(1, std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(State().mu);
+    State().buffers.push_back(this);
+  }
+
+  ~ThreadBuffer() {
+    GlobalState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    {
+      std::lock_guard<std::mutex> buffer_lock(mu);
+      state.orphans.insert(state.orphans.end(), events.begin(), events.end());
+    }
+    state.buffers.erase(std::remove(state.buffers.begin(), state.buffers.end(), this),
+                        state.buffers.end());
+  }
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+/// Innermost open span on this thread (parent for the next TraceSpan).
+thread_local int64_t tls_parent = -1;
+thread_local int tls_depth = 0;
+
+/// Snapshot of every collected span, start-ordered.
+std::vector<SpanEvent> DrainCopy() {
+  GlobalState& state = State();
+  std::vector<SpanEvent> all;
+  std::lock_guard<std::mutex> lock(state.mu);
+  all = state.orphans;
+  for (ThreadBuffer* buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.id < b.id;
+  });
+  return all;
+}
+
+std::string JsonEscapeName(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace trace {
+
+bool IsEnabled() { return State().enabled.load(std::memory_order_relaxed); }
+
+void Enable() {
+  GlobalState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.orphans.clear();
+    for (ThreadBuffer* buffer : state.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+    }
+  }
+  state.next_id.store(0, std::memory_order_relaxed);
+  state.epoch_ns.store(NowNs(), std::memory_order_relaxed);
+  state.enabled.store(true, std::memory_order_release);
+}
+
+void Disable() { State().enabled.store(false, std::memory_order_release); }
+
+size_t CollectedSpanCount() { return DrainCopy().size(); }
+
+Status WriteJson(const std::string& path) {
+  const std::vector<SpanEvent> spans = DrainCopy();
+  const int64_t epoch = State().epoch_ns.load(std::memory_order_relaxed);
+
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open trace file: " + path);
+  out << "{\"trace_version\":1,\"span_count\":" << spans.size() << ",\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanEvent& span = spans[i];
+    if (i > 0) out << ',';
+    out << "\n{\"name\":\"" << JsonEscapeName(span.name) << "\",\"id\":" << span.id
+        << ",\"parent\":" << span.parent << ",\"tid\":" << span.tid
+        << ",\"depth\":" << span.depth << ",\"start_us\":"
+        << StrFormat("%.3f", static_cast<double>(span.start_ns - epoch) / 1e3)
+        << ",\"dur_us\":" << StrFormat("%.3f", static_cast<double>(span.dur_ns) / 1e3)
+        << "}";
+  }
+  out << "\n]}\n";
+  out.close();
+  if (out.fail()) return Status::IOError("write failed for trace file: " + path);
+  return Status::OK();
+}
+
+}  // namespace trace
+
+TraceSpan::TraceSpan(std::string_view name) : active_(trace::IsEnabled()) {
+  if (!active_) return;
+  name_ = std::string(name);
+  id_ = State().next_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = tls_parent;
+  depth_ = tls_depth;
+  tls_parent = id_;
+  ++tls_depth;
+  start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const int64_t end_ns = NowNs();
+  tls_parent = parent_;
+  tls_depth = depth_;
+  // A span closing after Disable() is dropped: the file for this run was
+  // (or is about to be) written, and the next Enable() starts clean.
+  if (!trace::IsEnabled()) return;
+  SpanEvent event;
+  event.name = std::move(name_);
+  event.id = id_;
+  event.parent = parent_;
+  event.depth = depth_;
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns - start_ns_;
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+}  // namespace microbrowse

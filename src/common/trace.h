@@ -1,0 +1,78 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Lightweight span tracing for offline pipeline runs. A TraceSpan is an
+// RAII scope marker; spans nest per thread (each span's parent is the
+// innermost span open on the same thread at construction). Completed
+// spans land in per-thread buffers — recording takes one uncontended
+// buffer lock per span close and zero global locks — and are drained into
+// one JSON file by trace::WriteJson.
+//
+// Tracing is off by default: a disabled TraceSpan costs one relaxed
+// atomic load and nothing else, so instrumentation can stay compiled into
+// the hot paths of the pipeline. `mbctl <cmd> --trace-out=FILE` enables
+// collection for the run and writes the trace on exit.
+//
+// Determinism contract: the *number* of spans recorded by instrumented
+// code must depend only on the work done, never on thread count or timing
+// (span timestamps and thread ids naturally differ run to run). The
+// determinism suite asserts span-count invariance across thread counts.
+
+#ifndef MICROBROWSE_COMMON_TRACE_H_
+#define MICROBROWSE_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace microbrowse {
+
+namespace trace {
+
+/// True while span collection is active.
+bool IsEnabled();
+
+/// Clears previously collected spans and starts collecting.
+void Enable();
+
+/// Stops collecting. Spans still open finish silently (they are dropped).
+void Disable();
+
+/// Writes every collected span as JSON to `path`:
+///   {"trace_version":1,"span_count":N,"spans":[
+///     {"name":"mb.cv.run","id":0,"parent":-1,"tid":0,"depth":0,
+///      "start_us":0.0,"dur_us":1234.5}, ...]}
+/// Spans are sorted by start time; `parent` is the id of the enclosing
+/// span on the same thread (-1 for roots), `depth` its nesting level.
+/// Collection keeps running (call Disable() first for a final drain).
+Status WriteJson(const std::string& path);
+
+/// Number of completed spans collected since the last Enable(). Test hook;
+/// takes the same locks as WriteJson.
+size_t CollectedSpanCount();
+
+}  // namespace trace
+
+/// RAII span: records [construction, destruction) under `name` when
+/// tracing is enabled, and is a near-no-op (one relaxed load) otherwise.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string name_;
+  int64_t id_ = -1;
+  int64_t parent_ = -1;
+  int depth_ = 0;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_TRACE_H_

@@ -8,7 +8,9 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace microbrowse {
 
@@ -367,6 +369,7 @@ double RelevanceProduct(const MaterializedCreative& creative, int32_t keyword_id
 }  // namespace
 
 Result<GeneratedCorpus> GenerateAdCorpus(const AdCorpusOptions& options) {
+  TraceSpan span("mb.corpus.generate");
   if (options.num_adgroups <= 0) {
     return Status::InvalidArgument("GenerateAdCorpus: num_adgroups must be positive");
   }
@@ -478,6 +481,15 @@ Result<GeneratedCorpus> GenerateAdCorpus(const AdCorpusOptions& options) {
     }
     out.corpus.adgroups.push_back(std::move(group));
   }
+  // One aggregate add per counter (not one per adgroup): a single atomic op
+  // whose value is a deterministic function of the options, regardless of
+  // how generation is ever scheduled.
+  static Counter* adgroups_counter =
+      MetricRegistry::Global().GetCounter("mb.corpus.adgroups_generated");
+  static Counter* creatives_counter =
+      MetricRegistry::Global().GetCounter("mb.corpus.creatives_generated");
+  adgroups_counter->Increment(static_cast<int64_t>(out.corpus.adgroups.size()));
+  creatives_counter->Increment(static_cast<int64_t>(out.corpus.num_creatives()));
   return out;
 }
 

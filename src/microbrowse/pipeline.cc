@@ -8,10 +8,12 @@
 #include <memory>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "microbrowse/checkpoint.h"
 #include "microbrowse/feature_keys.h"
 #include "ml/cross_validation.h"
@@ -47,6 +49,22 @@ BuildStatsOptions ThreadedStats(const PipelineOptions& options) {
   return stats;
 }
 
+/// Pipeline-stage metrics, cached once. Trained/resumed counts are added
+/// as per-run aggregates from the single-threaded driver; fold seconds are
+/// recorded per fold (one sample per trained fold, so the sample *count*
+/// is thread-count invariant even though the timings are not).
+struct CvMetrics {
+  Counter* runs = MetricRegistry::Global().GetCounter("mb.cv.runs");
+  Counter* folds_trained = MetricRegistry::Global().GetCounter("mb.cv.folds_trained");
+  Counter* folds_resumed = MetricRegistry::Global().GetCounter("mb.cv.folds_resumed");
+  ShardedHistogram* fold_seconds = MetricRegistry::Global().GetHistogram("mb.cv.fold_seconds");
+};
+
+CvMetrics& GetCvMetrics() {
+  static CvMetrics metrics;
+  return metrics;
+}
+
 }  // namespace
 
 Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
@@ -55,6 +73,8 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
   if (corpus.pairs.empty()) {
     return Status::InvalidArgument("RunPairClassificationCv: empty pair corpus");
   }
+  TraceSpan run_span("mb.cv.run");
+  GetCvMetrics().runs->Increment(1);
   WallTimer timer;
   ModelReport report;
   report.model_name = config.name;
@@ -146,19 +166,28 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
         // folds.
         fold_status[f] = failpoint::Check("pipeline.fold");
         if (!fold_status[f].ok()) return;
+        // Span and timing sample per trained fold: one each regardless of
+        // which pool worker picks the fold up.
+        TraceSpan fold_span("mb.cv.fold");
+        WallTimer fold_timer;
         auto model = TrainSnippetClassifier(csr, train_config, folds[f].train_indices);
         if (!model.ok()) {
           fold_status[f] = model.status();
           return;
         }
         ScoreFold(csr, *model, folds[f].test_indices, &fold_scores[f]);
+        GetCvMetrics().fold_seconds->Record(fold_timer.ElapsedSeconds());
         fold_status[f] = save_fold(f, fold_scores[f]);
       }));
     }
+    int64_t resumed_count = 0;
     for (size_t f = 0; f < folds.size(); ++f) {
       MB_RETURN_IF_ERROR(fold_status[f]);
+      resumed_count += fold_resumed[f] ? 1 : 0;
       all_scored.insert(all_scored.end(), fold_scores[f].begin(), fold_scores[f].end());
     }
+    GetCvMetrics().folds_resumed->Increment(resumed_count);
+    GetCvMetrics().folds_trained->Increment(static_cast<int64_t>(folds.size()) - resumed_count);
   } else {
     for (size_t f = 0; f < folds.size(); ++f) {
       const CvFold& fold = folds[f];
@@ -181,11 +210,17 @@ Result<ModelReport> RunPairClassificationCv(const PairCorpus& corpus,
       report.num_p_features = dataset.p_registry.size();
       if (!resumed) {
         MB_FAILPOINT("pipeline.fold");
+        TraceSpan fold_span("mb.cv.fold");
+        WallTimer fold_timer;
         const CoupledCsr fold_csr = FlattenCoupledDataset(dataset);
         auto model = TrainSnippetClassifier(fold_csr, train_config, fold.train_indices);
         if (!model.ok()) return model.status();
         ScoreFold(fold_csr, *model, fold.test_indices, &fold_scored);
+        GetCvMetrics().fold_seconds->Record(fold_timer.ElapsedSeconds());
         MB_RETURN_IF_ERROR(save_fold(f, fold_scored));
+        GetCvMetrics().folds_trained->Increment(1);
+      } else {
+        GetCvMetrics().folds_resumed->Increment(1);
       }
       all_scored.insert(all_scored.end(), fold_scored.begin(), fold_scored.end());
     }

@@ -8,7 +8,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "microbrowse/feature_keys.h"
 #include "microbrowse/rewrite.h"
 #include "text/ngram.h"
@@ -132,17 +134,28 @@ void AccumulatePass(const PairCorpus& corpus, const BuildStatsOptions& options,
 }  // namespace
 
 FeatureStatsDb BuildFeatureStats(const PairCorpus& corpus, const BuildStatsOptions& options) {
+  TraceSpan span("mb.stats.build");
   FeatureStatsDb db;
   db.set_smoothing(options.smoothing);
   db.set_min_count(options.min_count);
   const int passes = options.matching_passes < 1 ? 1 : options.matching_passes;
   for (int pass = 0; pass < passes; ++pass) {
+    TraceSpan pass_span("mb.stats.pass");
     FeatureStatsDb next;
     next.set_smoothing(options.smoothing);
     next.set_min_count(options.min_count);
     AccumulatePass(corpus, options, pass == 0 ? nullptr : &db, &next);
     db = std::move(next);
   }
+  // Aggregate updates from the (single-threaded) driver, so values are
+  // identical for any BuildStatsOptions::num_threads.
+  static Counter* passes_counter = MetricRegistry::Global().GetCounter("mb.stats.build_passes");
+  static Counter* pairs_counter =
+      MetricRegistry::Global().GetCounter("mb.stats.pairs_observed");
+  static Gauge* features_gauge = MetricRegistry::Global().GetGauge("mb.stats.features");
+  passes_counter->Increment(passes);
+  pairs_counter->Increment(static_cast<int64_t>(corpus.pairs.size()) * passes);
+  features_gauge->Set(static_cast<double>(db.size()));
   return db;
 }
 

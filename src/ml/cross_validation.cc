@@ -6,9 +6,17 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/metrics.h"
+
 namespace microbrowse {
 
 namespace {
+
+/// Counts one successful fold split, whichever maker produced it.
+void CountFoldSplit() {
+  static Counter* splits_counter = MetricRegistry::Global().GetCounter("mb.cv.fold_splits");
+  splits_counter->Increment(1);
+}
 
 /// Builds folds from a permutation by dealing indices round-robin into k
 /// test sets.
@@ -40,6 +48,7 @@ Result<std::vector<CvFold>> MakeKFolds(size_t n, int k, uint64_t seed) {
   std::iota(permutation.begin(), permutation.end(), 0);
   Rng rng(seed);
   rng.Shuffle(permutation);
+  CountFoldSplit();
   return FoldsFromPermutation(permutation, k);
 }
 
@@ -66,6 +75,7 @@ Result<std::vector<CvFold>> MakeStratifiedKFolds(const std::vector<bool>& labels
   permutation.reserve(labels.size());
   permutation.insert(permutation.end(), positives.begin(), positives.end());
   permutation.insert(permutation.end(), negatives.begin(), negatives.end());
+  CountFoldSplit();
   return FoldsFromPermutation(permutation, k);
 }
 
@@ -103,6 +113,7 @@ Result<std::vector<CvFold>> MakeGroupedKFolds(const std::vector<int64_t>& group_
     std::sort(folds[f].train_indices.begin(), folds[f].train_indices.end());
     std::sort(folds[f].test_indices.begin(), folds[f].test_indices.end());
   }
+  CountFoldSplit();
   return folds;
 }
 

@@ -10,7 +10,9 @@
 #include <optional>
 
 #include "common/math_util.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace microbrowse {
 
@@ -37,6 +39,14 @@ double LogisticModel::MeanLogLoss(const Dataset& data) const {
 }
 
 namespace {
+
+/// Adds `n` completed epochs to the process-wide training counter. One
+/// aggregate add per solver run; the epoch count depends only on the data
+/// and options (convergence is deterministic), never on the thread count.
+void CountEpochs(int n) {
+  static Counter* epochs_counter = MetricRegistry::Global().GetCounter("mb.train.epochs");
+  epochs_counter->Increment(n);
+}
 
 /// Soft-thresholding operator for the L1 proximal step.
 double SoftThreshold(double x, double threshold) {
@@ -87,7 +97,9 @@ LogisticModel TrainAdaGrad(const CsrDataset& data, const LrOptions& options,
   // AdaGrad is inherently sequential — each step reads the weights the
   // previous step wrote — so options.num_threads is ignored here; the CSR
   // layout still removes the per-example vector indirection.
+  int epochs_run = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    ++epochs_run;
     if (options.shuffle_each_epoch) rng.Shuffle(order);
     double loss_sum = 0.0;
     double weight_sum = 0.0;
@@ -124,6 +136,7 @@ LogisticModel TrainAdaGrad(const CsrDataset& data, const LrOptions& options,
     if (options.tolerance > 0.0 && prev_loss - mean_loss < options.tolerance) break;
     prev_loss = mean_loss;
   }
+  CountEpochs(epochs_run);
   return LogisticModel(std::move(weights), bias);
 }
 
@@ -176,7 +189,9 @@ LogisticModel TrainProximalBatch(const CsrDataset& data, const LrOptions& option
       n_features == 0 ? 0 : std::min<size_t>(n_blocks, n_features);
 
   double prev_loss = std::numeric_limits<double>::infinity();
+  int epochs_run = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    ++epochs_run;
     ForEach(pool, n_blocks, [&](size_t b) {
       std::vector<double>& gradient = block_gradients[b];
       std::fill(gradient.begin(), gradient.end(), 0.0);
@@ -228,6 +243,7 @@ LogisticModel TrainProximalBatch(const CsrDataset& data, const LrOptions& option
     if (options.tolerance > 0.0 && prev_loss - mean_loss < options.tolerance) break;
     prev_loss = mean_loss;
   }
+  CountEpochs(epochs_run);
   return LogisticModel(std::move(weights), bias);
 }
 
@@ -235,6 +251,7 @@ LogisticModel TrainProximalBatch(const CsrDataset& data, const LrOptions& option
 
 Result<LogisticModel> TrainLogisticRegression(const CsrDataset& data, const LrOptions& options,
                                               const std::vector<double>* initial_weights) {
+  TraceSpan span("mb.train.lr");
   if (data.empty()) return Status::InvalidArgument("TrainLogisticRegression: empty dataset");
   if (initial_weights != nullptr && initial_weights->size() != data.num_features) {
     return Status::InvalidArgument("TrainLogisticRegression: initial_weights size mismatch");
@@ -246,6 +263,12 @@ Result<LogisticModel> TrainLogisticRegression(const CsrDataset& data, const LrOp
   }
   std::vector<double> weights =
       initial_weights != nullptr ? *initial_weights : std::vector<double>(data.num_features, 0.0);
+  // Per-run aggregate adds; counts depend only on the dataset, never on
+  // options.num_threads (see DESIGN.md section 12).
+  static Counter* runs_counter = MetricRegistry::Global().GetCounter("mb.train.runs");
+  static Counter* examples_counter = MetricRegistry::Global().GetCounter("mb.train.examples");
+  runs_counter->Increment(1);
+  examples_counter->Increment(static_cast<int64_t>(data.size()));
   switch (options.solver) {
     case LrSolver::kAdaGrad:
       return TrainAdaGrad(data, options, std::move(weights));

@@ -2,6 +2,8 @@
 
 #include "serve/metrics.h"
 
+#include <utility>
+
 #include "serve/protocol.h"
 
 namespace microbrowse {
@@ -9,8 +11,16 @@ namespace serve {
 
 namespace {
 constexpr std::string_view kNames[kNumEndpoints] = {
-    "score_pair", "predict_ctr", "examine", "reload", "statsz", "ping", "other",
+    "score_pair", "predict_ctr", "examine", "reload", "statsz", "metricsz", "ping", "other",
 };
+
+std::string MetricName(std::string_view endpoint_name, std::string_view suffix) {
+  std::string name = "mb.serve.";
+  name.append(endpoint_name);
+  name.push_back('.');
+  name.append(suffix);
+  return name;
+}
 }  // namespace
 
 std::string_view EndpointName(Endpoint endpoint) {
@@ -23,6 +33,26 @@ Endpoint EndpointByName(std::string_view name) {
   }
   return Endpoint::kOther;
 }
+
+EndpointMetrics::EndpointMetrics(MetricRegistry* registry, std::string_view endpoint_name)
+    : requests_(registry->GetCounter(MetricName(endpoint_name, "requests"))),
+      errors_(registry->GetCounter(MetricName(endpoint_name, "errors"))),
+      cache_hits_(registry->GetCounter(MetricName(endpoint_name, "cache_hits"))),
+      cache_misses_(registry->GetCounter(MetricName(endpoint_name, "cache_misses"))),
+      latency_(registry->GetHistogram(MetricName(endpoint_name, "latency"))) {}
+
+namespace {
+template <size_t... kIndex>
+std::array<EndpointMetrics, kNumEndpoints> MakeEndpoints(MetricRegistry* registry,
+                                                         std::index_sequence<kIndex...>) {
+  return {EndpointMetrics(registry, kNames[kIndex])...};
+}
+}  // namespace
+
+ServerMetrics::ServerMetrics(MetricRegistry* registry)
+    : rejected_overload(registry->GetCounter("mb.serve.rejected_overload")),
+      batch_size(registry->GetHistogram("mb.serve.batch_size")),
+      endpoints_(MakeEndpoints(registry, std::make_index_sequence<kNumEndpoints>())) {}
 
 std::string ServerMetrics::RenderStatszJson() const {
   JsonWriter top;
@@ -41,8 +71,8 @@ std::string ServerMetrics::RenderStatszJson() const {
         .Number("latency_mean_ms", latency.mean() * 1e3);
     top.Raw(kNames[i], entry.Finish());
   }
-  top.Int("rejected_overload", rejected_overload.load(std::memory_order_relaxed));
-  const HistogramSnapshot batches = batch_size.Snapshot();
+  top.Int("rejected_overload", rejected_overload->Value());
+  const HistogramSnapshot batches = batch_size->Snapshot();
   if (batches.count > 0) {
     top.Number("batch_size_mean", batches.mean()).Number("batch_size_max", batches.max);
   }

@@ -1,21 +1,25 @@
 // Copyright 2026 The Microbrowse Authors
 //
-// Per-endpoint serving metrics: request/error counters, a latency
-// histogram (p50/p95/p99 via common/histogram.h) and cache hit counters,
-// plus server-level gauges (queue depth, rejected requests, batch sizes).
-// Everything on the request path is an atomic increment; statsz
-// aggregates on demand.
+// Per-endpoint serving metrics backed by the process-wide metric registry
+// (common/metrics.h): request/error counters, a sharded latency histogram
+// (p50/p95/p99) and cache hit counters, plus server-level counters (queue
+// rejections) and a batch-size histogram. Everything on the request path
+// is an atomic increment; statsz and /metricsz aggregate on demand.
+//
+// Metric names follow the mb.<subsystem>.<name> scheme:
+// mb.serve.<endpoint>.{requests,errors,cache_hits,cache_misses,latency}
+// plus mb.serve.rejected_overload and mb.serve.batch_size.
 
 #ifndef MICROBROWSE_SERVE_METRICS_H_
 #define MICROBROWSE_SERVE_METRICS_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 
 namespace microbrowse {
 namespace serve {
@@ -27,45 +31,51 @@ enum class Endpoint : int {
   kExamine,
   kReload,
   kStatsz,
+  kMetricsz,
   kPing,
   kOther,  ///< Unknown / malformed request types.
 };
-inline constexpr int kNumEndpoints = 7;
+inline constexpr int kNumEndpoints = 8;
 
 /// Stable wire name of an endpoint ("score_pair", ...).
 std::string_view EndpointName(Endpoint endpoint);
 /// Inverse of EndpointName; kOther for unknown names.
 Endpoint EndpointByName(std::string_view name);
 
-/// Counters for one endpoint.
+/// Counters for one endpoint; thin handles into a MetricRegistry. The
+/// registry owns the metrics and must outlive this object.
 class EndpointMetrics {
  public:
-  void RecordRequest(double latency_seconds, bool ok) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
-    latency_.Record(latency_seconds);
-  }
-  void RecordCache(bool hit) {
-    (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
-  }
+  EndpointMetrics(MetricRegistry* registry, std::string_view endpoint_name);
 
-  int64_t requests() const { return requests_.load(std::memory_order_relaxed); }
-  int64_t errors() const { return errors_.load(std::memory_order_relaxed); }
-  int64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
-  int64_t cache_misses() const { return cache_misses_.load(std::memory_order_relaxed); }
-  const Histogram& latency() const { return latency_; }
+  void RecordRequest(double latency_seconds, bool ok) {
+    requests_->Increment(1);
+    if (!ok) errors_->Increment(1);
+    latency_->Record(latency_seconds);
+  }
+  void RecordCache(bool hit) { (hit ? cache_hits_ : cache_misses_)->Increment(1); }
+
+  int64_t requests() const { return requests_->Value(); }
+  int64_t errors() const { return errors_->Value(); }
+  int64_t cache_hits() const { return cache_hits_->Value(); }
+  int64_t cache_misses() const { return cache_misses_->Value(); }
+  const ShardedHistogram& latency() const { return *latency_; }
 
  private:
-  std::atomic<int64_t> requests_{0};
-  std::atomic<int64_t> errors_{0};
-  std::atomic<int64_t> cache_hits_{0};
-  std::atomic<int64_t> cache_misses_{0};
-  Histogram latency_;
+  Counter* requests_;
+  Counter* errors_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  ShardedHistogram* latency_;
 };
 
-/// All serving metrics; one instance per ScoringService.
+/// All serving metrics; one instance per ScoringService, registered in the
+/// service's MetricRegistry (the global one in mbserved, a private one in
+/// tests that want isolation).
 class ServerMetrics {
  public:
+  explicit ServerMetrics(MetricRegistry* registry);
+
   EndpointMetrics& endpoint(Endpoint endpoint) {
     return endpoints_[static_cast<int>(endpoint)];
   }
@@ -74,9 +84,9 @@ class ServerMetrics {
   }
 
   /// Requests rejected by admission control (queue full).
-  std::atomic<int64_t> rejected_overload{0};
+  Counter* rejected_overload;
   /// Batch-size distribution of the worker drain loop.
-  Histogram batch_size;
+  ShardedHistogram* batch_size;
 
   /// Renders the nested statsz JSON object (cache stats are appended by
   /// the service, which owns the caches): {"score_pair":{"requests":...},

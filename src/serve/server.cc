@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace microbrowse {
 namespace serve {
@@ -39,9 +40,12 @@ void Server::Stop() {
   // no-op after an explicit one.
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (!started_ || stopping_.exchange(true)) return;
+  // Shutdown wakes an accept(2) blocked on the listener; the fd itself must
+  // stay open until the accept thread has joined, or the loop could race
+  // the close (and, with fd reuse, accept on an unrelated descriptor).
   listener_.Shutdown();
-  listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
 
   // Wake every reader blocked in recv, then join them. Taking ownership of
   // connections_ here means a reader exiting concurrently finds itself
@@ -124,6 +128,13 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
     auto got = reader.ReadLine(&line);
     if (!got.ok() || !*got) break;
     if (line.empty()) continue;
+    if (StartsWith(line, "GET ")) {
+      // Plain-HTTP fast path so `curl http://host:port/metricsz` works
+      // without speaking the newline-JSON protocol. One response, then
+      // close (HTTP/1.0 semantics).
+      HandleHttpGet(*connection, reader, line);
+      break;
+    }
 
     bool admitted = false;
     {
@@ -141,7 +152,7 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
     // Admission control: reject instead of queueing unboundedly. The
     // response still echoes the id (when parseable) so pipelined clients
     // can account for the shed request.
-    service_->metrics().rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    service_->metrics().rejected_overload->Increment(1);
     JsonWriter response;
     if (auto request = ParseRequest(line); request.ok() && request->Has("id")) {
       response.String("id", request->Get("id"));
@@ -177,11 +188,53 @@ void Server::DrainBatch() {
   // An earlier drain task may have taken this task's request already — one
   // task is submitted per enqueue, and each drains up to max_batch.
   if (batch.empty()) return;
-  service_->metrics().batch_size.Record(static_cast<double>(batch.size()));
+  service_->metrics().batch_size->Record(static_cast<double>(batch.size()));
   for (PendingRequest& pending : batch) {
     const std::string response = service_->HandleLine(pending.line);
     WriteResponse(*pending.connection, response);
   }
+}
+
+void Server::HandleHttpGet(Connection& connection, LineReader& reader,
+                           const std::string& request_line) {
+  // "GET <path> HTTP/1.x" — split out the path (strip a trailing '\r'
+  // left by the CRLF line ending first).
+  std::string path;
+  {
+    std::string_view view = request_line;
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    const size_t path_begin = view.find(' ');
+    const size_t path_end = view.find(' ', path_begin + 1);
+    if (path_begin != std::string_view::npos) {
+      path = std::string(view.substr(path_begin + 1, path_end == std::string_view::npos
+                                                         ? std::string_view::npos
+                                                         : path_end - path_begin - 1));
+    }
+  }
+  // Drain the request headers up to the blank line; their content is
+  // irrelevant for a metrics scrape.
+  std::string header;
+  while (true) {
+    auto got = reader.ReadLine(&header);
+    if (!got.ok() || !*got) break;
+    if (header.empty() || header == "\r") break;
+  }
+  std::string body;
+  std::string status_line;
+  if (path == "/metricsz" || path == "/metricsz/") {
+    status_line = "HTTP/1.0 200 OK";
+    body = service_->RenderMetricsText();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "not found; try /metricsz\n";
+  }
+  std::string response = status_line + "\r\n";
+  response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  std::lock_guard<std::mutex> lock(connection.write_mu);
+  (void)SendAll(connection.socket, response);
 }
 
 void Server::WriteResponse(Connection& connection, const std::string& response) {

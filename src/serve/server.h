@@ -93,6 +93,10 @@ class Server {
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<Connection> connection);
   void DrainBatch();
+  /// Answers one plain-HTTP GET (the /metricsz scrape path) and leaves the
+  /// connection to be closed by the caller.
+  void HandleHttpGet(Connection& connection, LineReader& reader,
+                     const std::string& request_line);
   void WriteResponse(Connection& connection, const std::string& response);
   /// Joins reader threads whose connections already ended (the threads
   /// have exited or are about to).

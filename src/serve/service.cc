@@ -40,6 +40,12 @@ uint64_t ContentKey(uint64_t generation, std::string_view kind, std::string_view
 ScoringService::ScoringService(BundleRegistry* registry, ServiceOptions options)
     : registry_(registry),
       options_(options),
+      owned_registry_(options.registry == nullptr ? std::make_unique<MetricRegistry>()
+                                                  : nullptr),
+      metric_registry_(options.registry != nullptr ? options.registry : owned_registry_.get()),
+      metrics_(metric_registry_),
+      reload_success_(metric_registry_->GetCounter("mb.serve.reload_success")),
+      reload_failure_(metric_registry_->GetCounter("mb.serve.reload_failure")),
       pair_cache_(options.cache_capacity, options.cache_shards),
       point_cache_(options.cache_capacity, options.cache_shards) {}
 
@@ -111,6 +117,9 @@ std::string ScoringService::Dispatch(const Request& request, Endpoint endpoint,
       break;
     case Endpoint::kStatsz:
       status = HandleStatsz(response);
+      break;
+    case Endpoint::kMetricsz:
+      status = HandleMetricsz(response);
       break;
     case Endpoint::kPing:
       break;
@@ -243,6 +252,9 @@ Status ScoringService::HandleReload(JsonWriter& response) {
     // generation); flush them eagerly rather than waiting for LRU churn.
     pair_cache_.Clear();
     point_cache_.Clear();
+    reload_success_->Increment(1);
+  } else {
+    reload_failure_->Increment(1);
   }
   response.Int("gen", static_cast<int64_t>(registry_->generation()));
   return status;
@@ -269,6 +281,15 @@ Status ScoringService::HandleStatsz(JsonWriter& response) {
   response.Int("gen", static_cast<int64_t>(registry_->generation()))
       .Int("reloads", registry_->reload_count())
       .Int("failed_reloads", registry_->failed_reload_count());
+  return Status::OK();
+}
+
+Status ScoringService::HandleMetricsz(JsonWriter& response) {
+  // The Prometheus text rides inside the newline-JSON envelope as one
+  // escaped string; mbserved additionally answers plain HTTP GET /metricsz
+  // with the raw text (see Server::ReadLoop).
+  response.String("metrics", RenderMetricsText())
+      .Int("gen", static_cast<int64_t>(registry_->generation()));
   return Status::OK();
 }
 

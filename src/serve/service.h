@@ -43,6 +43,11 @@ struct ServiceOptions {
   /// Honour {"type":"debug_sleep","ms":N} requests — a test/bench hook for
   /// making worker occupancy deterministic. Never enable in production.
   bool allow_debug_sleep = false;
+  /// Registry the serve metrics live in. mbserved passes
+  /// &MetricRegistry::Global() so /metricsz also exports pipeline-stage
+  /// counters; nullptr gives the service a private registry, which keeps
+  /// counters isolated between tests sharing a process.
+  MetricRegistry* registry = nullptr;
 };
 
 class ScoringService {
@@ -57,6 +62,12 @@ class ScoringService {
 
   ServerMetrics& metrics() { return metrics_; }
   const ServerMetrics& metrics() const { return metrics_; }
+  /// The registry the serve metrics live in (options.registry, or the
+  /// service-private one when that was null).
+  MetricRegistry& metric_registry() { return *metric_registry_; }
+  /// Prometheus text exposition of every metric in the registry; what the
+  /// metricsz endpoint (and mbserved's HTTP GET /metricsz) serves.
+  std::string RenderMetricsText() const { return metric_registry_->RenderPrometheusText(); }
   CacheStats pair_cache_stats() const { return pair_cache_.Stats(); }
   CacheStats point_cache_stats() const { return point_cache_.Stats(); }
 
@@ -81,10 +92,17 @@ class ScoringService {
   Status HandleExamine(const Request& request, JsonWriter& response);
   Status HandleReload(JsonWriter& response);
   Status HandleStatsz(JsonWriter& response);
+  Status HandleMetricsz(JsonWriter& response);
 
   BundleRegistry* registry_;
   ServiceOptions options_;
+  /// Present only when options.registry was null; declared before the
+  /// metric handles below so it outlives them during destruction.
+  std::unique_ptr<MetricRegistry> owned_registry_;
+  MetricRegistry* metric_registry_;
   ServerMetrics metrics_;
+  Counter* reload_success_;
+  Counter* reload_failure_;
   ShardedLruCache<double> pair_cache_;
   ShardedLruCache<double> point_cache_;
 

@@ -1,0 +1,111 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Histogram merge correctness: a ShardedHistogram's merged snapshot must
+// equal the snapshot of a single Histogram fed the same samples — the
+// Accumulator path (memoized bucket bounds, shard merging) is an exact
+// refactor of single-histogram snapshotting, not an approximation.
+
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace microbrowse {
+namespace {
+
+TEST(HistogramTest, BucketBoundsMemoizedAndMonotonic) {
+  const auto& bounds = Histogram::BucketBounds();
+  // Memoized: every call returns the same table instance.
+  EXPECT_EQ(&bounds, &Histogram::BucketBounds());
+  // Bucket 0 is the catch-all for values <= kFirstBucket (lower edge 0);
+  // bucket 1 starts the log grid at kFirstBucket.
+  EXPECT_DOUBLE_EQ(bounds[0], 0.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 1e-6);
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, MergedShardSnapshotEqualsSingleHistogramTotals) {
+  Rng rng(17);
+  Histogram single;
+  ShardedHistogram sharded(4);
+  for (int i = 0; i < 20000; ++i) {
+    // Spread samples over many decades, including the clamped extremes.
+    const double value = std::pow(10.0, rng.Uniform(-8.0, 5.0));
+    single.Record(value);
+    sharded.Record(value);
+  }
+  const HistogramSnapshot expected = single.Snapshot();
+  const HistogramSnapshot merged = sharded.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_DOUBLE_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.min, expected.min);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.p50, expected.p50);
+  EXPECT_EQ(merged.p95, expected.p95);
+  EXPECT_EQ(merged.p99, expected.p99);
+}
+
+TEST(HistogramTest, MergedShardSnapshotEqualsSingleUnderConcurrentRecorders) {
+  // Same totals property, but with every shard populated from its own
+  // thread (the sticky thread->shard assignment is exercised for real).
+  ShardedHistogram sharded(4);
+  Histogram single;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<double>> samples(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < kPerThread; ++i) {
+      samples[t].push_back(rng.Uniform(1e-5, 10.0));
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sharded, &samples, t] {
+      for (double value : samples[t]) sharded.Record(value);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& batch : samples) {
+    for (double value : batch) single.Record(value);
+  }
+  const HistogramSnapshot expected = single.Snapshot();
+  const HistogramSnapshot merged = sharded.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  // Sum order differs across shards; compare to double rounding only.
+  EXPECT_NEAR(merged.sum, expected.sum, 1e-9 * std::fabs(expected.sum));
+  EXPECT_EQ(merged.min, expected.min);
+  EXPECT_EQ(merged.max, expected.max);
+  // Quantiles come from integer bucket counts, so they are exact.
+  EXPECT_EQ(merged.p50, expected.p50);
+  EXPECT_EQ(merged.p95, expected.p95);
+  EXPECT_EQ(merged.p99, expected.p99);
+}
+
+TEST(HistogramTest, EmptyShardedSnapshotIsZero) {
+  ShardedHistogram sharded(3);
+  const HistogramSnapshot snapshot = sharded.Snapshot();
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_EQ(snapshot.sum, 0.0);
+  EXPECT_EQ(snapshot.min, 0.0);
+  EXPECT_EQ(snapshot.max, 0.0);
+}
+
+TEST(HistogramTest, ShardedResetClearsAllShards) {
+  ShardedHistogram sharded(2);
+  for (int i = 0; i < 100; ++i) sharded.Record(0.5);
+  EXPECT_EQ(sharded.Count(), 100);
+  sharded.Reset();
+  EXPECT_EQ(sharded.Count(), 0);
+  EXPECT_EQ(sharded.Snapshot().count, 0);
+}
+
+}  // namespace
+}  // namespace microbrowse

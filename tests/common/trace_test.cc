@@ -1,0 +1,158 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Trace collection and JSON emission: span nesting (parent/depth), the
+// disabled fast path, cross-thread collection, and the structure of the
+// written trace file. The trace's span objects are flat JSON, so the
+// serve protocol parser doubles as the validator here.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace microbrowse {
+namespace {
+
+std::string TracePath(const char* name) {
+  return ::testing::TempDir() + "/" + name + "_" + std::to_string(::getpid()) + ".json";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Parses the trace file into one Request per span, validating the
+/// envelope along the way.
+std::vector<serve::Request> ParseTrace(const std::string& text, int64_t* span_count) {
+  const size_t spans_begin = text.find("\"spans\":[");
+  EXPECT_NE(text.find("{\"trace_version\":1,"), std::string::npos) << text;
+  EXPECT_NE(spans_begin, std::string::npos) << text;
+  const size_t count_begin = text.find("\"span_count\":");
+  EXPECT_NE(count_begin, std::string::npos);
+  *span_count = std::strtoll(text.c_str() + count_begin + 13, nullptr, 10);
+
+  std::vector<serve::Request> spans;
+  size_t pos = spans_begin;
+  while (true) {
+    const size_t object_begin = text.find('{', pos + 1);
+    if (object_begin == std::string::npos) break;
+    const size_t object_end = text.find('}', object_begin);
+    EXPECT_NE(object_end, std::string::npos);
+    auto span =
+        serve::ParseRequest(text.substr(object_begin, object_end - object_begin + 1));
+    EXPECT_TRUE(span.ok()) << span.status().ToString();
+    if (!span.ok()) break;
+    spans.push_back(*span);
+    pos = object_end;
+  }
+  return spans;
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  trace::Disable();
+  { TraceSpan span("mb.test.ignored"); }
+  trace::Enable();
+  EXPECT_EQ(trace::CollectedSpanCount(), 0u);
+  trace::Disable();
+}
+
+TEST(TraceTest, NestedSpansCarryParentAndDepth) {
+  trace::Enable();
+  {
+    TraceSpan outer("mb.test.outer");
+    {
+      TraceSpan inner("mb.test.inner");
+      TraceSpan innermost("mb.test.innermost");
+    }
+    TraceSpan sibling("mb.test.sibling");
+  }
+  trace::Disable();
+  ASSERT_EQ(trace::CollectedSpanCount(), 4u);
+
+  const std::string path = TracePath("trace_nested");
+  ASSERT_TRUE(trace::WriteJson(path).ok());
+  int64_t span_count = 0;
+  const std::vector<serve::Request> spans = ParseTrace(ReadFile(path), &span_count);
+  std::remove(path.c_str());
+  EXPECT_EQ(span_count, 4);
+  ASSERT_EQ(spans.size(), 4u);
+
+  std::map<std::string, serve::Request> by_name;
+  for (const auto& span : spans) by_name[span.Get("name")] = span;
+  ASSERT_EQ(by_name.size(), 4u);
+  const auto id_of = [&](const char* name) { return by_name[name].Get("id"); };
+  EXPECT_EQ(by_name["mb.test.outer"].Get("parent"), "-1");
+  EXPECT_EQ(by_name["mb.test.outer"].Get("depth"), "0");
+  EXPECT_EQ(by_name["mb.test.inner"].Get("parent"), id_of("mb.test.outer"));
+  EXPECT_EQ(by_name["mb.test.inner"].Get("depth"), "1");
+  EXPECT_EQ(by_name["mb.test.innermost"].Get("parent"), id_of("mb.test.inner"));
+  EXPECT_EQ(by_name["mb.test.innermost"].Get("depth"), "2");
+  // The sibling opens after inner closed, so it nests under outer again.
+  EXPECT_EQ(by_name["mb.test.sibling"].Get("parent"), id_of("mb.test.outer"));
+  EXPECT_EQ(by_name["mb.test.sibling"].Get("depth"), "1");
+  for (const auto& span : spans) {
+    EXPECT_GE(std::stod(span.Get("dur_us")), 0.0);
+    EXPECT_GE(std::stod(span.Get("start_us")), 0.0);
+  }
+}
+
+TEST(TraceTest, SpansFromExitedThreadsSurviveAsOrphans) {
+  trace::Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] { TraceSpan span("mb.test.worker"); });
+  }
+  for (auto& thread : threads) thread.join();
+  trace::Disable();
+  // All four spans collected even though their threads are gone, with
+  // distinct thread ids.
+  const std::string path = TracePath("trace_orphans");
+  ASSERT_TRUE(trace::WriteJson(path).ok());
+  int64_t span_count = 0;
+  const std::vector<serve::Request> spans = ParseTrace(ReadFile(path), &span_count);
+  std::remove(path.c_str());
+  EXPECT_EQ(span_count, 4);
+  ASSERT_EQ(spans.size(), 4u);
+  std::map<std::string, int> tids;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.Get("name"), "mb.test.worker");
+    EXPECT_EQ(span.Get("parent"), "-1");
+    ++tids[span.Get("tid")];
+  }
+  EXPECT_EQ(tids.size(), 4u);
+}
+
+TEST(TraceTest, EnableClearsPreviousRun) {
+  trace::Enable();
+  { TraceSpan span("mb.test.first_run"); }
+  EXPECT_EQ(trace::CollectedSpanCount(), 1u);
+  trace::Enable();
+  EXPECT_EQ(trace::CollectedSpanCount(), 0u);
+  { TraceSpan span("mb.test.second_run"); }
+  EXPECT_EQ(trace::CollectedSpanCount(), 1u);
+  trace::Disable();
+}
+
+TEST(TraceTest, WriteJsonFailsCleanlyOnBadPath) {
+  trace::Disable();
+  const Status status = trace::WriteJson("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace microbrowse

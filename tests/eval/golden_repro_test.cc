@@ -1,0 +1,134 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Golden-number regression test for the Table 2 reproduction: the full
+// pipeline (corpus generation -> pair extraction -> stats build -> two-
+// phase training -> cross-validated metrics) on a small fixed-seed corpus
+// must reproduce the checked-in per-model numbers to 1e-9, and the
+// paper's qualitative ordering (M1 text-only worst, M6 full model best)
+// must hold. A drift here means some stage changed numerical behaviour —
+// intentionally or not.
+//
+// Regenerating the golden file after an *intentional* change:
+//   MB_REGEN_GOLDEN=1 ./build/tests/mb_golden_repro_test
+// then commit the updated tests/eval/golden/table2_small.json. The file
+// is a flat JSON object (serve/protocol.h codec) with shortest-round-trip
+// doubles, so the comparison is effectively bitwise.
+//
+// On failure the test writes the freshly computed numbers next to the
+// golden path as table2_small.actual.json (CI uploads it as an artifact)
+// so the diff is inspectable without rerunning.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/experiments.h"
+#include "serve/protocol.h"
+
+#ifndef MB_GOLDEN_DIR
+#error "MB_GOLDEN_DIR must be defined to the checked-in golden directory"
+#endif
+
+namespace microbrowse {
+namespace {
+
+/// Small but not degenerate: big enough that every model trains on a few
+/// thousand pairs and the M1 < M6 gap is stable, small enough for tier 1.
+/// Thread counts deliberately exceed one — the determinism contract
+/// (DESIGN.md section 11) makes the numbers identical to a serial run.
+ExperimentOptions GoldenOptions() {
+  ExperimentOptions options;
+  options.num_adgroups = 400;
+  options.folds = 3;
+  options.seed = 2026;
+  options.Normalize();
+  options.pipeline.num_threads = 3;
+  options.pipeline.train_threads = 2;
+  return options;
+}
+
+std::string GoldenPath() { return std::string(MB_GOLDEN_DIR) + "/table2_small.json"; }
+
+/// Flattens a Table2Result into the golden key -> value text mapping.
+std::string Serialize(const Table2Result& result) {
+  serve::JsonWriter writer;
+  writer.Int("num_pairs", static_cast<int64_t>(result.num_pairs));
+  writer.Int("num_adgroups", static_cast<int64_t>(result.num_adgroups));
+  writer.Int("num_models", static_cast<int64_t>(result.rows.size()));
+  for (const Table2Row& row : result.rows) {
+    writer.Number(row.model + ".recall", row.recall)
+        .Number(row.model + ".precision", row.precision)
+        .Number(row.model + ".f_measure", row.f_measure)
+        .Number(row.model + ".accuracy", row.accuracy)
+        .Number(row.model + ".auc", row.auc);
+  }
+  return writer.Finish();
+}
+
+TEST(GoldenReproTest, Table2SmallMatchesCheckedInGolden) {
+  auto result = RunTable2(GoldenOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 6u);
+
+  // The qualitative claim first: ordering must hold regardless of golden
+  // drift, in both directions of the refresh cycle.
+  double m1_f = 0.0, m6_f = 0.0;
+  for (const Table2Row& row : result->rows) {
+    if (row.model == "M1") m1_f = row.f_measure;
+    if (row.model == "M6") m6_f = row.f_measure;
+  }
+  EXPECT_GT(m1_f, 0.0);
+  EXPECT_LT(m1_f, m6_f) << "position-aware M6 must beat text-only M1";
+
+  const std::string serialized = Serialize(*result);
+  if (const char* regen = std::getenv("MB_REGEN_GOLDEN");
+      regen != nullptr && *regen != '\0' && std::string(regen) != "0") {
+    std::ofstream out(GoldenPath(), std::ios::out | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << GoldenPath();
+    out << serialized << "\n";
+    out.close();
+    ASSERT_FALSE(out.fail());
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.is_open())
+      << GoldenPath() << " missing; regenerate with MB_REGEN_GOLDEN=1 (see header)";
+  std::ostringstream golden_text;
+  golden_text << in.rdbuf();
+  auto golden = serve::ParseRequest(
+      golden_text.str().substr(0, golden_text.str().find_last_of('}') + 1));
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  auto actual = serve::ParseRequest(serialized);
+  ASSERT_TRUE(actual.ok());
+
+  bool mismatch = false;
+  EXPECT_EQ(actual->fields.size(), golden->fields.size());
+  mismatch |= actual->fields.size() != golden->fields.size();
+  for (const auto& [key, golden_value] : golden->fields) {
+    ASSERT_TRUE(actual->Has(key)) << key;
+    const std::string actual_value = actual->Get(key);
+    if (key == "num_pairs" || key == "num_adgroups" || key == "num_models") {
+      EXPECT_EQ(actual_value, golden_value) << key;
+      mismatch |= actual_value != golden_value;
+    } else {
+      const double expected = std::stod(golden_value);
+      const double computed = std::stod(actual_value);
+      EXPECT_NEAR(computed, expected, 1e-9) << key;
+      mismatch |= std::fabs(computed - expected) > 1e-9;
+    }
+  }
+  if (mismatch) {
+    // Leave the computed numbers where CI can pick them up as an artifact.
+    std::ofstream out(std::string(MB_GOLDEN_DIR) + "/table2_small.actual.json");
+    out << serialized << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -229,7 +229,7 @@ TEST_F(ServerTest, OverloadShedsWithErrorNotQueueing) {
   // shed at constant latency instead of queueing behind the stalled worker.
   EXPECT_GE(ok_count, 2);
   EXPECT_GE(overloaded, 1);
-  EXPECT_GE(service.metrics().rejected_overload.load(), static_cast<int64_t>(overloaded));
+  EXPECT_GE(service.metrics().rejected_overload->Value(), static_cast<int64_t>(overloaded));
   server.Stop();
 }
 

@@ -38,6 +38,7 @@
 
 #include "common/socket.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "corpus/generator.h"
 #include "corpus/pair_extraction.h"
 #include "eval/experiments.h"
@@ -541,40 +542,53 @@ void PrintUsage() {
       "  mbctl predict  --model model.txt --stats stats.tsv --pairs pairs.tsv [--out m.tsv]\n"
       "  mbctl predict  --server host:port {--a ... --b ... | --pairs pairs.tsv}\n"
       "recovery: loading commands accept --recovery strict|skip_and_log\n"
+      "tracing: every command accepts --trace-out trace.json (common/trace.h)\n"
       "fault injection: MB_FAILPOINTS=name=spec,... (see common/failpoint.h)\n");
 }
 
-/// Per-command flag declarations; anything else is rejected.
+/// Per-command flag declarations; anything else is rejected. Every command
+/// accepts --trace-out=FILE (handled in main) so any stage can be traced.
 Result<Flags> ParseCommandFlags(const std::string& command, int argc, char** argv) {
   if (command == "generate") {
-    return Flags::Parse(argc, argv, {"--out", "--adgroups", "--seed"}, {"--rhs"});
+    return Flags::Parse(argc, argv, {"--out", "--adgroups", "--seed", "--trace-out"},
+                        {"--rhs"});
   }
   if (command == "stats") {
-    return Flags::Parse(argc, argv, {"--corpus", "--out", "--recovery"}, {});
+    return Flags::Parse(argc, argv, {"--corpus", "--out", "--recovery", "--trace-out"}, {});
   }
   if (command == "mine") {
-    return Flags::Parse(argc, argv,
-                        {"--stats", "--prefix", "--top", "--min-count", "--recovery"}, {});
+    return Flags::Parse(
+        argc, argv, {"--stats", "--prefix", "--top", "--min-count", "--recovery", "--trace-out"},
+        {});
   }
   if (command == "train") {
     return Flags::Parse(argc, argv,
                         {"--corpus", "--out", "--model", "--seed", "--train-threads",
-                         "--recovery"},
+                         "--recovery", "--trace-out"},
                         {});
   }
   if (command == "evaluate") {
     return Flags::Parse(argc, argv,
                         {"--corpus", "--model", "--folds", "--seed", "--checkpoint-dir",
-                         "--threads", "--train-threads", "--recovery"},
+                         "--threads", "--train-threads", "--recovery", "--trace-out"},
                         {});
   }
   if (command == "predict") {
     return Flags::Parse(argc, argv,
                         {"--model", "--stats", "--a", "--b", "--model-type", "--pairs",
-                         "--out", "--server", "--recovery"},
+                         "--out", "--server", "--recovery", "--trace-out"},
                         {});
   }
   return Status::InvalidArgument("unknown command '" + command + "'");
+}
+
+int RunCommand(const std::string& command, const Flags& flags) {
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "mine") return CmdMine(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  return CmdPredict(flags);
 }
 
 }  // namespace
@@ -591,10 +605,18 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
-  if (command == "generate") return CmdGenerate(*flags);
-  if (command == "stats") return CmdStats(*flags);
-  if (command == "mine") return CmdMine(*flags);
-  if (command == "train") return CmdTrain(*flags);
-  if (command == "evaluate") return CmdEvaluate(*flags);
-  return CmdPredict(*flags);
+  const std::string trace_out = flags->Get("--trace-out");
+  if (!trace_out.empty()) trace::Enable();
+  const int exit_code = RunCommand(command, *flags);
+  if (!trace_out.empty()) {
+    trace::Disable();
+    if (const Status status = trace::WriteJson(trace_out); !status.ok()) {
+      std::fprintf(stderr, "warning: failed to write trace: %s\n",
+                   status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "wrote %zu trace spans to %s\n", trace::CollectedSpanCount(),
+                   trace_out.c_str());
+    }
+  }
+  return exit_code;
 }

@@ -10,7 +10,9 @@
 //
 //   echo '{"type":"score_pair","a":"l1|l2|l3","b":"l1|l2|l3"}' | nc host 7077
 //
-// Request types: score_pair, predict_ctr, examine, reload, statsz, ping.
+// Request types: score_pair, predict_ctr, examine, reload, statsz,
+// metricsz, ping. `curl http://host:port/metricsz` also works: plain
+// HTTP GETs are answered with the Prometheus text exposition directly.
 // SIGHUP (or a {"type":"reload"} request) hot-reloads the model bundle
 // from the same paths; a corrupt replacement artifact is rejected and the
 // previous generation keeps serving. SIGINT/SIGTERM shut down gracefully.
@@ -26,6 +28,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "serve/server.h"
 
 using namespace microbrowse;
@@ -125,6 +128,11 @@ int main(int argc, char** argv) {
                 << flags.paths.model_path << " + " << flags.paths.stats_path
                 << " (generation 1)";
 
+  // Serve metrics live in the process-global registry, alongside the
+  // pipeline-stage counters (preregistered so /metricsz exports them at
+  // zero even in a pure serving process).
+  flags.service.registry = &MetricRegistry::Global();
+  PreregisterPipelineMetrics(&MetricRegistry::Global());
   serve::ScoringService service(&registry, flags.service);
   serve::Server server(&service, flags.server);
   auto port = server.Start();
