@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -110,30 +112,49 @@ int64_t FireCount(const std::string& name) {
 Status Check(std::string_view name) {
   if (!internal::AnyActive()) return Status::OK();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
-  auto it = registry.points.find(std::string(name));
-  if (it == registry.points.end()) return Status::OK();
-  Armed& armed = it->second;
-  ++armed.hits;
-  bool fire = false;
-  switch (armed.spec.mode) {
-    case Spec::Mode::kAlways:
-      fire = true;
-      break;
-    case Spec::Mode::kNever:
-      break;
-    case Spec::Mode::kProbability:
-      fire = armed.rng.Bernoulli(armed.spec.probability);
-      break;
-    case Spec::Mode::kNth:
-      fire = armed.hits == armed.spec.nth;
-      break;
+  // The firing decision happens under the registry lock; the injected
+  // *latency* must not — a delay failpoint sleeping with the mutex held
+  // would serialize every other failpoint in the process behind it.
+  int64_t delay_ms = 0;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(std::string(name));
+    if (it == registry.points.end()) return Status::OK();
+    Armed& armed = it->second;
+    ++armed.hits;
+    bool fire = false;
+    switch (armed.spec.mode) {
+      case Spec::Mode::kAlways:
+        fire = true;
+        break;
+      case Spec::Mode::kNever:
+        break;
+      case Spec::Mode::kProbability:
+        fire = armed.rng.Bernoulli(armed.spec.probability);
+        break;
+      case Spec::Mode::kNth:
+        fire = armed.hits == armed.spec.nth;
+        break;
+      case Spec::Mode::kDelay:
+        fire = true;
+        break;
+    }
+    if (!fire) return Status::OK();
+    ++armed.fires;
+    if (armed.spec.mode == Spec::Mode::kDelay) {
+      delay_ms = armed.spec.delay_ms;
+    } else {
+      injected = Status(armed.spec.code,
+                        StrFormat("failpoint '%.*s' fired (hit %lld)",
+                                  static_cast<int>(name.size()), name.data(),
+                                  static_cast<long long>(armed.hits)));
+    }
   }
-  if (!fire) return Status::OK();
-  ++armed.fires;
-  return Status(armed.spec.code,
-                StrFormat("failpoint '%.*s' fired (hit %lld)", static_cast<int>(name.size()),
-                          name.data(), static_cast<long long>(armed.hits)));
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return injected;
 }
 
 Result<Spec> ParseSpec(const std::string& text) {
@@ -155,6 +176,18 @@ Result<Spec> ParseSpec(const std::string& text) {
   } else if (StartsWith(text, "nth:")) {
     explicit_nth = true;
     value = text.substr(4);
+  } else if (StartsWith(text, "delay:")) {
+    value = text.substr(6);
+    int64_t delay_ms = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), delay_ms);
+    if (ec != std::errc() || ptr != value.data() + value.size() || delay_ms < 0) {
+      return Status::InvalidArgument(
+          "failpoint delay must be a non-negative integer of milliseconds: '" + text + "'");
+    }
+    spec.mode = Spec::Mode::kDelay;
+    spec.delay_ms = delay_ms;
+    return spec;
   }
   const bool looks_float = value.find('.') != std::string::npos;
   if (explicit_prob || (!explicit_nth && looks_float)) {

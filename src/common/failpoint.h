@@ -21,6 +21,10 @@
 //   p:<float>   fire with probability <float> per hit (deterministic RNG
 //               seeded from the failpoint name)
 //   nth:<int>   fire on exactly the <int>-th hit (1-based), once
+//   delay:<ms>  inject <ms> milliseconds of latency on every hit instead
+//               of an error (Check sleeps, then returns OK) — how timeout
+//               and chaos tests create slow paths without hand-rolled
+//               sleeps in production code
 //   <float>     shorthand for p:<float> (must contain '.')
 //   <int>       shorthand for nth:<int>
 //
@@ -49,10 +53,12 @@ struct Spec {
     kNever,        ///< Never fire; hits are still counted.
     kProbability,  ///< Fire with `probability` per hit.
     kNth,          ///< Fire on exactly the `nth` hit (1-based), once.
+    kDelay,        ///< Sleep `delay_ms` on every hit, then return OK.
   };
   Mode mode = Mode::kAlways;
   double probability = 1.0;
   int64_t nth = 1;
+  int64_t delay_ms = 0;
   /// Error code of the injected Status. Defaults to kIOError — failpoints
   /// model storage faults, which the retry layer treats as transient.
   StatusCode code = StatusCode::kIOError;

@@ -11,12 +11,33 @@
 
 namespace microbrowse {
 
-bool IsTransient(const Status& status) { return status.code() == StatusCode::kIOError; }
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kUnavailable;
+}
 
 int BackoffDelayMs(const RetryOptions& options, int retry) {
   const double delay = static_cast<double>(options.initial_backoff_ms) *
                        std::pow(options.backoff_multiplier, retry - 1);
   return static_cast<int>(std::min(delay, static_cast<double>(options.max_backoff_ms)));
+}
+
+int JitteredBackoffDelayMs(const RetryOptions& options, int retry) {
+  const int base = BackoffDelayMs(options, retry);
+  const double jitter = std::min(1.0, std::max(0.0, options.jitter));
+  if (jitter <= 0.0 || base <= 0) return base;
+  Rng* rng = options.rng;
+  if (rng == nullptr) {
+    // Per-thread stream so concurrent retriers do not share (or contend
+    // on) one generator; seeded from the thread identity so different
+    // clients of the same process desynchronize — the entire point of
+    // jitter.
+    thread_local Rng local(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) ^ 0x6d625f726aULL);
+    rng = &local;
+  }
+  const double fixed = base * (1.0 - jitter);
+  return static_cast<int>(fixed + rng->NextDouble() * (base - fixed));
 }
 
 namespace internal {
@@ -37,7 +58,7 @@ Status RetryWithBackoff(const std::function<Status()>& fn, const RetryOptions& o
   Status status = fn();
   for (int retry = 1; retry < options.max_attempts && !status.ok() && IsTransient(status);
        ++retry) {
-    const int delay_ms = BackoffDelayMs(options, retry);
+    const int delay_ms = JitteredBackoffDelayMs(options, retry);
     internal::LogRetry(status, retry, delay_ms);
     internal::SleepForMs(delay_ms);
     status = fn();

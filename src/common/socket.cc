@@ -5,7 +5,9 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -99,6 +101,29 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
   return socket;
 }
 
+Status SetRecvTimeoutMs(const Socket& socket, int64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Result<bool> WaitReadable(const Socket& socket, int64_t timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = socket.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (n > 0) return true;
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
 Status SendAll(const Socket& socket, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
@@ -140,6 +165,7 @@ Result<bool> LineReader::ReadLine(std::string* line) {
     const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
     if (n > 0) {
       buffer_.append(chunk, static_cast<size_t>(n));
+      total_bytes_read_ += static_cast<uint64_t>(n);
       continue;
     }
     if (n == 0) {
@@ -149,6 +175,11 @@ Result<bool> LineReader::ReadLine(std::string* line) {
       return false;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO elapsed with no data. Not a connection failure: the
+      // caller's idle/shutdown policy decides what a quiet interval means.
+      return Status::DeadlineExceeded("recv timed out");
+    }
     return Errno("recv");
   }
 }

@@ -72,6 +72,17 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port);
 /// (MSG_NOSIGNAL); a closed peer surfaces as kIOError.
 Status SendAll(const Socket& socket, std::string_view data);
 
+/// Arms SO_RCVTIMEO: a recv(2) with no data for `ms` milliseconds returns
+/// instead of blocking forever, surfacing through LineReader::ReadLine as
+/// kDeadlineExceeded. The connection stays healthy — callers decide whether
+/// a quiet interval is idle-eviction-worthy or just a slow client. 0
+/// restores fully blocking reads.
+Status SetRecvTimeoutMs(const Socket& socket, int64_t ms);
+
+/// poll(2)s for readability up to `timeout_ms`. Returns true when the fd
+/// has data (or EOF) to read, false on timeout, kIOError on poll failure.
+Result<bool> WaitReadable(const Socket& socket, int64_t timeout_ms);
+
 /// Buffered reader returning one '\n'-terminated line at a time (terminator
 /// stripped, '\r' before it too). Reads from the fd only when the buffer
 /// runs dry, so pipelined requests already received are served without
@@ -91,13 +102,22 @@ class LineReader {
   /// Reads the next line into `line`. Returns OK with true on a line,
   /// OK with false on clean EOF (no partial line pending), and kIOError on
   /// socket errors, EOF in the middle of a line, or an over-long line.
+  /// When the socket has a receive timeout armed (SetRecvTimeoutMs), a
+  /// quiet interval surfaces as kDeadlineExceeded — the connection is
+  /// still usable and the call can simply be repeated.
   Result<bool> ReadLine(std::string* line);
+
+  /// Total bytes ever received from the socket. An idle reaper compares
+  /// this across timeouts: a trickling client (bytes moved, no complete
+  /// line yet) is slow, not idle.
+  uint64_t total_bytes_read() const { return total_bytes_read_; }
 
  private:
   const Socket& socket_;
   size_t max_line_bytes_;
   std::string buffer_;
   size_t start_ = 0;
+  uint64_t total_bytes_read_ = 0;
 };
 
 }  // namespace microbrowse

@@ -27,6 +27,12 @@ enum class StatusCode : int {
   kInternal = 6,
   kUnimplemented = 7,
   kIOError = 8,
+  /// A request or operation ran out of its time budget (common/deadline.h).
+  kDeadlineExceeded = 9,
+  /// The target is temporarily refusing work (draining, overloaded); the
+  /// condition is expected to clear, so the retry layer treats it as
+  /// transient.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -70,6 +76,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -97,12 +97,14 @@ Status BundleRegistry::Reload() {
   auto bundle = LoadBundle(current->paths, current->generation + 1);
   if (!bundle.ok()) {
     failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    last_reload_failed_.store(true, std::memory_order_relaxed);
     MB_LOG(kWarning) << "reload failed, keeping generation " << current->generation
                      << ": " << bundle.status().ToString();
     return bundle.status();
   }
   current_.store(*std::move(bundle), std::memory_order_release);
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  last_reload_failed_.store(false, std::memory_order_relaxed);
   MB_LOG(kInfo) << "reloaded model bundle: generation " << current->generation << " -> "
                 << current->generation + 1;
   return Status::OK();

@@ -102,12 +102,20 @@ class BundleRegistry {
   int64_t failed_reload_count() const {
     return failed_reloads_.load(std::memory_order_relaxed);
   }
+  /// True when the most recent reload attempt failed — the registry is
+  /// still serving, but on a generation older than the operator intended.
+  /// The readyz health surface reports this as "degraded"; a later
+  /// successful reload clears it.
+  bool last_reload_failed() const {
+    return last_reload_failed_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::shared_ptr<const ModelBundle>> current_;
   std::mutex reload_mu_;  ///< Serializes Reload; never held on the read path.
   std::atomic<int64_t> reloads_{0};
   std::atomic<int64_t> failed_reloads_{0};
+  std::atomic<bool> last_reload_failed_{false};
 };
 
 }  // namespace serve

@@ -1,0 +1,43 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The serving health surface shared between the network front end (which
+// owns the drain state machine) and the scoring service (which answers
+// healthz/readyz requests and knows the bundle generation). The states:
+//
+//   serving   accepting and scoring traffic
+//   draining  SIGTERM received: listener closed, in-flight work finishing,
+//             new requests refused with {"error":"draining",
+//             "retry_after_ms":N}
+//   degraded  still serving, but on a stale bundle generation (the most
+//             recent hot reload failed) or with no bundle loaded at all
+//
+// healthz is *liveness* — "the process is up and answering lines"; it is
+// ok:true in every state. readyz is *readiness* — ok:false while draining
+// or without a loaded bundle, so a load balancer or router stops sending
+// new traffic before the hard stop. Both report the bundle generation so
+// fleet tooling can key health to the model push that is actually live.
+
+#ifndef MICROBROWSE_SERVE_HEALTH_H_
+#define MICROBROWSE_SERVE_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace microbrowse {
+namespace serve {
+
+/// Drain-side health bits, written by the Server's state machine and read
+/// by the ScoringService's healthz/readyz handlers. One instance per
+/// Server; attached to the service at Start.
+struct HealthState {
+  /// True from the moment a drain begins until the process exits.
+  std::atomic<bool> draining{false};
+  /// Advertised in "draining" refusals: how long a client should wait
+  /// before retrying (typically against the replacement task).
+  std::atomic<int64_t> retry_after_ms{500};
+};
+
+}  // namespace serve
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_SERVE_HEALTH_H_

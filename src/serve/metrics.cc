@@ -11,7 +11,8 @@ namespace serve {
 
 namespace {
 constexpr std::string_view kNames[kNumEndpoints] = {
-    "score_pair", "predict_ctr", "examine", "reload", "statsz", "metricsz", "ping", "other",
+    "score_pair", "predict_ctr", "examine", "reload", "statsz",
+    "metricsz",   "healthz",     "readyz",  "ping",   "other",
 };
 
 std::string MetricName(std::string_view endpoint_name, std::string_view suffix) {
@@ -51,6 +52,9 @@ std::array<EndpointMetrics, kNumEndpoints> MakeEndpoints(MetricRegistry* registr
 
 ServerMetrics::ServerMetrics(MetricRegistry* registry)
     : rejected_overload(registry->GetCounter("mb.serve.rejected_overload")),
+      deadline_exceeded(registry->GetCounter("mb.serve.deadline_exceeded")),
+      drained(registry->GetCounter("mb.serve.drained")),
+      idle_evicted(registry->GetCounter("mb.serve.idle_evicted")),
       batch_size(registry->GetHistogram("mb.serve.batch_size")),
       endpoints_(MakeEndpoints(registry, std::make_index_sequence<kNumEndpoints>())) {}
 
@@ -72,6 +76,9 @@ std::string ServerMetrics::RenderStatszJson() const {
     top.Raw(kNames[i], entry.Finish());
   }
   top.Int("rejected_overload", rejected_overload->Value());
+  top.Int("deadline_exceeded", deadline_exceeded->Value());
+  top.Int("drained", drained->Value());
+  top.Int("idle_evicted", idle_evicted->Value());
   const HistogramSnapshot batches = batch_size->Snapshot();
   if (batches.count > 0) {
     top.Number("batch_size_mean", batches.mean()).Number("batch_size_max", batches.max);

@@ -8,7 +8,11 @@
 //
 // Metric names follow the mb.<subsystem>.<name> scheme:
 // mb.serve.<endpoint>.{requests,errors,cache_hits,cache_misses,latency}
-// plus mb.serve.rejected_overload and mb.serve.batch_size.
+// plus the server-level counters mb.serve.rejected_overload,
+// mb.serve.deadline_exceeded, mb.serve.drained, mb.serve.idle_evicted and
+// the mb.serve.batch_size histogram. The four refusal counters plus per-
+// endpoint ok responses exactly account for every request the server ever
+// read — the invariant the chaos soak harness asserts.
 
 #ifndef MICROBROWSE_SERVE_METRICS_H_
 #define MICROBROWSE_SERVE_METRICS_H_
@@ -32,10 +36,12 @@ enum class Endpoint : int {
   kReload,
   kStatsz,
   kMetricsz,
+  kHealthz,
+  kReadyz,
   kPing,
   kOther,  ///< Unknown / malformed request types.
 };
-inline constexpr int kNumEndpoints = 8;
+inline constexpr int kNumEndpoints = 10;
 
 /// Stable wire name of an endpoint ("score_pair", ...).
 std::string_view EndpointName(Endpoint endpoint);
@@ -83,8 +89,16 @@ class ServerMetrics {
     return endpoints_[static_cast<int>(endpoint)];
   }
 
-  /// Requests rejected by admission control (queue full).
+  /// Requests rejected by admission control (queue full or the
+  /// per-connection in-flight cap).
   Counter* rejected_overload;
+  /// Requests refused because their deadline budget was spent before a
+  /// worker reached them.
+  Counter* deadline_exceeded;
+  /// Requests refused with "draining" after the server began its drain.
+  Counter* drained;
+  /// Connections evicted by the idle reaper (slow-loris / silent peers).
+  Counter* idle_evicted;
   /// Batch-size distribution of the worker drain loop.
   ShardedHistogram* batch_size;
 

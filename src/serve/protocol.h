@@ -9,6 +9,7 @@
 //   {"type":"predict_ctr","snippet":"brand|cheap flights|book now"}
 //   {"type":"examine","snippet":"brand|cheap flights|book now"}
 //   {"type":"reload"}          {"type":"statsz"}          {"type":"ping"}
+//   {"type":"healthz"}         {"type":"readyz"}          {"type":"metricsz"}
 //
 // Responses always carry "ok":true|false; an optional request "id" is
 // echoed verbatim so pipelined clients can match responses processed out
@@ -16,6 +17,31 @@
 // across a pipelined connection). Response values may be nested JSON
 // (examine's per-token breakdown, statsz's per-endpoint maps) — emitted
 // via JsonWriter::Raw, never parsed back by this codec.
+//
+// Deadlines: any request may carry "deadline_ms":N, the client's queue-wait
+// budget measured from the moment the server reads the line (monotonic
+// clock; never wall time). A request still queued when its budget runs out
+// is answered {"ok":false,"error":"deadline_exceeded"} without being
+// scored. Servers may also impose a default via --default-deadline-ms for
+// requests that carry no deadline of their own.
+//
+// Refusal vocabulary — the closed set of "error" values a client must be
+// prepared to handle on any request:
+//
+//   "deadline_exceeded" — queue wait exhausted the deadline budget.
+//   "overloaded"        — shed at admission (queue full, or the connection
+//                         is over its pipelined in-flight cap). Retry with
+//                         backoff.
+//   "draining"          — the server is shutting down gracefully and admits
+//                         no new work; carries "retry_after_ms":N as the
+//                         suggested floor before retrying elsewhere/again.
+//
+// Health surface: "healthz" is liveness — always "ok":true while the
+// process can answer at all, with "state":"serving"|"draining"|"degraded".
+// "readyz" is readiness — "ok":false while draining or before a bundle is
+// staged, so load balancers stop routing before shutdown completes. Both
+// are also served as HTTP GET /healthz and /readyz (readyz maps not-ready
+// to 503), and both stay answerable during a drain.
 
 #ifndef MICROBROWSE_SERVE_PROTOCOL_H_
 #define MICROBROWSE_SERVE_PROTOCOL_H_

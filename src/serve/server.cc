@@ -3,6 +3,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <utility>
 
@@ -12,6 +13,27 @@
 namespace microbrowse {
 namespace serve {
 
+namespace {
+
+/// Receive-timeout tick armed on every accepted socket. The tick bounds
+/// how long a reader stays blocked in recv(2) with a silent peer, which
+/// is what makes both the idle reaper and Stop() prompt; it must divide
+/// the idle timeout a few times over so eviction lands near the
+/// configured bound rather than up to a tick late.
+int64_t ReadTickMs(int64_t idle_timeout_ms) {
+  if (idle_timeout_ms <= 0) return 1000;
+  return std::clamp<int64_t>(idle_timeout_ms / 4, 10, 1000);
+}
+
+/// Request types still answered while draining: a drain must stay
+/// observable (health probes, metric scrapes) right up to the hard stop.
+bool ServedDuringDrain(const std::string& type) {
+  return type == "healthz" || type == "readyz" || type == "statsz" ||
+         type == "metricsz" || type == "ping";
+}
+
+}  // namespace
+
 Server::Server(ScoringService* service, ServerOptions options)
     : service_(service), options_(options) {
   if (options_.num_threads < 1) options_.num_threads = 1;
@@ -19,7 +41,13 @@ Server::Server(ScoringService* service, ServerOptions options)
   if (options_.max_queue < 1) options_.max_queue = 1;
 }
 
-Server::~Server() { Stop(); }
+Server::~Server() {
+  Stop();
+  // Only now may healthz stop reporting this server's drain state; until
+  // the last moment a stopped-but-live server should still look draining
+  // to in-process probes.
+  service_->AttachHealth(nullptr);
+}
 
 Result<uint16_t> Server::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
@@ -29,17 +57,63 @@ Result<uint16_t> Server::Start() {
   auto port = LocalPort(listener_);
   if (!port.ok()) return port.status();
   port_ = *port;
+  health_.retry_after_ms.store(options_.drain_retry_after_ms,
+                               std::memory_order_relaxed);
+  service_->AttachHealth(&health_);
   pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(options_.num_threads));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
   return port_;
 }
 
+Status Server::Drain() {
+  if (!started_) return Status::FailedPrecondition("server not started");
+  int expected = kServing;
+  if (!state_.compare_exchange_strong(expected, kDraining,
+                                      std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("server is not serving");
+  }
+  // Flip the health surface first so probes see "draining" before (not
+  // after) requests start being refused.
+  health_.draining.store(true, std::memory_order_release);
+  // Refuse new connections. Only shut the listener down — the fd stays
+  // open until Stop() has joined the accept thread.
+  listener_.Shutdown();
+  MB_LOG(kInfo) << "drain started: waiting for "
+                << inflight_total_.load(std::memory_order_acquire)
+                << " in-flight requests (deadline " << options_.drain_deadline_ms
+                << " ms)";
+  const Deadline deadline = options_.drain_deadline_ms > 0
+                                ? Deadline::AfterMillis(options_.drain_deadline_ms)
+                                : Deadline::Infinite();
+  bool drained = false;
+  for (;;) {
+    if (inflight_total_.load(std::memory_order_acquire) == 0) {
+      drained = true;
+      break;
+    }
+    if (deadline.expired()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const int64_t abandoned = inflight_total_.load(std::memory_order_acquire);
+  Stop();
+  if (!drained) {
+    return Status::DeadlineExceeded(
+        StrFormat("drain deadline (%lld ms) exceeded; %lld requests abandoned",
+                  static_cast<long long>(options_.drain_deadline_ms),
+                  static_cast<long long>(abandoned)));
+  }
+  MB_LOG(kInfo) << "drain complete";
+  return Status::OK();
+}
+
 void Server::Stop() {
   // Serializes concurrent Stop calls; the destructor's call is then a
   // no-op after an explicit one.
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
-  if (!started_ || stopping_.exchange(true)) return;
+  if (!started_ || state_.exchange(kStopped, std::memory_order_acq_rel) == kStopped) {
+    return;
+  }
   // Shutdown wakes an accept(2) blocked on the listener; the fd itself must
   // stay open until the accept thread has joined, or the loop could race
   // the close (and, with fd reuse, accept on an unrelated descriptor).
@@ -82,17 +156,17 @@ size_t Server::active_connections() {
 }
 
 void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (state_.load(std::memory_order_acquire) == kServing) {
     ReapFinishedReaders();
     auto accepted = TcpAccept(listener_);
     if (!accepted.ok()) {
-      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (state_.load(std::memory_order_acquire) != kServing) break;
       // accept() errors are transient from the listener's point of view —
       // a peer that reset before the handshake finished (ECONNABORTED) or
       // fd exhaustion (EMFILE/ENFILE, which clears as connections close).
       // Killing the loop would leave a zombie server that never answers
-      // again; log, back off briefly and keep accepting. Only Stop() (via
-      // stopping_) ends the loop.
+      // again; log, back off briefly and keep accepting. Only Drain/Stop
+      // (via the state machine) end the loop.
       MB_LOG(kWarning) << "accept failed (retrying): "
                        << accepted.status().ToString();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -101,7 +175,7 @@ void Server::AcceptLoop() {
     auto connection = std::make_shared<Connection>();
     connection->socket = std::move(*accepted);
     std::lock_guard<std::mutex> lock(connections_mu_);
-    if (stopping_.load(std::memory_order_relaxed)) {
+    if (state_.load(std::memory_order_acquire) != kServing) {
       connection->socket.Shutdown();
       break;
     }
@@ -121,27 +195,109 @@ void Server::ReapFinishedReaders() {
   }
 }
 
+Deadline Server::RequestDeadline(const std::string& line) const {
+  // The substring probe keeps the common case (no per-request deadline)
+  // free of a second full parse; requests that do carry the field are
+  // parsed once here and once by the service, which is still cheap next
+  // to scoring.
+  if (line.find("\"deadline_ms\"") != std::string::npos) {
+    if (auto request = ParseRequest(line); request.ok() && request->Has("deadline_ms")) {
+      const std::string value = request->Get("deadline_ms");
+      int64_t ms = 0;
+      auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), ms);
+      if (ec == std::errc() && end == value.data() + value.size()) {
+        // Non-positive budgets are legal and already expired — the request
+        // is answered deadline_exceeded without scoring.
+        return Deadline::AfterMillis(ms);
+      }
+    }
+    // Malformed deadline_ms falls through to the server default; the
+    // request itself will fail field validation in the service if the
+    // whole line is unparsable.
+  }
+  return options_.default_deadline_ms > 0
+             ? Deadline::AfterMillis(options_.default_deadline_ms)
+             : Deadline::Infinite();
+}
+
 void Server::ReadLoop(std::shared_ptr<Connection> connection) {
+  const int64_t idle_timeout_ms = options_.idle_timeout_ms;
+  const int64_t tick_ms = ReadTickMs(idle_timeout_ms);
+  // The receive timeout turns a reader parked in recv(2) into a polling
+  // loop at tick granularity: each timeout surfaces as kDeadlineExceeded,
+  // where we check for shutdown and idleness, then resume. Without it a
+  // silent peer would pin this thread in recv until the process exited.
+  (void)SetRecvTimeoutMs(connection->socket, tick_ms);
   LineReader reader(connection->socket, options_.max_line_bytes);
+  Deadline idle = idle_timeout_ms > 0 ? Deadline::AfterMillis(idle_timeout_ms)
+                                      : Deadline::Infinite();
+  uint64_t idle_bytes_mark = 0;
   std::string line;
   for (;;) {
     auto got = reader.ReadLine(&line);
-    if (!got.ok() || !*got) break;
+    if (!got.ok()) {
+      if (got.status().code() != StatusCode::kDeadlineExceeded) break;
+      // Tick: no complete line arrived within the receive timeout.
+      if (state_.load(std::memory_order_acquire) == kStopped) break;
+      if (reader.total_bytes_read() != idle_bytes_mark) {
+        // Bytes moved since the last mark — a trickling client is slow,
+        // not idle. Partial lines therefore reset the idle clock; only a
+        // peer moving *nothing* for the whole timeout is evicted.
+        idle_bytes_mark = reader.total_bytes_read();
+        idle = idle_timeout_ms > 0 ? Deadline::AfterMillis(idle_timeout_ms)
+                                   : Deadline::Infinite();
+        continue;
+      }
+      if (idle.expired() &&
+          connection->inflight.load(std::memory_order_acquire) == 0) {
+        // Idle past the bound with no response owed: evict. (A client
+        // silently awaiting a slow response is waiting, not dead.)
+        service_->metrics().idle_evicted->Increment(1);
+        break;
+      }
+      continue;
+    }
+    if (!*got) break;  // EOF.
+    idle_bytes_mark = reader.total_bytes_read();
+    idle = idle_timeout_ms > 0 ? Deadline::AfterMillis(idle_timeout_ms)
+                               : Deadline::Infinite();
     if (line.empty()) continue;
     if (StartsWith(line, "GET ")) {
-      // Plain-HTTP fast path so `curl http://host:port/metricsz` works
-      // without speaking the newline-JSON protocol. One response, then
-      // close (HTTP/1.0 semantics).
+      // Plain-HTTP fast path so `curl http://host:port/metricsz` (and
+      // /healthz, /readyz) works without speaking the newline-JSON
+      // protocol. One response, then close (HTTP/1.0 semantics).
       HandleHttpGet(*connection, reader, line);
       break;
     }
 
+    const int state = state_.load(std::memory_order_acquire);
+    if (state == kStopped) break;
+    if (state == kDraining) {
+      HandleLineDuringDrain(*connection, line);
+      continue;
+    }
+
+    const size_t per_connection_cap = options_.max_inflight_per_connection;
+    if (per_connection_cap > 0 &&
+        connection->inflight.load(std::memory_order_acquire) >=
+            static_cast<int64_t>(per_connection_cap)) {
+      // One pipelining client may not monopolise the queue; the cap is a
+      // per-connection slice of admission control, so it reports as the
+      // same "overloaded" refusal as a full queue.
+      service_->metrics().rejected_overload->Increment(1);
+      WriteRefusal(*connection, line, "overloaded", -1);
+      continue;
+    }
+
+    const Deadline request_deadline = RequestDeadline(line);
     bool admitted = false;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       if (queue_.size() < options_.max_queue &&
-          !stopping_.load(std::memory_order_relaxed)) {
-        queue_.push_back(PendingRequest{connection, line});
+          state_.load(std::memory_order_relaxed) == kServing) {
+        queue_.push_back(PendingRequest{connection, line, request_deadline});
+        connection->inflight.fetch_add(1, std::memory_order_acq_rel);
+        inflight_total_.fetch_add(1, std::memory_order_acq_rel);
         admitted = true;
       }
     }
@@ -149,16 +305,16 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
       pool_->Submit([this] { DrainBatch(); });
       continue;
     }
+    if (state_.load(std::memory_order_acquire) == kDraining) {
+      // The drain flipped between the line read and the queue lock.
+      HandleLineDuringDrain(*connection, line);
+      continue;
+    }
     // Admission control: reject instead of queueing unboundedly. The
     // response still echoes the id (when parseable) so pipelined clients
     // can account for the shed request.
     service_->metrics().rejected_overload->Increment(1);
-    JsonWriter response;
-    if (auto request = ParseRequest(line); request.ok() && request->Has("id")) {
-      response.String("id", request->Get("id"));
-    }
-    response.Bool("ok", false).String("error", "overloaded");
-    WriteResponse(*connection, response.Finish());
+    WriteRefusal(*connection, line, "overloaded", -1);
   }
   connection->alive.store(false, std::memory_order_relaxed);
   connection->socket.Shutdown();
@@ -173,6 +329,29 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
     finished_readers_.push_back(std::move(connection->reader));
     connections_.erase(it);
   }
+}
+
+void Server::HandleLineDuringDrain(Connection& connection, const std::string& line) {
+  auto request = ParseRequest(line);
+  const std::string type = request.ok() ? request->Get("type") : "";
+  if (ServedDuringDrain(type)) {
+    WriteResponse(connection, service_->HandleLine(line));
+    return;
+  }
+  service_->metrics().drained->Increment(1);
+  WriteRefusal(connection, line, "draining",
+               health_.retry_after_ms.load(std::memory_order_relaxed));
+}
+
+void Server::WriteRefusal(Connection& connection, const std::string& line,
+                          std::string_view error, int64_t retry_after_ms) {
+  JsonWriter response;
+  if (auto request = ParseRequest(line); request.ok() && request->Has("id")) {
+    response.String("id", request->Get("id"));
+  }
+  response.Bool("ok", false).String("error", error);
+  if (retry_after_ms >= 0) response.Int("retry_after_ms", retry_after_ms);
+  WriteResponse(connection, response.Finish());
 }
 
 void Server::DrainBatch() {
@@ -190,8 +369,18 @@ void Server::DrainBatch() {
   if (batch.empty()) return;
   service_->metrics().batch_size->Record(static_cast<double>(batch.size()));
   for (PendingRequest& pending : batch) {
-    const std::string response = service_->HandleLine(pending.line);
-    WriteResponse(*pending.connection, response);
+    // Deadline check sits immediately before scoring: a request whose
+    // budget died in the queue is answered without burning a context on
+    // it. The deadline covers queue wait, not scoring — a request that
+    // starts in time finishes and is delivered.
+    if (pending.deadline.expired()) {
+      service_->metrics().deadline_exceeded->Increment(1);
+      WriteRefusal(*pending.connection, pending.line, "deadline_exceeded", -1);
+    } else {
+      WriteResponse(*pending.connection, service_->HandleLine(pending.line));
+    }
+    pending.connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    inflight_total_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
@@ -212,24 +401,40 @@ void Server::HandleHttpGet(Connection& connection, LineReader& reader,
     }
   }
   // Drain the request headers up to the blank line; their content is
-  // irrelevant for a metrics scrape.
+  // irrelevant for a scrape. (The receive-timeout tick bounds this loop
+  // too: a slow-loris that sends "GET / HTTP/1.0" and then dribbles
+  // headers forever gets its response after the first quiet tick.)
   std::string header;
   while (true) {
     auto got = reader.ReadLine(&header);
     if (!got.ok() || !*got) break;
     if (header.empty() || header == "\r") break;
   }
+  if (!path.empty() && path.size() > 1 && path.back() == '/') path.pop_back();
   std::string body;
   std::string status_line;
-  if (path == "/metricsz" || path == "/metricsz/") {
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (path == "/metricsz") {
     status_line = "HTTP/1.0 200 OK";
     body = service_->RenderMetricsText();
+  } else if (path == "/healthz" || path == "/readyz") {
+    // Route through the same service handlers as the protocol endpoints
+    // so HTTP probes and protocol probes can never disagree. readyz maps
+    // not-ready onto 503 for load balancers that only look at the status.
+    const std::string request =
+        path == "/healthz" ? R"({"type":"healthz"})" : R"({"type":"readyz"})";
+    body = service_->HandleLine(request);
+    const bool ready = body.find("\"ok\":true") != std::string::npos;
+    status_line = (path == "/healthz" || ready) ? "HTTP/1.0 200 OK"
+                                                : "HTTP/1.0 503 Service Unavailable";
+    content_type = "application/json";
+    body += "\n";
   } else {
     status_line = "HTTP/1.0 404 Not Found";
-    body = "not found; try /metricsz\n";
+    body = "not found; try /metricsz, /healthz or /readyz\n";
   }
   std::string response = status_line + "\r\n";
-  response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
   response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   response += "Connection: close\r\n\r\n";
   response += body;

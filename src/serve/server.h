@@ -5,10 +5,25 @@
 // the mb_common thread pool drains the queue in batches (amortising the
 // queue lock and keeping workers hot under load) and writes each response
 // back on its connection. Admission control is reader-side: when the
-// queue is at capacity the request is answered immediately with
-// {"ok":false,"error":"overloaded"} instead of queueing unboundedly —
-// under overload the server sheds load at constant latency rather than
-// building an ever-longer tail.
+// queue is at capacity (or one connection exceeds its in-flight cap) the
+// request is answered immediately with {"ok":false,"error":"overloaded"}
+// instead of queueing unboundedly — under overload the server sheds load
+// at constant latency rather than building an ever-longer tail.
+//
+// Every request carries a deadline (its own "deadline_ms" field, or
+// ServerOptions.default_deadline_ms): a queued request whose budget is
+// already spent when a worker reaches it is answered
+// {"ok":false,"error":"deadline_exceeded"} *without* being scored, so an
+// overloaded server burns no work on answers nobody is waiting for.
+// Connections that go quiet past the idle timeout are evicted by a
+// receive-timeout tick in the reader (slow-loris defence; the tick also
+// makes Stop() prompt for connected-but-silent peers).
+//
+// Shutdown is a state machine: serving -> draining -> stopped. Drain()
+// (SIGTERM in mbserved) closes the listener, refuses new work with
+// {"ok":false,"error":"draining","retry_after_ms":N}, lets in-flight
+// requests finish up to a drain deadline, then hard-stops. healthz/readyz
+// keep answering through the drain so routers can see the state flip.
 //
 // Responses to a pipelined connection may arrive out of order (batching
 // workers run concurrently); clients that pipeline tag requests with
@@ -26,9 +41,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/socket.h"
 #include "common/thread_pool.h"
+#include "serve/health.h"
 #include "serve/service.h"
 
 namespace microbrowse {
@@ -46,6 +63,22 @@ struct ServerOptions {
   /// A request line longer than this fails its connection — bounds the
   /// per-connection read buffer against a client that never sends '\n'.
   size_t max_line_bytes = 4 << 20;
+  /// Deadline budget applied to requests that carry no "deadline_ms"
+  /// field, in milliseconds. 0 = no default deadline (a request without
+  /// its own budget waits however long the queue takes).
+  int64_t default_deadline_ms = 0;
+  /// A connection that moves no bytes for this long is evicted (the
+  /// mb.serve.idle_evicted counter tracks it). Connections with requests
+  /// still in flight are never idle-evicted — a client silently awaiting
+  /// a slow response is waiting, not dead. 0 disables eviction.
+  int64_t idle_timeout_ms = 60'000;
+  /// Requests one connection may have queued or executing before further
+  /// reads on it are refused with "overloaded". 0 = unlimited.
+  size_t max_inflight_per_connection = 128;
+  /// How long Drain() waits for in-flight requests before hard-stopping.
+  int64_t drain_deadline_ms = 5'000;
+  /// Advertised in "draining" refusals and the readyz response.
+  int64_t drain_retry_after_ms = 500;
 };
 
 /// TCP front end over a ScoringService.
@@ -62,6 +95,15 @@ class Server {
   /// bound port.
   Result<uint16_t> Start();
 
+  /// Graceful drain: closes the listener, flips healthz/readyz to
+  /// "draining", answers new requests on existing connections with
+  /// {"error":"draining","retry_after_ms":N}, waits for queued and
+  /// executing requests up to options.drain_deadline_ms, then Stop()s.
+  /// Returns OK when everything in flight completed, kDeadlineExceeded
+  /// when the hard stop abandoned work. FailedPrecondition when not
+  /// serving (never started, already draining, or stopped).
+  Status Drain();
+
   /// Stops accepting, closes every connection, drains workers and joins
   /// all threads. Idempotent.
   void Stop();
@@ -72,7 +114,20 @@ class Server {
   /// disconnected and been reaped (test hook).
   size_t active_connections();
 
+  /// True from Drain() (or Stop()) onward — new scoring work is refused.
+  bool draining() const {
+    return state_.load(std::memory_order_acquire) != kServing;
+  }
+
+  /// Queued + executing requests (test hook).
+  int64_t inflight_requests() const {
+    return inflight_total_.load(std::memory_order_acquire);
+  }
+
  private:
+  /// serving -> draining -> stopped; the only legal transitions.
+  enum State : int { kServing = 0, kDraining = 1, kStopped = 2 };
+
   /// One live client connection; readers and workers share it via
   /// shared_ptr so a response can still be written (or skipped) after the
   /// reader saw EOF. Owns its reader thread: the handle is either joined
@@ -82,19 +137,34 @@ class Server {
     Socket socket;
     std::mutex write_mu;
     std::atomic<bool> alive{true};
+    /// Requests from this connection currently queued or executing —
+    /// bounds per-connection pipelining and defers idle eviction while a
+    /// response is still owed.
+    std::atomic<int64_t> inflight{0};
     std::thread reader;
   };
 
   struct PendingRequest {
     std::shared_ptr<Connection> connection;
     std::string line;
+    Deadline deadline;
   };
 
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<Connection> connection);
   void DrainBatch();
-  /// Answers one plain-HTTP GET (the /metricsz scrape path) and leaves the
-  /// connection to be closed by the caller.
+  /// The deadline for one request line: its own "deadline_ms" field when
+  /// present and parsable, else the server default.
+  Deadline RequestDeadline(const std::string& line) const;
+  /// Answers one request received while draining: observability types are
+  /// served inline, everything else is refused with "draining".
+  void HandleLineDuringDrain(Connection& connection, const std::string& line);
+  /// Writes an {"ok":false,...} refusal, echoing the request id when the
+  /// line parses. `retry_after_ms` < 0 omits the field.
+  void WriteRefusal(Connection& connection, const std::string& line,
+                    std::string_view error, int64_t retry_after_ms);
+  /// Answers one plain-HTTP GET (the /metricsz, /healthz and /readyz
+  /// scrape paths) and leaves the connection to be closed by the caller.
   void HandleHttpGet(Connection& connection, LineReader& reader,
                      const std::string& request_line);
   void WriteResponse(Connection& connection, const std::string& response);
@@ -112,6 +182,9 @@ class Server {
 
   std::mutex queue_mu_;
   std::deque<PendingRequest> queue_;
+  /// Requests admitted but not yet answered (queued + executing), across
+  /// all connections; what Drain() waits on.
+  std::atomic<int64_t> inflight_total_{0};
 
   std::mutex connections_mu_;
   std::vector<std::shared_ptr<Connection>> connections_;
@@ -120,7 +193,8 @@ class Server {
   std::vector<std::thread> finished_readers_;
 
   std::mutex stop_mu_;
-  std::atomic<bool> stopping_{false};
+  std::atomic<int> state_{kServing};
+  HealthState health_;
   bool started_ = false;
 };
 

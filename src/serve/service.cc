@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
@@ -121,6 +122,12 @@ std::string ScoringService::Dispatch(const Request& request, Endpoint endpoint,
     case Endpoint::kMetricsz:
       status = HandleMetricsz(response);
       break;
+    case Endpoint::kHealthz:
+      status = HandleHealthz(response);
+      break;
+    case Endpoint::kReadyz:
+      status = HandleReadyz(response);
+      break;
     case Endpoint::kPing:
       break;
     case Endpoint::kOther: {
@@ -164,6 +171,10 @@ Status ScoringService::HandleScorePair(const Request& request, JsonWriter& respo
     margin = *cached;
     hit = true;
   } else {
+    // Chaos hook on the uncached scoring path: `serve.score=delay:<ms>`
+    // injects latency (slow-model rehearsal), error specs inject typed
+    // scoring failures.
+    MB_FAILPOINT("serve.score");
     const Snippet a = ParseSnippetField(a_text);
     const Snippet b = ParseSnippetField(b_text);
     auto context = BorrowContext(*bundle);
@@ -197,6 +208,7 @@ Status ScoringService::HandlePredictCtr(const Request& request, JsonWriter& resp
     score = *cached;
     hit = true;
   } else {
+    MB_FAILPOINT("serve.score");
     score = bundle->predictor->Score(ParseSnippetField(text));
     point_cache_.Put(key, score);
   }
@@ -281,6 +293,43 @@ Status ScoringService::HandleStatsz(JsonWriter& response) {
   response.Int("gen", static_cast<int64_t>(registry_->generation()))
       .Int("reloads", registry_->reload_count())
       .Int("failed_reloads", registry_->failed_reload_count());
+  return Status::OK();
+}
+
+Status ScoringService::HandleHealthz(JsonWriter& response) {
+  // Liveness: the process is up and answering protocol lines — true in
+  // every state, including mid-drain (a draining task is alive; it is just
+  // not *ready*). The state string still tells the whole story.
+  const uint64_t generation = registry_->generation();
+  std::string state = "serving";
+  if (draining()) {
+    state = "draining";
+  } else if (generation == 0 || registry_->last_reload_failed()) {
+    state = "degraded";
+  }
+  response.String("state", state).Int("gen", static_cast<int64_t>(generation));
+  return Status::OK();
+}
+
+Status ScoringService::HandleReadyz(JsonWriter& response) {
+  // Readiness: should a router send this task *new* traffic? No while
+  // draining (the listener is already closed to fresh connections) and no
+  // without a bundle; a stale generation after a failed reload is degraded
+  // but still ready — serving the old model beats serving nothing.
+  const uint64_t generation = registry_->generation();
+  if (draining()) {
+    const HealthState* health = health_.load(std::memory_order_acquire);
+    response.String("state", "draining")
+        .Int("gen", static_cast<int64_t>(generation))
+        .Int("retry_after_ms", health->retry_after_ms.load(std::memory_order_relaxed));
+    return Status::Unavailable("draining");
+  }
+  if (generation == 0) {
+    response.String("state", "degraded").Int("gen", 0);
+    return Status::FailedPrecondition("no model bundle loaded");
+  }
+  response.String("state", registry_->last_reload_failed() ? "degraded" : "serving")
+      .Int("gen", static_cast<int64_t>(generation));
   return Status::OK();
 }
 

@@ -25,8 +25,11 @@
 #include <string_view>
 #include <vector>
 
+#include <atomic>
+
 #include "ml/feature_registry.h"
 #include "serve/bundle.h"
+#include "serve/health.h"
 #include "serve/lru_cache.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
@@ -59,6 +62,15 @@ class ScoringService {
   /// Handles one request line, returning the response line (no trailing
   /// newline). Never throws; every failure is an {"ok":false,...} response.
   std::string HandleLine(std::string_view line);
+
+  /// Attaches the server's drain-state bits so healthz/readyz can report
+  /// "draining". Called by Server::Start; tests driving the service
+  /// in-process may leave it unset (the service then reports serving or
+  /// degraded purely from bundle state). `health` must outlive the
+  /// service's last HandleLine call; nullptr detaches.
+  void AttachHealth(const HealthState* health) {
+    health_.store(health, std::memory_order_release);
+  }
 
   ServerMetrics& metrics() { return metrics_; }
   const ServerMetrics& metrics() const { return metrics_; }
@@ -93,8 +105,15 @@ class ScoringService {
   Status HandleReload(JsonWriter& response);
   Status HandleStatsz(JsonWriter& response);
   Status HandleMetricsz(JsonWriter& response);
+  Status HandleHealthz(JsonWriter& response);
+  Status HandleReadyz(JsonWriter& response);
+  bool draining() const {
+    const HealthState* health = health_.load(std::memory_order_acquire);
+    return health != nullptr && health->draining.load(std::memory_order_acquire);
+  }
 
   BundleRegistry* registry_;
+  std::atomic<const HealthState*> health_{nullptr};
   ServiceOptions options_;
   /// Present only when options.registry was null; declared before the
   /// metric handles below so it outlives them during destruction.

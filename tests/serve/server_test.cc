@@ -296,6 +296,36 @@ TEST_F(ServerTest, OverlongLineFailsTheConnection) {
   server.Stop();
 }
 
+TEST_F(ServerTest, StopReturnsPromptlyWithSilentConnectedClient) {
+  ScoringService service(&registry_);
+  ServerOptions options;
+  options.port = 0;
+  // Eviction is an hour away: Stop's promptness must come from waking the
+  // reader (socket shutdown + the receive-timeout tick), not from waiting
+  // out the idle timer. Regression test for Stop() hanging on a reader
+  // parked in read(2) under a silent client.
+  options.idle_timeout_ms = 3'600'000;
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = TestClient::ConnectTo(*port);  // Connects, never sends a byte.
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 500 && server.active_connections() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server.active_connections(), 1u);
+
+  const auto start = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+  // Generous bound (the tick is <= 1 s); the failure mode is an indefinite
+  // hang, not a slow stop.
+  EXPECT_LT(elapsed.count(), 5000) << "Stop() blocked on a silent client";
+}
+
 TEST_F(ServerTest, StopWhileClientsConnectedIsClean) {
   ScoringService service(&registry_);
   ServerOptions options;

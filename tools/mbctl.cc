@@ -36,7 +36,6 @@
 #include <string>
 #include <vector>
 
-#include "common/socket.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "corpus/generator.h"
@@ -46,6 +45,7 @@
 #include "io/serialization.h"
 #include "microbrowse/optimizer.h"
 #include "microbrowse/pipeline.h"
+#include "serve/client.h"
 #include "serve/protocol.h"
 
 using namespace microbrowse;
@@ -221,68 +221,24 @@ Status WriteMarginRows(const std::vector<PairRow>& rows, const std::vector<doubl
   return WriteArtifactAtomic(path, out.str(), static_cast<int64_t>(rows.size()));
 }
 
-/// Thin client for the mbserved line protocol (one request in flight at a
-/// time, so responses arrive in order).
-class ServeClient {
- public:
-  static Result<std::unique_ptr<ServeClient>> Connect(const std::string& spec) {
-    std::string host = "127.0.0.1";
-    std::string port_text = spec;
-    const size_t colon = spec.rfind(':');
-    if (colon != std::string::npos) {
-      if (colon > 0) host = spec.substr(0, colon);
-      port_text = spec.substr(colon + 1);
-    }
-    int64_t port = 0;
-    const auto [ptr, ec] =
-        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
-    if (ec != std::errc() || ptr != port_text.data() + port_text.size() || port < 1 ||
-        port > 65535) {
-      return Status::InvalidArgument("--server expects host:port, got '" + spec + "'");
-    }
-    auto socket = TcpConnect(host, static_cast<uint16_t>(port));
-    if (!socket.ok()) return socket.status();
-    auto client = std::make_unique<ServeClient>();
-    client->socket_ = std::make_unique<Socket>(std::move(*socket));
-    client->reader_ = std::make_unique<LineReader>(*client->socket_);
-    return client;
+/// Builds the resilient serve client (serve/client.h) from predict's
+/// --server, --retries and --deadline-ms flags. Transient failures —
+/// connect refusal, "overloaded" sheds, "draining" refusals — are retried
+/// with jittered backoff inside the client, so a rolling mbserved restart
+/// looks like a brief stall, not a failed batch job.
+Result<std::unique_ptr<serve::ResilientClient>> MakeServeClient(const Flags& flags) {
+  auto options = serve::ResilientClient::ParseTarget(flags.Get("--server"));
+  if (!options.ok()) {
+    return Status::InvalidArgument("--server " + options.status().message());
   }
-
-  /// score_pair round trip; returns the margin of a over b.
-  Result<double> ScorePair(const std::string& a, const std::string& b) {
-    serve::JsonWriter request;
-    request.String("type", "score_pair").String("a", a).String("b", b);
-    auto response = RoundTrip(request.Finish());
-    if (!response.ok()) return response.status();
-    const std::string margin_text = response->Get("margin");
-    char* end = nullptr;
-    const double margin = std::strtod(margin_text.c_str(), &end);
-    if (margin_text.empty() || end != margin_text.c_str() + margin_text.size()) {
-      return Status::Internal("server response has no parsable margin");
-    }
-    return margin;
-  }
-
- private:
-  Result<serve::Request> RoundTrip(const std::string& request_line) {
-    if (const Status status = SendAll(*socket_, request_line + "\n"); !status.ok()) {
-      return status;
-    }
-    std::string line;
-    auto got = reader_->ReadLine(&line);
-    if (!got.ok()) return got.status();
-    if (!*got) return Status::IOError("server closed the connection");
-    auto response = serve::ParseRequest(line);
-    if (!response.ok()) return response.status();
-    if (response->Get("ok") != "true") {
-      return Status::Internal("server error: " + response->Get("error", "(no detail)"));
-    }
-    return response;
-  }
-
-  std::unique_ptr<Socket> socket_;
-  std::unique_ptr<LineReader> reader_;
-};
+  auto retries = flags.GetInt("--retries", 4, /*min=*/0, /*max=*/100);
+  if (!retries.ok()) return retries.status();
+  options->retry.max_attempts = static_cast<int>(*retries) + 1;
+  auto deadline_ms = flags.GetInt("--deadline-ms", 0, /*min=*/0);
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  options->deadline_ms = *deadline_ms;
+  return std::make_unique<serve::ResilientClient>(*options);
+}
 
 int CmdGenerate(const Flags& flags) {
   AdCorpusOptions options;
@@ -465,7 +421,7 @@ int CmdPredict(const Flags& flags) {
   // loading the bundle locally. The same --pairs input scored both ways is
   // the serve-vs-batch parity check.
   if (flags.Has("--server")) {
-    auto client = ServeClient::Connect(flags.Get("--server"));
+    auto client = MakeServeClient(flags);
     if (!client.ok()) return Fail(client.status());
     if (batch) {
       auto rows = LoadPairRows(flags.Get("--pairs"));
@@ -541,6 +497,7 @@ void PrintUsage() {
       "  mbctl predict  --model model.txt --stats stats.tsv --a \"l1|l2|l3\" --b \"l1|l2|l3\"\n"
       "  mbctl predict  --model model.txt --stats stats.tsv --pairs pairs.tsv [--out m.tsv]\n"
       "  mbctl predict  --server host:port {--a ... --b ... | --pairs pairs.tsv}\n"
+      "                 [--retries N] [--deadline-ms N]\n"
       "recovery: loading commands accept --recovery strict|skip_and_log\n"
       "tracing: every command accepts --trace-out trace.json (common/trace.h)\n"
       "fault injection: MB_FAILPOINTS=name=spec,... (see common/failpoint.h)\n");
@@ -576,7 +533,8 @@ Result<Flags> ParseCommandFlags(const std::string& command, int argc, char** arg
   if (command == "predict") {
     return Flags::Parse(argc, argv,
                         {"--model", "--stats", "--a", "--b", "--model-type", "--pairs",
-                         "--out", "--server", "--recovery", "--trace-out"},
+                         "--out", "--server", "--retries", "--deadline-ms", "--recovery",
+                         "--trace-out"},
                         {});
   }
   return Status::InvalidArgument("unknown command '" + command + "'");

@@ -4,18 +4,25 @@
 //
 //   mbserved --model model.txt --stats stats.tsv [--model-type M1..M6]
 //            [--port 7077] [--threads N] [--max-queue N] [--max-batch N]
-//            [--cache-capacity N]
+//            [--cache-capacity N] [--default-deadline-ms N]
+//            [--idle-timeout-ms N] [--drain-deadline-ms N]
+//            [--drain-retry-after-ms N]
 //
 // Speaks the newline-delimited JSON protocol of serve/protocol.h:
 //
 //   echo '{"type":"score_pair","a":"l1|l2|l3","b":"l1|l2|l3"}' | nc host 7077
 //
 // Request types: score_pair, predict_ctr, examine, reload, statsz,
-// metricsz, ping. `curl http://host:port/metricsz` also works: plain
-// HTTP GETs are answered with the Prometheus text exposition directly.
+// metricsz, healthz, readyz, ping. `curl http://host:port/metricsz`
+// (also /healthz, /readyz) works too: plain HTTP GETs are answered
+// directly, with readyz mapping not-ready onto 503 for load balancers.
 // SIGHUP (or a {"type":"reload"} request) hot-reloads the model bundle
 // from the same paths; a corrupt replacement artifact is rejected and the
-// previous generation keeps serving. SIGINT/SIGTERM shut down gracefully.
+// previous generation keeps serving (readyz then reports "degraded").
+// SIGINT/SIGTERM start a graceful drain: the listener closes, readyz
+// flips to "draining", new scoring requests are refused with
+// {"error":"draining","retry_after_ms":N}, and in-flight work gets
+// --drain-deadline-ms to finish before the hard stop.
 
 #include <csignal>
 #include <cstdio>
@@ -58,6 +65,8 @@ struct Flags {
                  "usage: mbserved --model model.txt --stats stats.tsv\n"
                  "                [--model-type M1..M6] [--port N] [--threads N]\n"
                  "                [--max-queue N] [--max-batch N] [--cache-capacity N]\n"
+                 "                [--default-deadline-ms N] [--idle-timeout-ms N]\n"
+                 "                [--drain-deadline-ms N] [--drain-retry-after-ms N]\n"
                  "fault injection: MB_FAILPOINTS=name=spec,...\n");
     return 1;
   }
@@ -93,6 +102,14 @@ struct Flags {
         server.max_batch = static_cast<size_t>(n);
       } else if (key == "--cache-capacity" && ParseInt(value, &n)) {
         service.cache_capacity = static_cast<size_t>(n);
+      } else if (key == "--default-deadline-ms" && ParseInt(value, &n)) {
+        server.default_deadline_ms = n;
+      } else if (key == "--idle-timeout-ms" && ParseInt(value, &n)) {
+        server.idle_timeout_ms = n;
+      } else if (key == "--drain-deadline-ms" && ParseInt(value, &n)) {
+        server.drain_deadline_ms = n;
+      } else if (key == "--drain-retry-after-ms" && ParseInt(value, &n)) {
+        server.drain_retry_after_ms = n;
       } else {
         std::fprintf(stderr, "unknown flag or bad value: %s %s\n", key.c_str(),
                      value.c_str());
@@ -157,7 +174,14 @@ int main(int argc, char** argv) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  MB_LOG(kInfo) << "shutting down";
-  server.Stop();
+  // Graceful drain: finish what is in flight (bounded by
+  // --drain-deadline-ms), refuse the rest with a retry hint, then stop. A
+  // non-OK drain means work was abandoned at the hard stop — exit 0
+  // regardless (the drain itself worked), but say so.
+  const Status drained = server.Drain();
+  if (!drained.ok()) {
+    MB_LOG(kWarning) << "drain: " << drained.ToString();
+  }
+  MB_LOG(kInfo) << "shut down";
   return 0;
 }
