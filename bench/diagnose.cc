@@ -80,7 +80,9 @@ int main() {
         ExtractPairOccurrences(pair.r.snippet, pair.s.snippet, db, *cfg, &tr, &pr, &occs);
         std::map<std::pair<std::string, std::string>, double> agg;
         for (const auto& o : occs) {
-          agg[{tr.NameOf(o.t), o.p == kInvalidFeatureId ? "" : pr.NameOf(o.p)}] += o.sign;
+          agg[{std::string(tr.NameOf(o.t)),
+               o.p == kInvalidFeatureId ? std::string() : std::string(pr.NameOf(o.p))}] +=
+              o.sign;
         }
         std::printf("  [%s] %zu occurrences, net features:\n", cfg->name.c_str(), occs.size());
         for (const auto& [k, v] : agg) {

@@ -12,13 +12,23 @@
 // The headline check mirrors the serving design goal: warm-cache score_pair
 // p50 should be at least 5x lower than cold-cache at every concurrency.
 //
+// The bench also measures *cold start* — LoadBundle to first successful
+// score — for the same artifacts staged as TSV and as mbpack containers,
+// and emits everything to BENCH_serve.json (MB_BENCH_OUT overrides the
+// path). The mbpack-over-TSV cold-start speedup is reported always and
+// enforced (>= 10x) only when MB_REQUIRE_COLD_SPEEDUP=1, mirroring the
+// hardware-conditional gate of train_bench.
+//
 // Environment: MB_ADGROUPS (default 200), MB_REQUESTS per worker (default
-// 500), MB_SEED.
+// 500), MB_SEED, MB_COLDSTART_REPS (default 5), MB_BENCH_OUT,
+// MB_REQUIRE_COLD_SPEEDUP.
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -32,8 +42,10 @@
 #include "corpus/pair_extraction.h"
 #include "eval/experiments.h"
 #include "io/atomic_file.h"
+#include "io/pack_artifacts.h"
 #include "io/serialization.h"
 #include "microbrowse/classifier.h"
+#include "microbrowse/optimizer.h"
 #include "microbrowse/stats_db.h"
 #include "serve/bundle.h"
 #include "serve/protocol.h"
@@ -98,6 +110,79 @@ std::string ScorePairLine(const std::string& a, const std::string& b) {
   return request.Finish();
 }
 
+/// Median milliseconds from LoadBundle(paths) to the first successful
+/// score, over `reps` fresh loads. This is the operator-visible restart /
+/// hot-reload cost of a bundle in the given artifact format.
+double MeasureColdStartMs(const serve::BundlePaths& paths, const Snippet& a, const Snippet& b,
+                          int reps) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    auto bundle = serve::LoadBundle(paths, /*generation=*/1);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "serve_bench: cold-start load failed: %s\n",
+                   bundle.status().ToString().c_str());
+      std::exit(1);
+    }
+    // First score through the bundle's own predictor — the same path a real
+    // request takes (service.cc HandleScore), so the number reflects serving
+    // cold start, not per-call tooling overhead.
+    const serve::ModelBundle& loaded = **bundle;
+    const double margin = loaded.predictor->Score(a) - loaded.predictor->Score(b);
+    if (!std::isfinite(margin)) {
+      std::fprintf(stderr, "serve_bench: cold-start score not finite\n");
+      std::exit(1);
+    }
+    ms.push_back(timer.ElapsedSeconds() * 1e3);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+/// One row of the concurrency x cache-regime sweep, kept for the JSON dump.
+struct SweepRow {
+  int threads = 0;
+  const char* cache = "";
+  double req_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double hit_rate = 0.0;
+};
+
+void WriteBenchJson(const std::string& path, double tsv_cold_ms, double mbpack_cold_ms,
+                    int cold_reps, bool cold_enforced, double worst_warm_speedup,
+                    const std::vector<SweepRow>& sweep) {
+  std::ofstream out(path, std::ios::trunc);
+  const double cold_speedup = tsv_cold_ms / std::max(1e-9, mbpack_cold_ms);
+  out << "{\n  \"bench\": \"serve\",\n";
+  out << "  \"cold_start\": {\n"
+      << "    \"description\": \"LoadBundle -> first score, median ms\",\n"
+      << StrFormat("    \"reps\": %d,\n", cold_reps)
+      << StrFormat("    \"tsv_cold_start_ms\": %.3f,\n", tsv_cold_ms)
+      << StrFormat("    \"mbpack_cold_start_ms\": %.3f,\n", mbpack_cold_ms)
+      << StrFormat("    \"measured_speedup\": %.2f,\n", cold_speedup)
+      << "    \"min_speedup\": 10.0,\n"
+      << "    \"enforced\": " << (cold_enforced ? "true" : "false") << "\n  },\n";
+  out << "  \"warm_cache\": {\n"
+      << "    \"description\": \"warm-over-cold score_pair p50 speedup, worst concurrency\",\n"
+      << StrFormat("    \"measured_speedup\": %.2f,\n", worst_warm_speedup)
+      << "    \"min_speedup\": 5.0,\n    \"enforced\": true\n  },\n";
+  out << "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& row = sweep[i];
+    out << "    {"
+        << StrFormat("\"threads\": %d, \"cache\": \"%s\", ", row.threads, row.cache)
+        << StrFormat("\"req_per_sec\": %.1f, ", row.req_per_sec)
+        << StrFormat("\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, ", row.p50_us,
+                     row.p95_us, row.p99_us)
+        << StrFormat("\"hit_rate\": %.2f}", row.hit_rate) << (i + 1 < sweep.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main() {
@@ -141,6 +226,28 @@ int main() {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
+  // The same bundle staged as mbpack containers, for the cold-start A/B.
+  serve::BundlePaths pack_paths = paths;
+  pack_paths.model_path = dir + "/model.mbp";
+  pack_paths.stats_path = dir + "/stats.mbp";
+  // Convert the packs *from the TSV artifacts* (the mbctl pack flow), so the
+  // two cold-start bundles are bitwise-identical models, not near-identical.
+  auto tsv_model = LoadClassifier(paths.model_path);
+  auto tsv_db = LoadFeatureStats(paths.stats_path);
+  if (!tsv_model.ok() || !tsv_db.ok()) {
+    std::fprintf(stderr, "reloading TSV artifacts failed\n");
+    return 1;
+  }
+  if (const Status status = SaveClassifierPack(tsv_model->model, tsv_model->t_registry,
+                                               tsv_model->p_registry, pack_paths.model_path);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (const Status status = SaveStatsPack(*tsv_db, pack_paths.stats_path); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   serve::BundleRegistry registry;
   if (const Status status = registry.LoadInitial(paths); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -168,6 +275,7 @@ int main() {
   // Globally unique nonce so "cold" pairs never collide across runs.
   uint64_t nonce = 0;
   double worst_speedup = -1.0;
+  std::vector<SweepRow> sweep;
   for (int concurrency : {1, 4, 8}) {
     const int total = concurrency * requests_per_worker;
 
@@ -206,6 +314,12 @@ int main() {
                   StrFormat("%.1f", warm_run.latency.p95 * 1e6),
                   StrFormat("%.1f", warm_run.latency.p99 * 1e6),
                   StrFormat("%.2f", hit_rate)});
+    sweep.push_back(SweepRow{concurrency, "cold", total / cold_run.seconds,
+                             cold_run.latency.p50 * 1e6, cold_run.latency.p95 * 1e6,
+                             cold_run.latency.p99 * 1e6, 0.0});
+    sweep.push_back(SweepRow{concurrency, "warm", total / warm_run.seconds,
+                             warm_run.latency.p50 * 1e6, warm_run.latency.p95 * 1e6,
+                             warm_run.latency.p99 * 1e6, hit_rate});
 
     const double speedup = cold_run.latency.p50 / std::max(1e-9, warm_run.latency.p50);
     if (worst_speedup < 0 || speedup < worst_speedup) worst_speedup = speedup;
@@ -214,5 +328,32 @@ int main() {
   std::printf("\nwarm-over-cold p50 speedup (worst across concurrencies): %.1fx %s\n",
               worst_speedup, worst_speedup >= 5.0 ? "(target: >=5x, met)"
                                                   : "(target: >=5x, NOT met)");
+
+  // Cold start: LoadBundle -> first score, TSV vs mbpack, fresh load each
+  // rep. The pack path should be bounded by mmap + one checksum pass, not
+  // by per-row parsing.
+  const int cold_reps = static_cast<int>(std::max<int64_t>(1, EnvInt("MB_COLDSTART_REPS", 5)));
+  const Snippet cold_a = generated->corpus.adgroups[0].creatives[0].snippet;
+  const Snippet cold_b = generated->corpus.adgroups.back().creatives.back().snippet;
+  const double tsv_cold_ms = MeasureColdStartMs(paths, cold_a, cold_b, cold_reps);
+  const double mbpack_cold_ms = MeasureColdStartMs(pack_paths, cold_a, cold_b, cold_reps);
+  const double cold_speedup = tsv_cold_ms / std::max(1e-9, mbpack_cold_ms);
+  const bool cold_enforced = EnvInt("MB_REQUIRE_COLD_SPEEDUP", 0) > 0;
+  std::printf("\ncold start (LoadBundle -> first score, median of %d): tsv %.1f ms, "
+              "mbpack %.1f ms, speedup %.1fx %s\n",
+              cold_reps, tsv_cold_ms, mbpack_cold_ms, cold_speedup,
+              cold_enforced ? (cold_speedup >= 10.0 ? "(target: >=10x, met)"
+                                                    : "(target: >=10x, NOT met)")
+                            : "(target: >=10x, informational)");
+
+  const std::string bench_out = [] {
+    const char* env = std::getenv("MB_BENCH_OUT");
+    return env != nullptr && *env != '\0' ? std::string(env) : std::string("BENCH_serve.json");
+  }();
+  WriteBenchJson(bench_out, tsv_cold_ms, mbpack_cold_ms, cold_reps, cold_enforced,
+                 worst_speedup, sweep);
+  std::printf("wrote %s\n", bench_out.c_str());
+
+  if (cold_enforced && cold_speedup < 10.0) return 1;
   return worst_speedup >= 5.0 ? 0 : 1;
 }

@@ -67,8 +67,11 @@ void Advise(const Draft& draft, const FeatureStatsDb& db, const CoupledDataset& 
                          : (occ.p < model.p_weights.size() ? model.p_weights[occ.p] : 1.0);
     const double value = occ.sign * p * t;
     if (value == 0.0) continue;
-    std::string what = t_registry.NameOf(occ.t);
-    if (occ.p != kInvalidFeatureId) what += " @ " + p_registry.NameOf(occ.p);
+    std::string what(t_registry.NameOf(occ.t));
+    if (occ.p != kInvalidFeatureId) {
+      what += " @ ";
+      what += p_registry.NameOf(occ.p);
+    }
     net[what] += value;
   }
   std::vector<Contribution> contributions;

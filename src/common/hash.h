@@ -23,6 +23,32 @@ inline uint64_t Fnv1a64(std::string_view data) {
   return h;
 }
 
+/// FNV-1a/64 folded eight bytes at a time: each little-endian 64-bit word
+/// (zero-padded tail) is XORed in and multiplied once, instead of per byte.
+/// Not wire-compatible with Fnv1a64 — a distinct checksum function with the
+/// same diffusion per multiply but ~8x the throughput, used for bulk
+/// payloads (mbpack sections and whole files) where the serial multiply
+/// chain of byte-at-a-time FNV would dominate cold-start time.
+inline uint64_t Fnv1a64Wide(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * 0x100000001b3ULL;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, n);
+    // Fold the byte count in with the tail so "abc" and "abc\0" differ.
+    h = (h ^ w ^ (static_cast<uint64_t>(n) << 56)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
 /// Strong 64-bit finalizer (MurmurHash3 fmix64).
 inline uint64_t Mix64(uint64_t x) {
   x ^= x >> 33;

@@ -268,13 +268,16 @@ Status SaveFeatureStats(const FeatureStatsDb& db, const std::string& path) {
   std::ostringstream out;
   out << kStatsHeader << '\t' << FormatDouble(db.smoothing(), 6) << '\t' << db.min_count()
       << '\n';
-  std::vector<const std::pair<const std::string, FeatureStat>*> rows;
-  rows.reserve(db.stats().size());
-  for (const auto& entry : db.stats()) rows.push_back(&entry);
+  // ForEach sees both layers, so a pack-backed database round-trips to TSV.
+  std::vector<std::pair<std::string_view, const FeatureStat*>> rows;
+  rows.reserve(db.size());
+  db.ForEach([&rows](std::string_view key, const FeatureStat& stat) {
+    rows.emplace_back(key, &stat);
+  });
   std::sort(rows.begin(), rows.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-  for (const auto* row : rows) {
-    out << row->first << '\t' << row->second.positive << '\t' << row->second.total << '\n';
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, stat] : rows) {
+    out << key << '\t' << stat->positive << '\t' << stat->total << '\n';
   }
   return WriteArtifactAtomic(path, out.str(), static_cast<int64_t>(rows.size()));
 }

@@ -10,17 +10,23 @@
 #ifndef MICROBROWSE_MICROBROWSE_STATS_DB_H_
 #define MICROBROWSE_MICROBROWSE_STATS_DB_H_
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "common/math_util.h"
 #include "microbrowse/pair.h"
+#include "pack/pack_reader.h"
 
 namespace microbrowse {
 
-/// Counts for one feature key.
+/// Counts for one feature key. The layout is part of the mbpack stats
+/// artifact: record sections hold these structs verbatim, and the mmap
+/// read path returns pointers straight into the mapping.
 struct FeatureStat {
   int64_t positive = 0;  ///< Observations with delta-sw = +1.
   int64_t total = 0;
@@ -39,9 +45,36 @@ struct FeatureStat {
   /// log(p / (1 - p)); the classifier warm-start weight.
   double LogOdds(double alpha = 1.0) const { return Logit(SmoothedP(alpha)); }
 };
+static_assert(sizeof(FeatureStat) == 16 && alignof(FeatureStat) == 8,
+              "FeatureStat is an on-disk mbpack record; its layout is frozen");
+
+/// Number of n-gram record classes in the mbpack stats layout: class 0
+/// holds every non-term key (rewrites, positions, position pairs), classes
+/// 1..3 hold term keys by n-gram length (3 = trigrams and longer). The
+/// partition exists so stats builds and packs can window per class, in the
+/// style of netspeak's per-phrase-length corpus files.
+inline constexpr int kNumStatsClasses = 4;
+
+/// Deterministic class of a stats key — writer and mmap lookup must agree.
+inline int StatsKeyClass(std::string_view key) {
+  if (key.size() < 2 || key[0] != 't' || key[1] != ':') return 0;
+  int spaces = 0;
+  for (size_t i = 2; i < key.size() && spaces < 2; ++i) {
+    if (key[i] == ' ') ++spaces;
+  }
+  return 1 + spaces;  // 0 spaces = unigram, 1 = bigram, 2+ = trigram+.
+}
 
 /// Keyed store of feature statistics. Keys come from feature_keys.h, so
 /// term / rewrite / position statistics share one namespace-prefixed map.
+///
+/// Like FeatureRegistry, the store has up to two layers: an optional
+/// immutable mmap-backed base (per-class sorted key tables + FeatureStat
+/// record arrays read in place from an mbpack artifact) and the ordinary
+/// heap map. Read accessors consult the heap first, then the base; the
+/// mutating builders (AddObservation & friends) always write the heap map
+/// and are not meant for pack-backed instances — the serving read path
+/// never mutates.
 class FeatureStatsDb {
  public:
   FeatureStatsDb() = default;
@@ -70,10 +103,20 @@ class FeatureStatsDb {
     stat.total += total;
   }
 
-  /// Stat for `key`, or nullptr when unseen.
+  /// Stat for `key`, or nullptr when unseen. For base hits the pointer
+  /// aims straight into the mmap'd record section (valid for this
+  /// object's lifetime).
   const FeatureStat* Find(std::string_view key) const {
-    auto it = stats_.find(std::string(key));
-    return it != stats_.end() ? &it->second : nullptr;
+    if (!stats_.empty()) {
+      auto it = stats_.find(std::string(key));
+      if (it != stats_.end()) return &it->second;
+    }
+    if (base_total_ > 0) {
+      const BaseClass& cls = base_[static_cast<size_t>(StatsKeyClass(key))];
+      const size_t index = cls.keys.Find(key);
+      if (index != pack::StringTable::kNotFound) return &cls.records[index];
+    }
+    return nullptr;
   }
 
   /// Number of observations of `key` (0 when unseen).
@@ -108,16 +151,53 @@ class FeatureStatsDb {
   void set_min_count(int64_t n) { min_count_ = n; }
   int64_t min_count() const { return min_count_; }
 
-  size_t size() const { return stats_.size(); }
+  size_t size() const { return base_total_ + stats_.size(); }
+  /// The heap layer only — empty for a pack-backed database. Iterating
+  /// callers should prefer ForEach, which sees both layers.
   const std::unordered_map<std::string, FeatureStat>& stats() const { return stats_; }
   /// Mutable access for bulk splicing (unordered_map::merge) when
   /// assembling a database from disjoint shards.
   std::unordered_map<std::string, FeatureStat>& mutable_stats() { return stats_; }
 
+  /// Visits every (key, stat) across both layers, heap entries first, then
+  /// base entries class by class in their sorted on-disk order. No
+  /// deduplication: a heap entry shadowing a base key (which the supported
+  /// workflows never create) would be visited twice.
+  void ForEach(const std::function<void(std::string_view, const FeatureStat&)>& fn) const {
+    for (const auto& [key, stat] : stats_) fn(key, stat);
+    for (const BaseClass& cls : base_) {
+      for (size_t i = 0; i < cls.keys.size(); ++i) fn(cls.keys.at(i), cls.records[i]);
+    }
+  }
+
+  /// One immutable per-class view into a stats pack: `keys` sorted
+  /// ascending, `records[i]` the stat of `keys.at(i)`.
+  struct BaseClass {
+    pack::StringTable keys;
+    const FeatureStat* records = nullptr;
+  };
+
+  /// Installs the immutable mmap-backed base layer (one view per n-gram
+  /// class; `pack` anchors the mapped memory). Must be called on an empty
+  /// database, at most once.
+  void AttachPackBase(std::shared_ptr<const pack::PackReader> pack,
+                      const std::array<BaseClass, kNumStatsClasses>& classes) {
+    pack_ = std::move(pack);
+    base_ = classes;
+    base_total_ = 0;
+    for (const BaseClass& cls : base_) base_total_ += cls.keys.size();
+  }
+
+  /// Number of entries in the immutable base layer (0 when heap-only).
+  size_t base_size() const { return base_total_; }
+
  private:
   double smoothing_ = 1.0;
   int64_t min_count_ = 0;
   std::unordered_map<std::string, FeatureStat> stats_;
+  std::shared_ptr<const pack::PackReader> pack_;
+  std::array<BaseClass, kNumStatsClasses> base_{};
+  size_t base_total_ = 0;
 };
 
 /// Statistics-builder configuration.

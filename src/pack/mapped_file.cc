@@ -1,0 +1,55 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "pack/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace microbrowse {
+namespace pack {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  MB_FAILPOINT("pack.mmap.open");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("mmap open failed: " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("mmap fstat failed: " + path + ": " + std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IOError("mmap refused: " + path + " is empty");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps its own reference to the file.
+  if (mapping == MAP_FAILED) {
+    return Status::IOError("mmap failed: " + path + ": " + std::strerror(errno));
+  }
+  MappedFile file;
+  file.data_ = static_cast<const uint8_t*>(mapping);
+  file.size_ = size;
+  return file;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace pack
+}  // namespace microbrowse

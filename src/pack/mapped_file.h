@@ -1,0 +1,64 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// A read-only memory mapping of a whole file. The mapping is the lifetime
+// anchor for every zero-copy view handed out by PackReader: views borrow
+// pointers into the mapped region, and the shared_ptr<const PackReader>
+// that owns a MappedFile keeps those pointers valid — this is what makes
+// "old generation keeps serving while a new pack maps in" work without
+// copying (see DESIGN.md section 14 on mmap lifetime vs generation swap).
+
+#ifndef MICROBROWSE_PACK_MAPPED_FILE_H_
+#define MICROBROWSE_PACK_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+
+namespace microbrowse {
+namespace pack {
+
+/// Move-only RAII wrapper around mmap(2) of an entire file, read-only.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IOError on open/stat/mmap problems
+  /// and on empty files (no valid artifact is zero bytes; mmap of length 0
+  /// is also undefined). The file descriptor is closed before returning —
+  /// the mapping survives the close.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Unmap();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { Unmap(); }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view bytes() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+ private:
+  void Unmap();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pack
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_PACK_MAPPED_FILE_H_

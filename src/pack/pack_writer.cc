@@ -1,0 +1,81 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "pack/pack_writer.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "io/atomic_file.h"
+
+namespace microbrowse {
+namespace pack {
+
+namespace {
+
+size_t AlignUp(size_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+void AppendStruct(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+}  // namespace
+
+Status PackWriter::Finish(const std::string& path) const {
+  std::unordered_set<uint32_t> seen;
+  for (const Section& section : sections_) {
+    if (!seen.insert(section.type).second) {
+      return Status::InvalidArgument("PackWriter: duplicate section type " +
+                                     std::to_string(section.type));
+    }
+  }
+
+  // Lay out: header, table, aligned payloads, footer.
+  const size_t table_offset = sizeof(PackHeader);
+  const size_t table_size = sections_.size() * sizeof(SectionEntry);
+  std::vector<SectionEntry> table(sections_.size());
+  size_t cursor = AlignUp(table_offset + table_size);
+  const size_t payload_start = cursor;
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    table[i].type = sections_[i].type;
+    table[i].reserved = 0;
+    table[i].offset = cursor;
+    table[i].size = sections_[i].payload.size();
+    table[i].checksum = Fnv1a64Wide(sections_[i].payload);
+    cursor = AlignUp(cursor + sections_[i].payload.size());
+  }
+  const size_t file_size = cursor + sizeof(PackFooter);
+
+  PackHeader header{};
+  std::memcpy(header.magic, kHeaderMagic, sizeof(header.magic));
+  header.version = kFormatVersion;
+  header.endian_marker = kEndianMarker;
+  header.file_size = file_size;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.reserved = 0;
+  header.payload_start = payload_start;
+  header.reserved2 = 0;
+  header.header_checksum = Fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(&header), offsetof(PackHeader, header_checksum)));
+
+  std::string file;
+  file.reserve(file_size);
+  AppendStruct(&file, &header, sizeof(header));
+  AppendStruct(&file, table.data(), table_size);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    file.resize(table[i].offset, '\0');  // Alignment padding.
+    file.append(sections_[i].payload);
+  }
+  file.resize(cursor, '\0');
+
+  PackFooter footer{};
+  std::memcpy(footer.magic, kFooterMagic, sizeof(footer.magic));
+  footer.file_checksum = Fnv1a64Wide(file);
+  AppendStruct(&file, &footer, sizeof(footer));
+
+  return WriteFileAtomic(path, file);
+}
+
+}  // namespace pack
+}  // namespace microbrowse

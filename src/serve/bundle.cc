@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/hash.h"
 #include "common/logging.h"
+#include "io/pack_artifacts.h"
 #include "microbrowse/feature_keys.h"
 
 namespace microbrowse {
@@ -41,13 +43,35 @@ std::vector<std::vector<double>> LearnedPositionGrid(const SavedClassifier& clas
   return grid;
 }
 
+/// Loads a classifier from either artifact format (magic-byte sniff).
+Result<SavedClassifier> LoadClassifierAny(const std::string& path) {
+  MB_ASSIGN_OR_RETURN(const bool is_pack, IsPackFile(path));
+  if (is_pack) return LoadClassifierPack(path);
+  return LoadClassifier(path);
+}
+
+/// Loads a stats database from either artifact format.
+Result<FeatureStatsDb> LoadStatsAny(const std::string& path) {
+  MB_ASSIGN_OR_RETURN(const bool is_pack, IsPackFile(path));
+  if (is_pack) return LoadStatsPack(path);
+  return LoadFeatureStats(path);
+}
+
 }  // namespace
+
+/// Combined raw-byte fingerprint of the two artifact files.
+static Result<uint64_t> BundleContentChecksum(const BundlePaths& paths) {
+  MB_ASSIGN_OR_RETURN(const uint64_t model_checksum, FileChecksum(paths.model_path));
+  MB_ASSIGN_OR_RETURN(const uint64_t stats_checksum, FileChecksum(paths.stats_path));
+  return HashCombine(model_checksum, stats_checksum);
+}
 
 Result<std::shared_ptr<const ModelBundle>> LoadBundle(const BundlePaths& paths,
                                                       uint64_t generation) {
   MB_ASSIGN_OR_RETURN(ClassifierConfig config, ConfigByName(paths.model_type));
-  MB_ASSIGN_OR_RETURN(SavedClassifier classifier, LoadClassifier(paths.model_path));
-  MB_ASSIGN_OR_RETURN(FeatureStatsDb stats, LoadFeatureStats(paths.stats_path));
+  MB_ASSIGN_OR_RETURN(const uint64_t content_checksum, BundleContentChecksum(paths));
+  MB_ASSIGN_OR_RETURN(SavedClassifier classifier, LoadClassifierAny(paths.model_path));
+  MB_ASSIGN_OR_RETURN(FeatureStatsDb stats, LoadStatsAny(paths.stats_path));
   MB_FAILPOINT("serve.bundle.load");
 
   auto bundle = std::make_shared<ModelBundle>();
@@ -56,6 +80,7 @@ Result<std::shared_ptr<const ModelBundle>> LoadBundle(const BundlePaths& paths,
   bundle->stats = std::move(stats);
   bundle->config = std::move(config);
   bundle->paths = paths;
+  bundle->content_checksum = content_checksum;
 
   auto fitted = FitExaminationCurve(LearnedPositionGrid(bundle->classifier));
   if (fitted.ok()) {
@@ -88,11 +113,25 @@ Status BundleRegistry::LoadInitial(const BundlePaths& paths) {
   return Status::OK();
 }
 
-Status BundleRegistry::Reload() {
+Status BundleRegistry::Reload(bool force) {
   std::lock_guard<std::mutex> lock(reload_mu_);
   const auto current = current_.load(std::memory_order_acquire);
   if (current == nullptr) {
     return Status::FailedPrecondition("BundleRegistry: LoadInitial has not run");
+  }
+  // Short-circuit: when the files on disk are unchanged since the serving
+  // bundle loaded there is nothing to do — skip the parse and the
+  // generation bump entirely. A fingerprint failure (e.g. a file
+  // mid-replace) falls through to the full load, whose own error handling
+  // applies.
+  if (!force) {
+    const auto on_disk = BundleContentChecksum(current->paths);
+    if (on_disk.ok() && *on_disk == current->content_checksum) {
+      skipped_reloads_.fetch_add(1, std::memory_order_relaxed);
+      MB_LOG(kInfo) << "reload skipped: artifacts unchanged (generation "
+                    << current->generation << ")";
+      return Status::OK();
+    }
   }
   auto bundle = LoadBundle(current->paths, current->generation + 1);
   if (!bundle.ok()) {

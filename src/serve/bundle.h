@@ -36,7 +36,10 @@
 namespace microbrowse {
 namespace serve {
 
-/// Artifact paths + model type for one bundle load.
+/// Artifact paths + model type for one bundle load. Each path may name a
+/// TSV artifact (io/serialization.h) or an mbpack container
+/// (io/pack_artifacts.h) — LoadBundle sniffs the magic bytes and picks the
+/// loader, so operators switch formats by swapping files, not flags.
 struct BundlePaths {
   std::string model_path;
   std::string stats_path;
@@ -60,6 +63,11 @@ struct ModelBundle {
   /// members above are at their final addresses — see MakeBundle).
   std::optional<CtrPredictor> predictor;
   BundlePaths paths;
+  /// Combined FNV-1a/64 over the raw bytes of both artifact files —
+  /// Reload() compares the fingerprint of the files on disk against this
+  /// to skip the swap when nothing changed (a SIGHUP against unchanged
+  /// files costs two file reads, no parsing, no generation bump).
+  uint64_t content_checksum = 0;
 };
 
 /// Loads a bundle from `paths` (strict checksummed loads) and assigns it
@@ -79,9 +87,14 @@ class BundleRegistry {
   Status LoadInitial(const BundlePaths& paths);
 
   /// Re-loads from the same paths into generation N+1 and publishes it.
+  /// When the artifacts on disk are unchanged since the serving bundle
+  /// loaded (content fingerprint match) the reload is skipped: OK is
+  /// returned, no generation bump, skipped_reload_count() increments.
+  /// `force` bypasses the fingerprint and always performs the full load —
+  /// the operator escape hatch for e.g. picking up a filesystem remount.
   /// On failure the previous generation keeps serving and the error is
   /// returned. Concurrent Reload calls are serialized.
-  Status Reload();
+  Status Reload(bool force = false);
 
   /// The current bundle; never null after a successful LoadInitial.
   /// Lock-free (atomic shared_ptr load) — callers hold the returned
@@ -96,8 +109,14 @@ class BundleRegistry {
     return bundle ? bundle->generation : 0;
   }
 
-  /// Number of successful reloads (initial load excluded).
+  /// Number of successful reloads (initial load excluded; short-circuited
+  /// reloads are counted separately).
   int64_t reload_count() const { return reloads_.load(std::memory_order_relaxed); }
+  /// Number of reloads skipped because the artifact files were
+  /// byte-identical to the serving bundle.
+  int64_t skipped_reload_count() const {
+    return skipped_reloads_.load(std::memory_order_relaxed);
+  }
   /// Number of failed reload attempts.
   int64_t failed_reload_count() const {
     return failed_reloads_.load(std::memory_order_relaxed);
@@ -114,6 +133,7 @@ class BundleRegistry {
   std::atomic<std::shared_ptr<const ModelBundle>> current_;
   std::mutex reload_mu_;  ///< Serializes Reload; never held on the read path.
   std::atomic<int64_t> reloads_{0};
+  std::atomic<int64_t> skipped_reloads_{0};
   std::atomic<int64_t> failed_reloads_{0};
   std::atomic<bool> last_reload_failed_{false};
 };

@@ -114,7 +114,7 @@ std::string ScoringService::Dispatch(const Request& request, Endpoint endpoint,
       status = HandleExamine(request, response);
       break;
     case Endpoint::kReload:
-      status = HandleReload(response);
+      status = HandleReload(request, response);
       break;
     case Endpoint::kStatsz:
       status = HandleStatsz(response);
@@ -257,18 +257,27 @@ Status ScoringService::HandleExamine(const Request& request, JsonWriter& respons
   return Status::OK();
 }
 
-Status ScoringService::HandleReload(JsonWriter& response) {
-  const Status status = registry_->Reload();
+Status ScoringService::HandleReload(const Request& request, JsonWriter& response) {
+  // "force" bypasses the unchanged-artifacts short-circuit (operator
+  // escape hatch; see BundleRegistry::Reload).
+  const bool force = request.Get("force", "false") == "true";
+  const uint64_t before = registry_->generation();
+  const Status status = registry_->Reload(force);
+  const uint64_t after = registry_->generation();
   if (status.ok()) {
-    // Entries of dead generations can never be hit again (keys embed the
-    // generation); flush them eagerly rather than waiting for LRU churn.
-    pair_cache_.Clear();
-    point_cache_.Clear();
+    if (after != before) {
+      // Entries of dead generations can never be hit again (keys embed the
+      // generation); flush them eagerly rather than waiting for LRU churn.
+      // A short-circuited reload (byte-identical artifacts) keeps both the
+      // generation and the warm caches.
+      pair_cache_.Clear();
+      point_cache_.Clear();
+    }
     reload_success_->Increment(1);
   } else {
     reload_failure_->Increment(1);
   }
-  response.Int("gen", static_cast<int64_t>(registry_->generation()));
+  response.Int("gen", static_cast<int64_t>(after)).Bool("skipped", status.ok() && after == before);
   return status;
 }
 
@@ -292,6 +301,7 @@ Status ScoringService::HandleStatsz(JsonWriter& response) {
                                   .Finish());
   response.Int("gen", static_cast<int64_t>(registry_->generation()))
       .Int("reloads", registry_->reload_count())
+      .Int("skipped_reloads", registry_->skipped_reload_count())
       .Int("failed_reloads", registry_->failed_reload_count());
   return Status::OK();
 }

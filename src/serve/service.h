@@ -102,7 +102,7 @@ class ScoringService {
   Status HandleScorePair(const Request& request, JsonWriter& response);
   Status HandlePredictCtr(const Request& request, JsonWriter& response);
   Status HandleExamine(const Request& request, JsonWriter& response);
-  Status HandleReload(JsonWriter& response);
+  Status HandleReload(const Request& request, JsonWriter& response);
   Status HandleStatsz(JsonWriter& response);
   Status HandleMetricsz(JsonWriter& response);
   Status HandleHealthz(JsonWriter& response);

@@ -123,7 +123,7 @@ TEST_P(ExtractionPropertyTest, PositionlessExtractionIsAntisymmetric) {
       for (const auto& [id, value] : net) {
         // Same-text rewrite features (pure moves) are order-symmetric by
         // design in positionless configs; everything else must cancel.
-        const std::string& name = t_registry.NameOf(id);
+        const std::string name(t_registry.NameOf(id));
         const bool self_rewrite =
             name.rfind("rw:", 0) == 0 && name.find("=>") != std::string::npos &&
             name.substr(3, name.find("=>") - 3) ==

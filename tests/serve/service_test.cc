@@ -230,7 +230,7 @@ TEST_F(ServiceTest, ReloadBumpsGenerationAndFlushesCaches) {
   EXPECT_EQ(before.Get("gen"), "1");
   HandleOk(service, line);  // Warm the cache.
 
-  const Request reload = HandleOk(service, R"({"type":"reload"})");
+  const Request reload = HandleOk(service, R"({"type":"reload","force":true})");
   EXPECT_EQ(reload.Get("gen"), "2");
   EXPECT_EQ(registry_.generation(), 2u);
   EXPECT_EQ(service.pair_cache_stats().size, 0);  // Flushed.
@@ -263,7 +263,7 @@ TEST_F(ServiceTest, InjectedLoadFaultKeepsPreviousGenerationServing) {
   const Request before = HandleOk(service, line);
 
   failpoint::Activate("serve.bundle.load", failpoint::Spec{});
-  auto reload = ParseRequest(service.HandleLine(R"({"type":"reload"})"));
+  auto reload = ParseRequest(service.HandleLine(R"({"type":"reload","force":true})"));
   failpoint::DeactivateAll();
   ASSERT_TRUE(reload.ok());
   EXPECT_EQ(reload->Get("ok"), "false");
@@ -339,7 +339,7 @@ TEST_F(ServiceTest, ReloadUnderSustainedLoadFailsNoRequests) {
     flaky.probability = 0.3;
     failpoint::Activate("serve.bundle.load", flaky);
     for (int i = 0; i < 25; ++i) {
-      service.HandleLine(R"({"type":"reload"})");
+      service.HandleLine(R"({"type":"reload","force":true})");
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
     failpoint::DeactivateAll();
@@ -390,7 +390,7 @@ TEST_F(ServiceTest, ConcurrentScoringAgreesAcrossGenerations) {
     });
   }
   std::thread reloader([&] {
-    for (int i = 0; i < 5; ++i) service.HandleLine(R"({"type":"reload"})");
+    for (int i = 0; i < 5; ++i) service.HandleLine(R"({"type":"reload","force":true})");
   });
   for (std::thread& worker : workers) worker.join();
   reloader.join();

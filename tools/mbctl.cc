@@ -14,6 +14,8 @@
 //   mbctl predict   --model model.txt --stats stats.tsv
 //                   --pairs pairs.tsv [--out margins.tsv]
 //   mbctl predict   --server host:port {--a ... --b ... | --pairs pairs.tsv}
+//   mbctl pack      {--stats stats.tsv | --model model.txt} --out artifact.mbp
+//   mbctl pack-inspect --pack artifact.mbp
 //
 // All artefacts are the TSV/text formats of io/serialization.h, so every
 // intermediate is inspectable with standard shell tools. Fault injection is
@@ -42,6 +44,7 @@
 #include "corpus/pair_extraction.h"
 #include "eval/experiments.h"
 #include "io/atomic_file.h"
+#include "io/pack_artifacts.h"
 #include "io/serialization.h"
 #include "microbrowse/optimizer.h"
 #include "microbrowse/pipeline.h"
@@ -182,6 +185,33 @@ void PrintLoadReport(const std::string& path, const LoadReport& report) {
   }
 }
 
+/// Loads a classifier from a TSV artifact or an mbpack (sniffed); the
+/// LoadReport only applies to the TSV path — packs are all-or-nothing.
+Result<SavedClassifier> LoadClassifierSniffed(const std::string& path,
+                                              const LoadOptions& options,
+                                              LoadReport* report) {
+  MB_ASSIGN_OR_RETURN(const bool is_pack, IsPackFile(path));
+  if (is_pack) {
+    // The pack open verified its checksums; report a clean load so
+    // PrintLoadReport stays silent.
+    report->checksum_present = true;
+    return LoadClassifierPack(path);
+  }
+  return LoadClassifier(path, options, report);
+}
+
+/// Loads a stats database from a TSV artifact or an mbpack (sniffed).
+Result<FeatureStatsDb> LoadFeatureStatsSniffed(const std::string& path,
+                                               const LoadOptions& options,
+                                               LoadReport* report) {
+  MB_ASSIGN_OR_RETURN(const bool is_pack, IsPackFile(path));
+  if (is_pack) {
+    report->checksum_present = true;
+    return LoadStatsPack(path);
+  }
+  return LoadFeatureStats(path, options, report);
+}
+
 /// One A/B row of a --pairs TSV: the two snippets plus the computed margin.
 struct PairRow {
   std::string a;
@@ -283,7 +313,7 @@ int CmdMine(const Flags& flags) {
   if (!load_options.ok()) return Fail(load_options.status());
   const std::string stats_path = flags.Get("--stats", "stats.tsv");
   LoadReport report;
-  auto db = LoadFeatureStats(stats_path, *load_options, &report);
+  auto db = LoadFeatureStatsSniffed(stats_path, *load_options, &report);
   if (!db.ok()) return Fail(db.status());
   PrintLoadReport(stats_path, report);
   const std::string prefix = flags.Get("--prefix", "rw:");
@@ -295,9 +325,9 @@ int CmdMine(const Flags& flags) {
   const size_t top = static_cast<size_t>(*top_flag);
 
   std::vector<std::pair<std::string, FeatureStat>> rows;
-  for (const auto& [key, stat] : db->stats()) {
+  db->ForEach([&](std::string_view key, const FeatureStat& stat) {
     if (StartsWith(key, prefix) && stat.total >= min_count) rows.emplace_back(key, stat);
-  }
+  });
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     return std::fabs(a.second.SmoothedP() - 0.5) > std::fabs(b.second.SmoothedP() - 0.5);
   });
@@ -389,6 +419,59 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+/// mbctl pack: converts a TSV artifact (exactly one of --stats / --model)
+/// into the equivalent mbpack container.
+int CmdPack(const Flags& flags) {
+  const bool has_stats = flags.Has("--stats");
+  const bool has_model = flags.Has("--model");
+  if (has_stats == has_model) {
+    std::fprintf(stderr, "pack needs exactly one of --stats stats.tsv / --model model.txt\n");
+    return 1;
+  }
+  auto load_options = RecoveryOptions(flags);
+  if (!load_options.ok()) return Fail(load_options.status());
+  if (has_stats) {
+    const std::string in = flags.Get("--stats");
+    const std::string out = flags.Get("--out", "stats.mbp");
+    LoadReport report;
+    auto db = LoadFeatureStats(in, *load_options, &report);
+    if (!db.ok()) return Fail(db.status());
+    PrintLoadReport(in, report);
+    if (const Status status = SaveStatsPack(*db, out); !status.ok()) return Fail(status);
+    std::printf("packed %zu feature statistics: %s -> %s\n", db->size(), in.c_str(),
+                out.c_str());
+    return 0;
+  }
+  const std::string in = flags.Get("--model");
+  const std::string out = flags.Get("--out", "model.mbp");
+  LoadReport report;
+  auto saved = LoadClassifier(in, *load_options, &report);
+  if (!saved.ok()) return Fail(saved.status());
+  PrintLoadReport(in, report);
+  if (const Status status =
+          SaveClassifierPack(saved->model, saved->t_registry, saved->p_registry, out);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("packed classifier (%zu T features, %zu P features): %s -> %s\n",
+              saved->t_registry.size(), saved->p_registry.size(), in.c_str(), out.c_str());
+  return 0;
+}
+
+/// mbctl pack-inspect: validates a pack exactly as hard as the serving
+/// open path and dumps header, section table and artifact metadata.
+int CmdPackInspect(const Flags& flags) {
+  const std::string path = flags.Get("--pack");
+  if (path.empty()) {
+    std::fprintf(stderr, "pack-inspect needs --pack file.mbp\n");
+    return 1;
+  }
+  auto description = DescribePack(path);
+  if (!description.ok()) return Fail(description.status());
+  std::fputs(description->c_str(), stdout);
+  return 0;
+}
+
 /// Emits batch margins: to --out as a checksummed TSV artifact, otherwise
 /// to stdout.
 int EmitMargins(const std::vector<PairRow>& rows, const std::vector<double>& margins,
@@ -447,12 +530,12 @@ int CmdPredict(const Flags& flags) {
   if (!load_options.ok()) return Fail(load_options.status());
   const std::string model_path = flags.Get("--model", "model.txt");
   LoadReport model_report;
-  auto saved = LoadClassifier(model_path, *load_options, &model_report);
+  auto saved = LoadClassifierSniffed(model_path, *load_options, &model_report);
   if (!saved.ok()) return Fail(saved.status());
   PrintLoadReport(model_path, model_report);
   const std::string stats_path = flags.Get("--stats", "stats.tsv");
   LoadReport stats_report;
-  auto db = LoadFeatureStats(stats_path, *load_options, &stats_report);
+  auto db = LoadFeatureStatsSniffed(stats_path, *load_options, &stats_report);
   if (!db.ok()) return Fail(db.status());
   PrintLoadReport(stats_path, stats_report);
   const ClassifierConfig config = ConfigByName(flags.Get("--model-type", "M6"));
@@ -498,6 +581,10 @@ void PrintUsage() {
       "  mbctl predict  --model model.txt --stats stats.tsv --pairs pairs.tsv [--out m.tsv]\n"
       "  mbctl predict  --server host:port {--a ... --b ... | --pairs pairs.tsv}\n"
       "                 [--retries N] [--deadline-ms N]\n"
+      "  mbctl pack     {--stats stats.tsv | --model model.txt} --out artifact.mbp\n"
+      "  mbctl pack-inspect --pack artifact.mbp\n"
+      "packs: predict --model/--stats and mbserved bundle paths accept TSV\n"
+      "artifacts and mbpack containers interchangeably (magic-byte sniff)\n"
       "recovery: loading commands accept --recovery strict|skip_and_log\n"
       "tracing: every command accepts --trace-out trace.json (common/trace.h)\n"
       "fault injection: MB_FAILPOINTS=name=spec,... (see common/failpoint.h)\n");
@@ -537,6 +624,13 @@ Result<Flags> ParseCommandFlags(const std::string& command, int argc, char** arg
                          "--trace-out"},
                         {});
   }
+  if (command == "pack") {
+    return Flags::Parse(argc, argv, {"--stats", "--model", "--out", "--recovery", "--trace-out"},
+                        {});
+  }
+  if (command == "pack-inspect") {
+    return Flags::Parse(argc, argv, {"--pack", "--trace-out"}, {});
+  }
   return Status::InvalidArgument("unknown command '" + command + "'");
 }
 
@@ -546,6 +640,8 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "mine") return CmdMine(flags);
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "pack") return CmdPack(flags);
+  if (command == "pack-inspect") return CmdPackInspect(flags);
   return CmdPredict(flags);
 }
 
