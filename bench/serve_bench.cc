@@ -19,19 +19,44 @@
 // enforced (>= 10x) only when MB_REQUIRE_COLD_SPEEDUP=1, mirroring the
 // hardware-conditional gate of train_bench.
 //
+// The final stage is the c10k soak: a real epoll-core Server on an
+// ephemeral port, MB_C10K_CONNS (default 10000) concurrent TCP
+// connections held open by one in-process epoll client loop, and
+// MB_C10K_ROUNDS (default 3) full ping sweeps across every connection.
+// Per-request latency is measured from the client side; the p99 is
+// reported always and enforced (<= MB_C10K_P99_MS, default 2000) only
+// when MB_REQUIRE_C10K=1 — loaded CI machines should not fail the build
+// on scheduler noise unless the job opted in. RLIMIT_NOFILE is raised to
+// its hard cap first; if the cap cannot fit 2 fds per connection the
+// stage scales the connection count down and says so.
+//
 // Environment: MB_ADGROUPS (default 200), MB_REQUESTS per worker (default
-// 500), MB_SEED, MB_COLDSTART_REPS (default 5), MB_BENCH_OUT,
-// MB_REQUIRE_COLD_SPEEDUP.
+// 500), MB_SEED, MB_COLDSTART_REPS (default 5), MB_C10K_CONNS (0 skips
+// the stage), MB_C10K_ROUNDS, MB_C10K_P99_MS, MB_REQUIRE_C10K,
+// MB_BENCH_OUT, MB_REQUIRE_COLD_SPEEDUP.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -49,6 +74,7 @@
 #include "microbrowse/stats_db.h"
 #include "serve/bundle.h"
 #include "serve/protocol.h"
+#include "serve/server.h"
 #include "serve/service.h"
 
 using namespace microbrowse;
@@ -140,6 +166,214 @@ double MeasureColdStartMs(const serve::BundlePaths& paths, const Snippet& a, con
   return ms[ms.size() / 2];
 }
 
+// ----------------------------------------------------------------- c10k stage
+
+/// Outcome of the 10k-connection soak against a real epoll-core server.
+struct C10kStats {
+  int requested = 0;    ///< Connections asked for (after the fd-cap clamp).
+  int established = 0;  ///< Connections actually standing concurrently.
+  int rounds = 0;
+  int64_t responses = 0;
+  int64_t failures = 0;  ///< Connect failures + responses that never came.
+  double connect_seconds = 0.0;
+  HistogramSnapshot latency;  ///< Client-side ping round trip, seconds.
+  bool ran = false;
+};
+
+/// Raises RLIMIT_NOFILE to its hard cap and returns the number of client
+/// connections that fit: the client and server live in one process, so
+/// each connection costs two fds, plus slack for everything else.
+int ClampConnsToFdLimit(int requested) {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return requested;
+  if (limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &limit);
+    (void)getrlimit(RLIMIT_NOFILE, &limit);
+  }
+  const rlim_t needed = static_cast<rlim_t>(requested) * 2 + 256;
+  if (limit.rlim_cur >= needed) return requested;
+  const int fit = static_cast<int>((limit.rlim_cur - 256) / 2);
+  std::fprintf(stderr,
+               "serve_bench: RLIMIT_NOFILE hard cap %llu fits only %d of %d "
+               "connections; scaling the c10k stage down\n",
+               static_cast<unsigned long long>(limit.rlim_cur), fit, requested);
+  return std::max(0, fit);
+}
+
+/// One client-side connection in the swarm.
+struct SwarmConn {
+  int fd = -1;
+  bool established = false;
+  std::chrono::steady_clock::time_point sent_at;
+  bool awaiting_response = false;
+};
+
+/// Drives `target_conns` concurrent connections against `port` from a
+/// single epoll loop — the client mirrors the server's own I/O model, so
+/// one process can stand up both sides of a 10k-connection soak.
+C10kStats RunC10k(uint16_t port, int target_conns, int rounds) {
+  C10kStats stats;
+  stats.requested = target_conns;
+  stats.rounds = rounds;
+  stats.ran = true;
+  Histogram latency;
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    std::fprintf(stderr, "serve_bench: epoll_create1: %s\n", std::strerror(errno));
+    stats.failures = target_conns;
+    return stats;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+
+  std::vector<SwarmConn> conns(static_cast<size_t>(target_conns));
+  std::unordered_map<int, int> index_by_fd;
+  index_by_fd.reserve(static_cast<size_t>(target_conns));
+  std::vector<epoll_event> events(4096);
+
+  // --- Connect storm: capped waves of non-blocking connects ---------------
+  WallTimer connect_timer;
+  int launched = 0;
+  int settled = 0;  // Established or failed.
+  int in_flight = 0;
+  constexpr int kConnectWave = 512;
+  const auto connect_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (settled < target_conns &&
+         std::chrono::steady_clock::now() < connect_deadline) {
+    while (launched < target_conns && in_flight < kConnectWave) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+      if (fd < 0) {
+        stats.failures++;
+        settled++;
+        launched++;
+        continue;
+      }
+      const int rc =
+          ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+      if (rc != 0 && errno != EINPROGRESS) {
+        stats.failures++;
+        settled++;
+        launched++;
+        ::close(fd);
+        continue;
+      }
+      conns[static_cast<size_t>(launched)].fd = fd;
+      index_by_fd[fd] = launched;
+      epoll_event event{};
+      event.events = EPOLLOUT;
+      event.data.fd = fd;
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event);
+      launched++;
+      in_flight++;
+    }
+    const int n = ::epoll_wait(epoll_fd, events.data(),
+                               static_cast<int>(events.size()), 1000);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<size_t>(i)].data.fd;
+      SwarmConn& conn = conns[static_cast<size_t>(index_by_fd[fd])];
+      if (conn.established) continue;
+      int error = 0;
+      socklen_t len = sizeof(error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len);
+      epoll_event event{};
+      event.data.fd = fd;
+      if (error == 0) {
+        conn.established = true;
+        stats.established++;
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        event.events = EPOLLIN;
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &event);
+      } else {
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        index_by_fd.erase(fd);
+        conn.fd = -1;
+        stats.failures++;
+      }
+      settled++;
+      in_flight--;
+    }
+  }
+  stats.failures += target_conns - settled;  // Connects that never resolved.
+  stats.connect_seconds = connect_timer.ElapsedSeconds();
+
+  // --- Ping sweeps: every standing connection, every round ----------------
+  const std::string ping = "{\"type\":\"ping\"}\n";
+  for (int round = 0; round < rounds; ++round) {
+    int64_t awaiting = 0;
+    for (SwarmConn& conn : conns) {
+      if (!conn.established) continue;
+      // A 17-byte request into an empty non-blocking socket: a short write
+      // here means the connection is sick, which the read side will count.
+      const ssize_t sent = ::send(conn.fd, ping.data(), ping.size(), MSG_NOSIGNAL);
+      if (sent != static_cast<ssize_t>(ping.size())) continue;
+      conn.sent_at = std::chrono::steady_clock::now();
+      conn.awaiting_response = true;
+      awaiting++;
+    }
+    const auto round_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    char chunk[4096];
+    while (awaiting > 0 && std::chrono::steady_clock::now() < round_deadline) {
+      const int n = ::epoll_wait(epoll_fd, events.data(),
+                                 static_cast<int>(events.size()), 1000);
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[static_cast<size_t>(i)].data.fd;
+        auto it = index_by_fd.find(fd);
+        if (it == index_by_fd.end()) continue;
+        SwarmConn& conn = conns[static_cast<size_t>(it->second)];
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0) {
+          if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+          // Closed under us mid-round: the missing response is counted when
+          // the round settles.
+          ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+          ::close(fd);
+          index_by_fd.erase(it);
+          conn.fd = -1;
+          conn.established = false;
+          if (conn.awaiting_response) {
+            conn.awaiting_response = false;
+            awaiting--;
+            stats.failures++;
+          }
+          continue;
+        }
+        // One ping in flight per connection, so any newline in the chunk is
+        // this round's response completing.
+        if (conn.awaiting_response &&
+            std::memchr(chunk, '\n', static_cast<size_t>(got)) != nullptr) {
+          latency.Record(std::chrono::duration_cast<std::chrono::duration<double>>(
+                             std::chrono::steady_clock::now() - conn.sent_at)
+                             .count());
+          conn.awaiting_response = false;
+          awaiting--;
+          stats.responses++;
+        }
+      }
+    }
+    for (SwarmConn& conn : conns) {
+      if (conn.awaiting_response) {  // Round timed out on this connection.
+        conn.awaiting_response = false;
+        stats.failures++;
+      }
+    }
+  }
+
+  for (SwarmConn& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  ::close(epoll_fd);
+  stats.latency = latency.Snapshot();
+  return stats;
+}
+
 /// One row of the concurrency x cache-regime sweep, kept for the JSON dump.
 struct SweepRow {
   int threads = 0;
@@ -153,7 +387,8 @@ struct SweepRow {
 
 void WriteBenchJson(const std::string& path, double tsv_cold_ms, double mbpack_cold_ms,
                     int cold_reps, bool cold_enforced, double worst_warm_speedup,
-                    const std::vector<SweepRow>& sweep) {
+                    const std::vector<SweepRow>& sweep, const C10kStats& c10k,
+                    double c10k_p99_bound_ms, bool c10k_enforced) {
   std::ofstream out(path, std::ios::trunc);
   const double cold_speedup = tsv_cold_ms / std::max(1e-9, mbpack_cold_ms);
   out << "{\n  \"bench\": \"serve\",\n";
@@ -180,7 +415,23 @@ void WriteBenchJson(const std::string& path, double tsv_cold_ms, double mbpack_c
         << StrFormat("\"hit_rate\": %.2f}", row.hit_rate) << (i + 1 < sweep.size() ? "," : "")
         << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  out << "  \"c10k\": {\n"
+      << "    \"description\": \"concurrent connections against the epoll core, "
+         "client-side ping round trip\",\n"
+      << "    \"ran\": " << (c10k.ran ? "true" : "false") << ",\n"
+      << StrFormat("    \"connections_requested\": %d,\n", c10k.requested)
+      << StrFormat("    \"connections_established\": %d,\n", c10k.established)
+      << StrFormat("    \"rounds\": %d,\n", c10k.rounds)
+      << StrFormat("    \"responses\": %lld,\n",
+                   static_cast<long long>(c10k.responses))
+      << StrFormat("    \"failures\": %lld,\n", static_cast<long long>(c10k.failures))
+      << StrFormat("    \"connect_seconds\": %.3f,\n", c10k.connect_seconds)
+      << StrFormat("    \"p50_ms\": %.2f,\n", c10k.latency.p50 * 1e3)
+      << StrFormat("    \"p95_ms\": %.2f,\n", c10k.latency.p95 * 1e3)
+      << StrFormat("    \"p99_ms\": %.2f,\n", c10k.latency.p99 * 1e3)
+      << StrFormat("    \"p99_bound_ms\": %.1f,\n", c10k_p99_bound_ms)
+      << "    \"enforced\": " << (c10k_enforced ? "true" : "false") << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -346,14 +597,77 @@ int main() {
                                                     : "(target: >=10x, NOT met)")
                             : "(target: >=10x, informational)");
 
+  // c10k: a real epoll-core server and 10k concurrent socket clients in
+  // this one process. Pings keep the payload trivial, so the number is the
+  // transport's — event-loop scheduling, queue admission and outbox
+  // flushing at connection counts where thread-per-connection would need
+  // 10k stacks.
+  const int c10k_requested = static_cast<int>(EnvInt("MB_C10K_CONNS", 10'000));
+  const int c10k_rounds = static_cast<int>(std::max<int64_t>(1, EnvInt("MB_C10K_ROUNDS", 3)));
+  const double c10k_p99_bound_ms =
+      static_cast<double>(EnvInt("MB_C10K_P99_MS", 2000));
+  const bool c10k_enforced = EnvInt("MB_REQUIRE_C10K", 0) > 0;
+  C10kStats c10k;
+  bool c10k_ok = true;
+  if (c10k_requested > 0) {
+    const int c10k_conns = ClampConnsToFdLimit(c10k_requested);
+    serve::ServerOptions c10k_options;
+    c10k_options.port = 0;
+    c10k_options.io_model = serve::IoModel::kEpoll;
+    c10k_options.num_threads = 4;
+    // Admission must fit a full sweep: every connection's ping can be
+    // queued at once.
+    c10k_options.max_queue = static_cast<size_t>(c10k_conns) + 1024;
+    c10k_options.idle_timeout_ms = 120'000;
+    c10k_options.listen_backlog = 4096;
+    serve::ScoringService c10k_service(&registry);
+    serve::Server c10k_server(&c10k_service, c10k_options);
+    auto c10k_port = c10k_server.Start();
+    if (!c10k_port.ok()) {
+      std::fprintf(stderr, "serve_bench: c10k server start failed: %s\n",
+                   c10k_port.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nc10k: %d connections x %d ping rounds against the epoll core...\n",
+                c10k_conns, c10k_rounds);
+    c10k = RunC10k(*c10k_port, c10k_conns, c10k_rounds);
+    c10k_server.Stop();
+    std::printf(
+        "c10k: established %d/%d in %.1fs, %lld responses, %lld failures, "
+        "ping p50 %.2f ms  p95 %.2f ms  p99 %.2f ms %s\n",
+        c10k.established, c10k.requested, c10k.connect_seconds,
+        static_cast<long long>(c10k.responses), static_cast<long long>(c10k.failures),
+        c10k.latency.p50 * 1e3, c10k.latency.p95 * 1e3, c10k.latency.p99 * 1e3,
+        c10k_enforced ? StrFormat("(bound: p99 <= %.0f ms, enforced)", c10k_p99_bound_ms).c_str()
+                      : "(informational; MB_REQUIRE_C10K=1 enforces)");
+    if (c10k_enforced) {
+      if (c10k.established < c10k.requested) {
+        std::fprintf(stderr, "serve_bench: c10k established %d < requested %d\n",
+                     c10k.established, c10k.requested);
+        c10k_ok = false;
+      }
+      if (c10k.failures != 0) {
+        std::fprintf(stderr, "serve_bench: c10k had %lld failures\n",
+                     static_cast<long long>(c10k.failures));
+        c10k_ok = false;
+      }
+      if (c10k.latency.p99 * 1e3 > c10k_p99_bound_ms) {
+        std::fprintf(stderr, "serve_bench: c10k p99 %.2f ms above the %.0f ms bound\n",
+                     c10k.latency.p99 * 1e3, c10k_p99_bound_ms);
+        c10k_ok = false;
+      }
+    }
+  }
+
   const std::string bench_out = [] {
     const char* env = std::getenv("MB_BENCH_OUT");
     return env != nullptr && *env != '\0' ? std::string(env) : std::string("BENCH_serve.json");
   }();
   WriteBenchJson(bench_out, tsv_cold_ms, mbpack_cold_ms, cold_reps, cold_enforced,
-                 worst_speedup, sweep);
+                 worst_speedup, sweep, c10k, c10k_p99_bound_ms, c10k_enforced);
   std::printf("wrote %s\n", bench_out.c_str());
 
   if (cold_enforced && cold_speedup < 10.0) return 1;
+  if (!c10k_ok) return 1;
   return worst_speedup >= 5.0 ? 0 : 1;
 }

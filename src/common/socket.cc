@@ -3,6 +3,7 @@
 #include "common/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -11,6 +12,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/string_util.h"
@@ -135,6 +137,87 @@ Status SendAll(const Socket& socket, std::string_view data) {
     }
     if (n < 0 && errno == EINTR) continue;
     return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status SendAllTimed(const Socket& socket, std::string_view data, int64_t timeout_ms) {
+  if (timeout_ms <= 0) return SendAll(socket, data);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // Wait for buffer space first: POLLOUT guarantees the following send
+    // accepts at least one byte, so each iteration either makes progress or
+    // charges the remaining budget. Total wall time is bounded by
+    // timeout_ms even against a peer that drains one byte per poll.
+    const auto now = std::chrono::steady_clock::now();
+    const int64_t remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    if (remaining_ms <= 0) {
+      return Status::DeadlineExceeded("send timed out: peer not reading");
+    }
+    pollfd pfd{};
+    pfd.fd = socket.fd();
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("send timed out: peer not reading");
+    }
+    const ssize_t n =
+        ::send(socket.fd(), data.data() + sent, data.size() - sent,
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<size_t> SendSome(const Socket& socket, std::string_view data) {
+  for (;;) {
+    const ssize_t n =
+        ::send(socket.fd(), data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("send");
+  }
+}
+
+Status SetNonBlocking(const Socket& socket, bool non_blocking) {
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int wanted = non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(socket.fd(), F_SETFL, wanted) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<Socket> AcceptNonBlocking(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();  // Backlog empty.
+    return Errno("accept");
+  }
+}
+
+Status SetSendBufferBytes(const Socket& socket, int bytes) {
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    return Errno("setsockopt(SO_SNDBUF)");
   }
   return Status::OK();
 }

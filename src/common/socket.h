@@ -69,8 +69,38 @@ Result<Socket> TcpAccept(const Socket& listener);
 Result<Socket> TcpConnect(const std::string& host, uint16_t port);
 
 /// Writes all of `data`, looping over partial sends. SIGPIPE is suppressed
-/// (MSG_NOSIGNAL); a closed peer surfaces as kIOError.
+/// (MSG_NOSIGNAL); a closed peer surfaces as kIOError. A send that cannot
+/// make progress blocks indefinitely — serving paths that must never pin a
+/// thread on a slow consumer use SendAllTimed or SendSome instead.
 Status SendAll(const Socket& socket, std::string_view data);
+
+/// SendAll with an overall wall-clock bound: each wait for socket-buffer
+/// space is a poll(POLLOUT) capped by the time remaining, so a peer that
+/// stops reading (or trickles acknowledgements) surfaces as
+/// kDeadlineExceeded within ~`timeout_ms` instead of pinning the caller in
+/// send(2) forever. `timeout_ms` <= 0 degrades to plain SendAll.
+Status SendAllTimed(const Socket& socket, std::string_view data, int64_t timeout_ms);
+
+/// One non-blocking send attempt: writes as much of `data` as the socket
+/// buffer accepts and returns the byte count (0 when the buffer is full —
+/// EAGAIN is not an error). The socket should be in non-blocking mode;
+/// kIOError covers real failures (EPIPE, ECONNRESET, ...).
+Result<size_t> SendSome(const Socket& socket, std::string_view data);
+
+/// Switches O_NONBLOCK on or off. The epoll reactor runs every connection
+/// (and its listener) non-blocking; the thread-per-connection path keeps
+/// blocking sockets.
+Status SetNonBlocking(const Socket& socket, bool non_blocking);
+
+/// accept(2) that treats an empty backlog as a normal outcome: returns an
+/// invalid Socket (valid() == false) on EAGAIN/EWOULDBLOCK instead of an
+/// error, for level-triggered accept loops on a non-blocking listener. The
+/// accepted socket is returned non-blocking with TCP_NODELAY set.
+Result<Socket> AcceptNonBlocking(const Socket& listener);
+
+/// Caps the kernel send buffer (SO_SNDBUF). Test hook: a tiny send buffer
+/// makes "peer stopped reading" reproducible in milliseconds.
+Status SetSendBufferBytes(const Socket& socket, int bytes);
 
 /// Arms SO_RCVTIMEO: a recv(2) with no data for `ms` milliseconds returns
 /// instead of blocking forever, surfacing through LineReader::ReadLine as

@@ -1,0 +1,59 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The connection contract between the server's request queue / worker pool
+// and whichever I/O core owns the transport. Both serving cores — the
+// epoll reactor (serve/reactor.h) and the legacy thread-per-connection
+// path (serve/server.cc) — hand the workers a Conn; the workers neither
+// know nor care whether a Write lands in a reactor outbox flushed on
+// EPOLLOUT or a bounded blocking send on a dedicated reader's socket.
+//
+// Lifetime: connections are shared_ptr-owned. The I/O core drops its
+// reference when the peer disconnects or is evicted; queued requests keep
+// theirs until answered, so a worker can always Write (the write is
+// silently dropped once `alive` is false — the response's requests were
+// already accounted in the serve metrics at HandleLine time, which is what
+// keeps the chaos accounting invariant exact across disconnects).
+
+#ifndef MICROBROWSE_SERVE_CONN_H_
+#define MICROBROWSE_SERVE_CONN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace microbrowse {
+namespace serve {
+
+/// One live client connection as seen by the request queue and workers.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+
+  /// Queues or sends one protocol response line; the '\n' terminator is
+  /// appended by the transport. Never blocks unboundedly: the reactor
+  /// enqueues and flushes on write-readiness, the legacy path sends under
+  /// a wall-clock bound and evicts on expiry. Dropped once !alive.
+  virtual void Write(std::string_view response_line) = 0;
+
+  /// Queues or sends raw bytes verbatim (the plain-HTTP fast path, where
+  /// the payload carries its own framing).
+  virtual void WriteRaw(std::string_view bytes) = 0;
+
+  /// Marks the connection dead and wakes/shuts the transport so its
+  /// resources are reclaimed. Safe from any thread; idempotent.
+  virtual void Kill() = 0;
+
+  /// False once the peer disconnected or the connection was evicted;
+  /// writes after that are dropped.
+  std::atomic<bool> alive{true};
+
+  /// Requests from this connection currently queued or executing — bounds
+  /// per-connection pipelining and defers idle eviction while a response
+  /// is still owed.
+  std::atomic<int64_t> inflight{0};
+};
+
+}  // namespace serve
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_SERVE_CONN_H_

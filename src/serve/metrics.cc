@@ -55,6 +55,7 @@ ServerMetrics::ServerMetrics(MetricRegistry* registry)
       deadline_exceeded(registry->GetCounter("mb.serve.deadline_exceeded")),
       drained(registry->GetCounter("mb.serve.drained")),
       idle_evicted(registry->GetCounter("mb.serve.idle_evicted")),
+      write_timeout(registry->GetCounter("mb.serve.write_timeout")),
       batch_size(registry->GetHistogram("mb.serve.batch_size")),
       endpoints_(MakeEndpoints(registry, std::make_index_sequence<kNumEndpoints>())) {}
 
@@ -79,6 +80,7 @@ std::string ServerMetrics::RenderStatszJson() const {
   top.Int("deadline_exceeded", deadline_exceeded->Value());
   top.Int("drained", drained->Value());
   top.Int("idle_evicted", idle_evicted->Value());
+  top.Int("write_timeout", write_timeout->Value());
   const HistogramSnapshot batches = batch_size->Snapshot();
   if (batches.count > 0) {
     top.Number("batch_size_mean", batches.mean()).Number("batch_size_max", batches.max);

@@ -9,8 +9,9 @@
 // Metric names follow the mb.<subsystem>.<name> scheme:
 // mb.serve.<endpoint>.{requests,errors,cache_hits,cache_misses,latency}
 // plus the server-level counters mb.serve.rejected_overload,
-// mb.serve.deadline_exceeded, mb.serve.drained, mb.serve.idle_evicted and
-// the mb.serve.batch_size histogram. The four refusal counters plus per-
+// mb.serve.deadline_exceeded, mb.serve.drained, mb.serve.idle_evicted,
+// mb.serve.write_timeout and the mb.serve.batch_size histogram. The four
+// refusal counters plus per-
 // endpoint ok responses exactly account for every request the server ever
 // read — the invariant the chaos soak harness asserts.
 
@@ -99,6 +100,12 @@ class ServerMetrics {
   Counter* drained;
   /// Connections evicted by the idle reaper (slow-loris / silent peers).
   Counter* idle_evicted;
+  /// Connections evicted because the peer stopped reading: a response
+  /// write made no progress for write_timeout_ms, or the pending-response
+  /// outbox outgrew its byte cap. Responses already accounted per-endpoint
+  /// may be dropped on such a connection — eviction is connection-scoped,
+  /// so this counter sits outside the request accounting invariant.
+  Counter* write_timeout;
   /// Batch-size distribution of the worker drain loop.
   ShardedHistogram* batch_size;
 

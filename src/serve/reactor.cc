@@ -1,0 +1,437 @@
+// Copyright 2026 The Microbrowse Authors
+
+#include "serve/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace microbrowse {
+namespace serve {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReactorConn
+// ---------------------------------------------------------------------------
+
+void ReactorConn::Write(std::string_view response_line) { Enqueue(response_line, true); }
+
+void ReactorConn::WriteRaw(std::string_view bytes) { Enqueue(bytes, false); }
+
+void ReactorConn::Enqueue(std::string_view bytes, bool terminate) {
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    if (!alive.load(std::memory_order_acquire) || overflowed_ || write_error_) return;
+    const size_t added = bytes.size() + (terminate ? 1 : 0);
+    outbox_.append(bytes.data(), bytes.size());
+    if (terminate) outbox_.push_back('\n');
+    reactor_->pending_out_bytes_.fetch_add(static_cast<int64_t>(added),
+                                           std::memory_order_acq_rel);
+    TryFlushLocked();
+    const size_t pending = PendingLocked();
+    if (pending > max_outbox_bytes_) {
+      // The peer is not reading: buffering its backlog without bound would
+      // let one stalled client consume arbitrary memory. Mark it for
+      // eviction; the reactor maps this onto mb.serve.write_timeout.
+      overflowed_ = true;
+    }
+    if ((pending > 0 || write_error_ || overflowed_) && !flush_requested_) {
+      flush_requested_ = true;
+      need_wake = true;
+    }
+  }
+  if (need_wake) reactor_->RequestFlush(shared_from_this());
+}
+
+bool ReactorConn::TryFlushLocked() {
+  while (out_start_ < outbox_.size()) {
+    Result<size_t> sent = SendSome(
+        socket_, std::string_view(outbox_.data() + out_start_, outbox_.size() - out_start_));
+    if (!sent.ok()) {
+      write_error_ = true;
+      return false;
+    }
+    if (*sent == 0) return false;  // Kernel buffer full — wait for EPOLLOUT.
+    out_start_ += *sent;
+    total_flushed_ += *sent;
+    reactor_->pending_out_bytes_.fetch_sub(static_cast<int64_t>(*sent),
+                                           std::memory_order_acq_rel);
+  }
+  outbox_.clear();
+  out_start_ = 0;
+  return true;
+}
+
+void ReactorConn::Kill() {
+  // Only mark and wake: the reactor thread alone releases the fd, so a
+  // worker's Kill can never race a close into a recycled descriptor.
+  if (alive.exchange(false, std::memory_order_acq_rel)) {
+    reactor_->RequestFlush(shared_from_this());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+Reactor::Reactor(ReactorHandler* handler, ReactorOptions options)
+    : handler_(handler), options_(std::move(options)) {}
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status Reactor::Init(int listener_fd) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  listener_fd_ = listener_fd;
+  const int flags = ::fcntl(listener_fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(listener_fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(listener O_NONBLOCK)");
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(ADD wakeup)");
+  }
+  ev.data.fd = listener_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(ADD listener)");
+  }
+  listener_registered_ = true;
+  return Status::OK();
+}
+
+void Reactor::Run() {
+  constexpr int kMaxEvents = 256;
+  std::vector<epoll_event> events(kMaxEvents);
+  Deadline next_tick = Deadline::AfterMillis(options_.tick_ms);
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (stop_accepting_.load(std::memory_order_acquire) && listener_registered_) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_fd_, nullptr);
+      listener_registered_ = false;
+    }
+
+    const int64_t wait_ms =
+        std::min<int64_t>(options_.tick_ms, next_tick.remaining_millis());
+    const int n = ::epoll_wait(epoll_fd_, events.data(), kMaxEvents,
+                               static_cast<int>(wait_ms));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // The epoll set itself failed; nothing recoverable remains.
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t count = 0;
+        while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listener_fd_) {
+        HandleAccept();
+        continue;
+      }
+      // Look the connection up by fd: an event for a connection closed
+      // earlier in this same batch simply misses (its fd is still held
+      // open in deferred_close_, so the kernel cannot have recycled it
+      // into a new connection yet).
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<ReactorConn> conn = it->second;
+      if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) HandleReadable(conn);
+      if ((ev & EPOLLOUT) && !conn->closed_) HandleWritable(conn);
+    }
+
+    DrainWakeups();
+
+    if (next_tick.expired()) {
+      HandleTick();
+      next_tick = Deadline::AfterMillis(options_.tick_ms);
+    }
+
+    deferred_close_.clear();  // Now the batch is over, released fds may close.
+  }
+
+  // Shutdown: every remaining connection leaves through the same door.
+  std::vector<std::shared_ptr<ReactorConn>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& entry : conns_) remaining.push_back(entry.second);
+  for (auto& conn : remaining) CloseConn(conn, CloseReason::kServerStop);
+  deferred_close_.clear();
+}
+
+void Reactor::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Reactor::StopAccepting() {
+  stop_accepting_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Reactor::Wake() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::RequestFlush(std::shared_ptr<ReactorConn> conn) {
+  {
+    std::lock_guard<std::mutex> lock(wakeup_mu_);
+    flush_queue_.push_back(std::move(conn));
+  }
+  Wake();
+}
+
+void Reactor::DrainWakeups() {
+  std::vector<std::shared_ptr<ReactorConn>> pending;
+  {
+    std::lock_guard<std::mutex> lock(wakeup_mu_);
+    pending.swap(flush_queue_);
+  }
+  for (const auto& conn : pending) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu_);
+      conn->flush_requested_ = false;
+      if (!conn->closed_) conn->TryFlushLocked();
+    }
+    if (!conn->closed_) UpdateWriteInterest(conn);
+  }
+}
+
+void Reactor::HandleAccept() {
+  for (;;) {
+    const int fd = ::accept4(listener_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN: backlog dry. Other errors: wait for the next event.
+    }
+    Socket socket(fd);
+    if (stop_accepting_.load(std::memory_order_acquire)) continue;  // Drop it.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf_bytes > 0) {
+      (void)SetSendBufferBytes(socket, options_.sndbuf_bytes);
+    }
+
+    auto conn =
+        std::make_shared<ReactorConn>(std::move(socket), this, options_, &buffer_pool_);
+    if (options_.idle_timeout_ms > 0) {
+      conn->idle_ = Deadline::AfterMillis(options_.idle_timeout_ms);
+    }
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) continue;  // Dtor closes.
+    conns_.emplace(fd, std::move(conn));
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void Reactor::HandleReadable(const std::shared_ptr<ReactorConn>& conn) {
+  if (conn->closed_) return;
+
+  char* tail = conn->in_.ReserveTail(options_.read_chunk_bytes);
+  const ssize_t n =
+      ::recv(conn->socket_.fd(), tail, options_.read_chunk_bytes, 0);
+  if (n == 0) {
+    CloseConn(conn, conn->in_.pending_bytes() > 0 ? CloseReason::kError
+                                                  : CloseReason::kEof);
+    return;
+  }
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConn(conn, CloseReason::kError);
+    return;
+  }
+  conn->in_.CommitTail(static_cast<size_t>(n));
+  if (conn->in_.overlong()) {
+    CloseConn(conn, CloseReason::kOverlongLine);
+    return;
+  }
+
+  // One recv, then every complete line it finished: pipelined requests
+  // already buffered dispatch without further syscalls. Level-triggered
+  // epoll re-notifies if the socket still has bytes after this chunk.
+  std::string_view line;
+  while (!conn->closed_ && !conn->close_after_flush_ &&
+         conn->alive.load(std::memory_order_acquire) && conn->in_.NextLine(&line)) {
+    handler_->OnLine(conn, line);
+  }
+  if (!conn->closed_) UpdateWriteInterest(conn);
+}
+
+void Reactor::HandleWritable(const std::shared_ptr<ReactorConn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu_);
+    conn->TryFlushLocked();
+  }
+  UpdateWriteInterest(conn);
+}
+
+void Reactor::UpdateWriteInterest(const std::shared_ptr<ReactorConn>& conn) {
+  if (conn->closed_) return;
+  bool error = false;
+  bool overflowed = false;
+  size_t pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu_);
+    error = conn->write_error_;
+    overflowed = conn->overflowed_;
+    pending = conn->PendingLocked();
+  }
+  if (error) {
+    CloseConn(conn, CloseReason::kError);
+    return;
+  }
+  if (overflowed) {
+    CloseConn(conn, CloseReason::kWriteTimeout);
+    return;
+  }
+  if (!conn->alive.load(std::memory_order_acquire)) {
+    CloseConn(conn, CloseReason::kHandler);
+    return;
+  }
+  if (pending == 0) {
+    if (conn->close_after_flush_) {
+      CloseConn(conn, CloseReason::kHandler);
+      return;
+    }
+    if (conn->want_write_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->socket_.fd();
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->socket_.fd(), &ev);
+      conn->want_write_ = false;
+    }
+  } else if (!conn->want_write_) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.fd = conn->socket_.fd();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->socket_.fd(), &ev);
+    conn->want_write_ = true;
+  }
+}
+
+void Reactor::HandleTick() {
+  std::vector<std::shared_ptr<ReactorConn>> snapshot;
+  snapshot.reserve(conns_.size());
+  for (auto& entry : conns_) snapshot.push_back(entry.second);
+
+  for (const auto& conn : snapshot) {
+    if (conn->closed_) continue;
+
+    const uint64_t bytes = conn->in_.total_bytes();
+    const bool quiet = bytes == conn->quiet_bytes_mark_;
+    conn->quiet_bytes_mark_ = bytes;
+    if (quiet) {
+      handler_->OnQuietTick(conn);
+      if (conn->closed_) continue;
+    }
+
+    size_t pending = 0;
+    uint64_t flushed = 0;
+    bool overflowed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu_);
+      pending = conn->PendingLocked();
+      flushed = conn->total_flushed_;
+      overflowed = conn->overflowed_;
+    }
+    if (overflowed) {
+      CloseConn(conn, CloseReason::kWriteTimeout);
+      continue;
+    }
+
+    // Write-stall detection: pending output that makes no flush progress
+    // across write_timeout_ms means the peer stopped reading. Progress is
+    // measured by ever-flushed bytes, so a trickling reader that still
+    // absorbs data keeps its connection.
+    if (pending == 0) {
+      conn->write_stall_ = Deadline::Infinite();
+    } else if (options_.write_timeout_ms > 0) {
+      if (conn->write_stall_.infinite() || flushed != conn->write_stall_mark_) {
+        conn->write_stall_mark_ = flushed;
+        conn->write_stall_ = Deadline::AfterMillis(options_.write_timeout_ms);
+      } else if (conn->write_stall_.expired()) {
+        CloseConn(conn, CloseReason::kWriteTimeout);
+        continue;
+      }
+    }
+
+    // Idle eviction mirrors the legacy reaper: byte movement (not complete
+    // requests) resets the clock, and a connection still owed a response
+    // (inflight > 0 or unflushed output) is busy, not idle.
+    if (options_.idle_timeout_ms > 0) {
+      if (bytes != conn->idle_bytes_mark_) {
+        conn->idle_bytes_mark_ = bytes;
+        conn->idle_ = Deadline::AfterMillis(options_.idle_timeout_ms);
+      } else if (conn->idle_.expired() &&
+                 conn->inflight.load(std::memory_order_acquire) == 0 &&
+                 pending == 0) {
+        CloseConn(conn, CloseReason::kIdle);
+        continue;
+      }
+    }
+
+    UpdateWriteInterest(conn);  // A quiet-tick HTTP response may be pending.
+  }
+}
+
+void Reactor::CloseConn(const std::shared_ptr<ReactorConn>& conn, CloseReason reason) {
+  if (conn->closed_) return;
+  conn->closed_ = true;
+  {
+    // Flip alive under out_mu_ so no Enqueue can add bytes after the
+    // pending-out accounting settles below.
+    std::lock_guard<std::mutex> lock(conn->out_mu_);
+    conn->alive.store(false, std::memory_order_release);
+    pending_out_bytes_.fetch_sub(static_cast<int64_t>(conn->PendingLocked()),
+                                 std::memory_order_acq_rel);
+    conn->outbox_.clear();
+    conn->out_start_ = 0;
+  }
+  handler_->OnClose(conn, reason);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->socket_.fd(), nullptr);
+  conn->socket_.Shutdown();
+  conns_.erase(conn->socket_.fd());
+  active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+  // The fd itself closes when the last reference drops — after this batch
+  // at the earliest (deferred_close_), later if a worker still owes the
+  // connection a (now dropped) response.
+  deferred_close_.push_back(conn);
+}
+
+}  // namespace serve
+}  // namespace microbrowse

@@ -15,11 +15,12 @@ namespace serve {
 
 namespace {
 
-/// Receive-timeout tick armed on every accepted socket. The tick bounds
-/// how long a reader stays blocked in recv(2) with a silent peer, which
-/// is what makes both the idle reaper and Stop() prompt; it must divide
-/// the idle timeout a few times over so eviction lands near the
-/// configured bound rather than up to a tick late.
+/// Tick cadence for the quiet-connection scans: the reactor's epoll_wait
+/// bound, and the receive timeout armed on every legacy socket. The tick
+/// bounds how long a silent peer goes unexamined, which is what makes
+/// both the idle reaper and Stop() prompt; it must divide the idle
+/// timeout a few times over so eviction lands near the configured bound
+/// rather than up to a tick late.
 int64_t ReadTickMs(int64_t idle_timeout_ms) {
   if (idle_timeout_ms <= 0) return 1000;
   return std::clamp<int64_t>(idle_timeout_ms / 4, 10, 1000);
@@ -51,7 +52,7 @@ Server::~Server() {
 
 Result<uint16_t> Server::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
-  auto listener = TcpListen(options_.port);
+  auto listener = TcpListen(options_.port, options_.listen_backlog);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(*listener);
   auto port = LocalPort(listener_);
@@ -61,7 +62,25 @@ Result<uint16_t> Server::Start() {
                                std::memory_order_relaxed);
   service_->AttachHealth(&health_);
   pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(options_.num_threads));
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.io_model == IoModel::kEpoll) {
+    ReactorOptions reactor_options;
+    reactor_options.tick_ms = ReadTickMs(options_.idle_timeout_ms);
+    reactor_options.max_line_bytes = options_.max_line_bytes;
+    reactor_options.max_outbox_bytes = options_.max_outbox_bytes;
+    reactor_options.write_timeout_ms = options_.write_timeout_ms;
+    reactor_options.idle_timeout_ms = options_.idle_timeout_ms;
+    reactor_options.sndbuf_bytes = options_.sndbuf_bytes;
+    reactor_ = std::make_unique<Reactor>(static_cast<ReactorHandler*>(this),
+                                         reactor_options);
+    const Status init = reactor_->Init(listener_.fd());
+    if (!init.ok()) {
+      reactor_.reset();
+      return init;
+    }
+    reactor_thread_ = std::thread([this] { reactor_->Run(); });
+  } else {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
   started_ = true;
   return port_;
 }
@@ -76,8 +95,12 @@ Status Server::Drain() {
   // Flip the health surface first so probes see "draining" before (not
   // after) requests start being refused.
   health_.draining.store(true, std::memory_order_release);
-  // Refuse new connections. Only shut the listener down — the fd stays
-  // open until Stop() has joined the accept thread.
+  // Refuse new connections. The reactor stops polling the listener; the
+  // shutdown additionally makes in-progress connects fail at the TCP
+  // level (and, on the legacy path, wakes the blocking accept). Only shut
+  // the listener down — the fd stays open until Stop() has joined the
+  // serving threads.
+  if (reactor_ != nullptr) reactor_->StopAccepting();
   listener_.Shutdown();
   MB_LOG(kInfo) << "drain started: waiting for "
                 << inflight_total_.load(std::memory_order_acquire)
@@ -88,7 +111,12 @@ Status Server::Drain() {
                                 : Deadline::Infinite();
   bool drained = false;
   for (;;) {
-    if (inflight_total_.load(std::memory_order_acquire) == 0) {
+    // A drained server has *delivered* its in-flight answers: on the
+    // reactor path a finished request may still sit in a connection
+    // outbox, so wait for those bytes to flush too (the legacy path
+    // delivers synchronously and always reports zero pending).
+    if (inflight_total_.load(std::memory_order_acquire) == 0 &&
+        (reactor_ == nullptr || reactor_->pending_out_bytes() == 0)) {
       drained = true;
       break;
     }
@@ -115,17 +143,22 @@ void Server::Stop() {
     return;
   }
   // Shutdown wakes an accept(2) blocked on the listener; the fd itself must
-  // stay open until the accept thread has joined, or the loop could race
+  // stay open until the serving threads have joined, or the loop could race
   // the close (and, with fd reuse, accept on an unrelated descriptor).
   listener_.Shutdown();
+  if (reactor_ != nullptr) {
+    reactor_->Stop();
+    if (reactor_thread_.joinable()) reactor_thread_.join();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
 
-  // Wake every reader blocked in recv, then join them. Taking ownership of
-  // connections_ here means a reader exiting concurrently finds itself
-  // already removed and leaves its thread handle for us to join via the
-  // Connection we hold.
-  std::vector<std::shared_ptr<Connection>> connections;
+  // Legacy path: wake every reader blocked in recv, then join them. Taking
+  // ownership of connections_ here means a reader exiting concurrently
+  // finds itself already removed and leaves its thread handle for us to
+  // join via the LegacyConn we hold. (The reactor path keeps both lists
+  // empty; its connections were closed when Run() returned.)
+  std::vector<std::shared_ptr<LegacyConn>> connections;
   std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
@@ -142,17 +175,296 @@ void Server::Stop() {
   for (std::thread& reader : finished) {
     if (reader.joinable()) reader.join();
   }
-  // Drain the worker pool: queued batches still run (their writes fail
-  // fast on the shut-down sockets), then the workers exit.
+  // Drain the worker pool: queued batches still run (their writes drop or
+  // fail fast on the dead connections), then the workers exit.
   if (pool_ != nullptr) {
     pool_->Wait();
     pool_.reset();
   }
+  // The workers are gone, so no Conn can reach into the reactor any more;
+  // only now may its wakeup plumbing be torn down.
+  reactor_.reset();
 }
 
 size_t Server::active_connections() {
+  if (reactor_ != nullptr) return reactor_->active_connections();
   std::lock_guard<std::mutex> lock(connections_mu_);
   return connections_.size();
+}
+
+size_t Server::finished_reader_handles() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  return finished_readers_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Request path shared by both serving cores
+// ---------------------------------------------------------------------------
+
+Deadline Server::RequestDeadline(std::string_view line) const {
+  // The substring probe keeps the common case (no per-request deadline)
+  // free of a second full parse; requests that do carry the field are
+  // parsed once here and once by the service, which is still cheap next
+  // to scoring.
+  if (line.find("\"deadline_ms\"") != std::string_view::npos) {
+    if (auto request = ParseRequest(line); request.ok() && request->Has("deadline_ms")) {
+      const std::string value = request->Get("deadline_ms");
+      int64_t ms = 0;
+      auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), ms);
+      if (ec == std::errc() && end == value.data() + value.size()) {
+        // Non-positive budgets are legal and already expired — the request
+        // is answered deadline_exceeded without scoring.
+        return Deadline::AfterMillis(ms);
+      }
+    }
+    // Malformed deadline_ms falls through to the server default; the
+    // request itself will fail field validation in the service if the
+    // whole line is unparsable.
+  }
+  return options_.default_deadline_ms > 0
+             ? Deadline::AfterMillis(options_.default_deadline_ms)
+             : Deadline::Infinite();
+}
+
+void Server::HandleRequestLine(const std::shared_ptr<Conn>& connection,
+                               std::string_view line) {
+  const int state = state_.load(std::memory_order_acquire);
+  if (state == kStopped) {
+    connection->Kill();
+    return;
+  }
+  if (state == kDraining) {
+    HandleLineDuringDrain(*connection, line);
+    return;
+  }
+
+  const size_t per_connection_cap = options_.max_inflight_per_connection;
+  if (per_connection_cap > 0 &&
+      connection->inflight.load(std::memory_order_acquire) >=
+          static_cast<int64_t>(per_connection_cap)) {
+    // One pipelining client may not monopolise the queue; the cap is a
+    // per-connection slice of admission control, so it reports as the
+    // same "overloaded" refusal as a full queue.
+    service_->metrics().rejected_overload->Increment(1);
+    WriteRefusal(*connection, line, "overloaded", -1);
+    return;
+  }
+
+  const Deadline request_deadline = RequestDeadline(line);
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() < options_.max_queue &&
+        state_.load(std::memory_order_relaxed) == kServing) {
+      // The only copy a served request ever takes: framing handed the
+      // line as a view into the connection's input buffer, and it must
+      // outlive the buffer once queued.
+      queue_.push_back(PendingRequest{connection, std::string(line), request_deadline});
+      connection->inflight.fetch_add(1, std::memory_order_acq_rel);
+      inflight_total_.fetch_add(1, std::memory_order_acq_rel);
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    pool_->Submit([this] { DrainBatch(); });
+    return;
+  }
+  if (state_.load(std::memory_order_acquire) == kDraining) {
+    // The drain flipped between the line read and the queue lock.
+    HandleLineDuringDrain(*connection, line);
+    return;
+  }
+  // Admission control: reject instead of queueing unboundedly. The
+  // response still echoes the id (when parseable) so pipelined clients
+  // can account for the shed request.
+  service_->metrics().rejected_overload->Increment(1);
+  WriteRefusal(*connection, line, "overloaded", -1);
+}
+
+void Server::HandleLineDuringDrain(Conn& connection, std::string_view line) {
+  auto request = ParseRequest(line);
+  const std::string type = request.ok() ? request->Get("type") : "";
+  if (ServedDuringDrain(type)) {
+    connection.Write(service_->HandleLine(line));
+    return;
+  }
+  service_->metrics().drained->Increment(1);
+  WriteRefusal(connection, line, "draining",
+               health_.retry_after_ms.load(std::memory_order_relaxed));
+}
+
+void Server::WriteRefusal(Conn& connection, std::string_view line,
+                          std::string_view error, int64_t retry_after_ms) {
+  JsonWriter response;
+  if (auto request = ParseRequest(line); request.ok() && request->Has("id")) {
+    response.String("id", request->Get("id"));
+  }
+  response.Bool("ok", false).String("error", error);
+  if (retry_after_ms >= 0) response.Int("retry_after_ms", retry_after_ms);
+  connection.Write(response.Finish());
+}
+
+void Server::DrainBatch() {
+  std::vector<PendingRequest> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    const size_t take = std::min(options_.max_batch, queue_.size());
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  // An earlier drain task may have taken this task's request already — one
+  // task is submitted per enqueue, and each drains up to max_batch.
+  if (batch.empty()) return;
+  service_->metrics().batch_size->Record(static_cast<double>(batch.size()));
+  for (PendingRequest& pending : batch) {
+    // Deadline check sits immediately before scoring: a request whose
+    // budget died in the queue is answered without burning a context on
+    // it. The deadline covers queue wait, not scoring — a request that
+    // starts in time finishes and is delivered.
+    if (pending.deadline.expired()) {
+      service_->metrics().deadline_exceeded->Increment(1);
+      WriteRefusal(*pending.connection, pending.line, "deadline_exceeded", -1);
+    } else {
+      pending.connection->Write(service_->HandleLine(pending.line));
+    }
+    pending.connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    inflight_total_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+std::string Server::BuildHttpResponse(std::string_view request_line) {
+  // "GET <path> HTTP/1.x" — split out the path (strip a trailing '\r'
+  // left by the CRLF line ending first).
+  std::string path;
+  {
+    std::string_view view = request_line;
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    const size_t path_begin = view.find(' ');
+    const size_t path_end = view.find(' ', path_begin + 1);
+    if (path_begin != std::string_view::npos) {
+      path = std::string(view.substr(path_begin + 1, path_end == std::string_view::npos
+                                                         ? std::string_view::npos
+                                                         : path_end - path_begin - 1));
+    }
+  }
+  if (!path.empty() && path.size() > 1 && path.back() == '/') path.pop_back();
+  std::string body;
+  std::string status_line;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (path == "/metricsz") {
+    status_line = "HTTP/1.0 200 OK";
+    body = service_->RenderMetricsText();
+  } else if (path == "/healthz" || path == "/readyz") {
+    // Route through the same service handlers as the protocol endpoints
+    // so HTTP probes and protocol probes can never disagree. readyz maps
+    // not-ready onto 503 for load balancers that only look at the status.
+    const std::string request =
+        path == "/healthz" ? R"({"type":"healthz"})" : R"({"type":"readyz"})";
+    body = service_->HandleLine(request);
+    const bool ready = body.find("\"ok\":true") != std::string::npos;
+    status_line = (path == "/healthz" || ready) ? "HTTP/1.0 200 OK"
+                                                : "HTTP/1.0 503 Service Unavailable";
+    content_type = "application/json";
+    body += "\n";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "not found; try /metricsz, /healthz or /readyz\n";
+  }
+  std::string response = status_line + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor core (ReactorHandler)
+// ---------------------------------------------------------------------------
+
+void Server::OnLine(const std::shared_ptr<ReactorConn>& conn, std::string_view line) {
+  if (conn->http_pending) {
+    // An HTTP request's header lines; their content is irrelevant for a
+    // scrape. The blank line ends them and triggers the response.
+    if (line.empty()) FinishHttp(conn);
+    return;
+  }
+  if (line.empty()) return;
+  if (StartsWith(line, "GET ")) {
+    // Plain-HTTP fast path so `curl http://host:port/metricsz` (and
+    // /healthz, /readyz) works without speaking the newline-JSON
+    // protocol. One response, then close (HTTP/1.0 semantics).
+    conn->http_pending = true;
+    conn->http_request_line.assign(line.data(), line.size());
+    return;
+  }
+  HandleRequestLine(conn, line);
+}
+
+void Server::FinishHttp(const std::shared_ptr<ReactorConn>& conn) {
+  conn->http_pending = false;
+  conn->WriteRaw(BuildHttpResponse(conn->http_request_line));
+  conn->CloseAfterFlush();
+}
+
+void Server::OnQuietTick(const std::shared_ptr<ReactorConn>& conn) {
+  if (conn->http_pending) {
+    // Slow-loris backstop: a GET whose headers never finish is answered
+    // after the first quiet tick, matching the legacy receive-timeout
+    // behaviour.
+    FinishHttp(conn);
+  }
+}
+
+void Server::OnClose(const std::shared_ptr<ReactorConn>& conn, CloseReason reason) {
+  (void)conn;
+  switch (reason) {
+    case CloseReason::kIdle:
+      service_->metrics().idle_evicted->Increment(1);
+      break;
+    case CloseReason::kWriteTimeout:
+      service_->metrics().write_timeout->Increment(1);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy thread-per-connection core
+// ---------------------------------------------------------------------------
+
+void Server::LegacyConn::Write(std::string_view response_line) {
+  std::string framed;
+  framed.reserve(response_line.size() + 1);
+  framed.append(response_line);
+  framed.push_back('\n');
+  SendBounded(framed);
+}
+
+void Server::LegacyConn::WriteRaw(std::string_view bytes) { SendBounded(bytes); }
+
+void Server::LegacyConn::SendBounded(std::string_view framed) {
+  if (!alive.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(write_mu);
+  const Status status =
+      SendAllTimed(socket, framed, server->options_.write_timeout_ms);
+  if (status.ok()) return;
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    // The peer stopped reading: an unbounded send here would pin the
+    // calling worker inside write_mu (and every other worker with a
+    // response for this connection behind it) indefinitely. Evict.
+    server->service_->metrics().write_timeout->Increment(1);
+  }
+  alive.store(false, std::memory_order_relaxed);
+  socket.Shutdown();
+}
+
+void Server::LegacyConn::Kill() {
+  alive.store(false, std::memory_order_relaxed);
+  socket.Shutdown();
 }
 
 void Server::AcceptLoop() {
@@ -172,8 +484,11 @@ void Server::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    auto connection = std::make_shared<Connection>();
+    auto connection = std::make_shared<LegacyConn>(this);
     connection->socket = std::move(*accepted);
+    if (options_.sndbuf_bytes > 0) {
+      (void)SetSendBufferBytes(connection->socket, options_.sndbuf_bytes);
+    }
     std::lock_guard<std::mutex> lock(connections_mu_);
     if (state_.load(std::memory_order_acquire) != kServing) {
       connection->socket.Shutdown();
@@ -195,32 +510,7 @@ void Server::ReapFinishedReaders() {
   }
 }
 
-Deadline Server::RequestDeadline(const std::string& line) const {
-  // The substring probe keeps the common case (no per-request deadline)
-  // free of a second full parse; requests that do carry the field are
-  // parsed once here and once by the service, which is still cheap next
-  // to scoring.
-  if (line.find("\"deadline_ms\"") != std::string::npos) {
-    if (auto request = ParseRequest(line); request.ok() && request->Has("deadline_ms")) {
-      const std::string value = request->Get("deadline_ms");
-      int64_t ms = 0;
-      auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), ms);
-      if (ec == std::errc() && end == value.data() + value.size()) {
-        // Non-positive budgets are legal and already expired — the request
-        // is answered deadline_exceeded without scoring.
-        return Deadline::AfterMillis(ms);
-      }
-    }
-    // Malformed deadline_ms falls through to the server default; the
-    // request itself will fail field validation in the service if the
-    // whole line is unparsable.
-  }
-  return options_.default_deadline_ms > 0
-             ? Deadline::AfterMillis(options_.default_deadline_ms)
-             : Deadline::Infinite();
-}
-
-void Server::ReadLoop(std::shared_ptr<Connection> connection) {
+void Server::ReadLoop(std::shared_ptr<LegacyConn> connection) {
   const int64_t idle_timeout_ms = options_.idle_timeout_ms;
   const int64_t tick_ms = ReadTickMs(idle_timeout_ms);
   // The receive timeout turns a reader parked in recv(2) into a polling
@@ -263,143 +553,41 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
                                : Deadline::Infinite();
     if (line.empty()) continue;
     if (StartsWith(line, "GET ")) {
-      // Plain-HTTP fast path so `curl http://host:port/metricsz` (and
-      // /healthz, /readyz) works without speaking the newline-JSON
-      // protocol. One response, then close (HTTP/1.0 semantics).
       HandleHttpGet(*connection, reader, line);
       break;
     }
-
-    const int state = state_.load(std::memory_order_acquire);
-    if (state == kStopped) break;
-    if (state == kDraining) {
-      HandleLineDuringDrain(*connection, line);
-      continue;
-    }
-
-    const size_t per_connection_cap = options_.max_inflight_per_connection;
-    if (per_connection_cap > 0 &&
-        connection->inflight.load(std::memory_order_acquire) >=
-            static_cast<int64_t>(per_connection_cap)) {
-      // One pipelining client may not monopolise the queue; the cap is a
-      // per-connection slice of admission control, so it reports as the
-      // same "overloaded" refusal as a full queue.
-      service_->metrics().rejected_overload->Increment(1);
-      WriteRefusal(*connection, line, "overloaded", -1);
-      continue;
-    }
-
-    const Deadline request_deadline = RequestDeadline(line);
-    bool admitted = false;
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (queue_.size() < options_.max_queue &&
-          state_.load(std::memory_order_relaxed) == kServing) {
-        queue_.push_back(PendingRequest{connection, line, request_deadline});
-        connection->inflight.fetch_add(1, std::memory_order_acq_rel);
-        inflight_total_.fetch_add(1, std::memory_order_acq_rel);
-        admitted = true;
-      }
-    }
-    if (admitted) {
-      pool_->Submit([this] { DrainBatch(); });
-      continue;
-    }
-    if (state_.load(std::memory_order_acquire) == kDraining) {
-      // The drain flipped between the line read and the queue lock.
-      HandleLineDuringDrain(*connection, line);
-      continue;
-    }
-    // Admission control: reject instead of queueing unboundedly. The
-    // response still echoes the id (when parseable) so pipelined clients
-    // can account for the shed request.
-    service_->metrics().rejected_overload->Increment(1);
-    WriteRefusal(*connection, line, "overloaded", -1);
+    HandleRequestLine(connection, line);
+    if (!connection->alive.load(std::memory_order_acquire)) break;
   }
   connection->alive.store(false, std::memory_order_relaxed);
   connection->socket.Shutdown();
   // Reclaim per-connection resources now, not at Stop(): remove the
   // connection from connections_ and leave this thread's own handle on the
-  // finished list for AcceptLoop/Stop to join. Queued requests still hold
-  // the shared_ptr; the fd closes when the last reference drops. If Stop()
-  // already emptied connections_, it owns the join via its snapshot.
-  std::lock_guard<std::mutex> lock(connections_mu_);
-  auto it = std::find(connections_.begin(), connections_.end(), connection);
-  if (it != connections_.end()) {
-    finished_readers_.push_back(std::move(connection->reader));
-    connections_.erase(it);
-  }
-}
-
-void Server::HandleLineDuringDrain(Connection& connection, const std::string& line) {
-  auto request = ParseRequest(line);
-  const std::string type = request.ok() ? request->Get("type") : "";
-  if (ServedDuringDrain(type)) {
-    WriteResponse(connection, service_->HandleLine(line));
-    return;
-  }
-  service_->metrics().drained->Increment(1);
-  WriteRefusal(connection, line, "draining",
-               health_.retry_after_ms.load(std::memory_order_relaxed));
-}
-
-void Server::WriteRefusal(Connection& connection, const std::string& line,
-                          std::string_view error, int64_t retry_after_ms) {
-  JsonWriter response;
-  if (auto request = ParseRequest(line); request.ok() && request->Has("id")) {
-    response.String("id", request->Get("id"));
-  }
-  response.Bool("ok", false).String("error", error);
-  if (retry_after_ms >= 0) response.Int("retry_after_ms", retry_after_ms);
-  WriteResponse(connection, response.Finish());
-}
-
-void Server::DrainBatch() {
-  std::vector<PendingRequest> batch;
+  // finished list — after taking over the handles earlier exits left
+  // there, so churn against a quiet listener cannot accumulate unjoined
+  // threads (the accept loop only reaps when a *new* connection arrives).
+  // Joining happens outside the lock; the swap can never hand this thread
+  // its own handle, because that is pushed only after the swap. Queued
+  // requests still hold the shared_ptr; the fd closes when the last
+  // reference drops. If Stop() already emptied connections_, it owns the
+  // join via its snapshot.
+  std::vector<std::thread> finished;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    const size_t take = std::min(options_.max_batch, queue_.size());
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    auto it = std::find(connections_.begin(), connections_.end(), connection);
+    if (it != connections_.end()) {
+      finished.swap(finished_readers_);
+      finished_readers_.push_back(std::move(connection->reader));
+      connections_.erase(it);
     }
   }
-  // An earlier drain task may have taken this task's request already — one
-  // task is submitted per enqueue, and each drains up to max_batch.
-  if (batch.empty()) return;
-  service_->metrics().batch_size->Record(static_cast<double>(batch.size()));
-  for (PendingRequest& pending : batch) {
-    // Deadline check sits immediately before scoring: a request whose
-    // budget died in the queue is answered without burning a context on
-    // it. The deadline covers queue wait, not scoring — a request that
-    // starts in time finishes and is delivered.
-    if (pending.deadline.expired()) {
-      service_->metrics().deadline_exceeded->Increment(1);
-      WriteRefusal(*pending.connection, pending.line, "deadline_exceeded", -1);
-    } else {
-      WriteResponse(*pending.connection, service_->HandleLine(pending.line));
-    }
-    pending.connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
-    inflight_total_.fetch_sub(1, std::memory_order_acq_rel);
+  for (std::thread& exited : finished) {
+    if (exited.joinable()) exited.join();
   }
 }
 
-void Server::HandleHttpGet(Connection& connection, LineReader& reader,
+void Server::HandleHttpGet(LegacyConn& connection, LineReader& reader,
                            const std::string& request_line) {
-  // "GET <path> HTTP/1.x" — split out the path (strip a trailing '\r'
-  // left by the CRLF line ending first).
-  std::string path;
-  {
-    std::string_view view = request_line;
-    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
-    const size_t path_begin = view.find(' ');
-    const size_t path_end = view.find(' ', path_begin + 1);
-    if (path_begin != std::string_view::npos) {
-      path = std::string(view.substr(path_begin + 1, path_end == std::string_view::npos
-                                                         ? std::string_view::npos
-                                                         : path_end - path_begin - 1));
-    }
-  }
   // Drain the request headers up to the blank line; their content is
   // irrelevant for a scrape. (The receive-timeout tick bounds this loop
   // too: a slow-loris that sends "GET / HTTP/1.0" and then dribbles
@@ -410,46 +598,7 @@ void Server::HandleHttpGet(Connection& connection, LineReader& reader,
     if (!got.ok() || !*got) break;
     if (header.empty() || header == "\r") break;
   }
-  if (!path.empty() && path.size() > 1 && path.back() == '/') path.pop_back();
-  std::string body;
-  std::string status_line;
-  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
-  if (path == "/metricsz") {
-    status_line = "HTTP/1.0 200 OK";
-    body = service_->RenderMetricsText();
-  } else if (path == "/healthz" || path == "/readyz") {
-    // Route through the same service handlers as the protocol endpoints
-    // so HTTP probes and protocol probes can never disagree. readyz maps
-    // not-ready onto 503 for load balancers that only look at the status.
-    const std::string request =
-        path == "/healthz" ? R"({"type":"healthz"})" : R"({"type":"readyz"})";
-    body = service_->HandleLine(request);
-    const bool ready = body.find("\"ok\":true") != std::string::npos;
-    status_line = (path == "/healthz" || ready) ? "HTTP/1.0 200 OK"
-                                                : "HTTP/1.0 503 Service Unavailable";
-    content_type = "application/json";
-    body += "\n";
-  } else {
-    status_line = "HTTP/1.0 404 Not Found";
-    body = "not found; try /metricsz, /healthz or /readyz\n";
-  }
-  std::string response = status_line + "\r\n";
-  response += "Content-Type: " + content_type + "\r\n";
-  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  response += "Connection: close\r\n\r\n";
-  response += body;
-  std::lock_guard<std::mutex> lock(connection.write_mu);
-  (void)SendAll(connection.socket, response);
-}
-
-void Server::WriteResponse(Connection& connection, const std::string& response) {
-  if (!connection.alive.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(connection.write_mu);
-  const Status status = SendAll(connection.socket, response + "\n");
-  if (!status.ok()) {
-    connection.alive.store(false, std::memory_order_relaxed);
-    connection.socket.Shutdown();
-  }
+  connection.WriteRaw(BuildHttpResponse(request_line));
 }
 
 }  // namespace serve

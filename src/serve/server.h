@@ -1,29 +1,47 @@
 // Copyright 2026 The Microbrowse Authors
 //
-// The mbserved network front end. One reader thread per connection parses
-// newline-delimited requests and enqueues them into one bounded queue;
-// the mb_common thread pool drains the queue in batches (amortising the
-// queue lock and keeping workers hot under load) and writes each response
-// back on its connection. Admission control is reader-side: when the
-// queue is at capacity (or one connection exceeds its in-flight cap) the
-// request is answered immediately with {"ok":false,"error":"overloaded"}
-// instead of queueing unboundedly — under overload the server sheds load
-// at constant latency rather than building an ever-longer tail.
+// The mbserved network front end. Two I/O cores share one request path:
+//
+//   kEpoll (default): a single reactor thread multiplexes every
+//   connection through a level-triggered epoll set (serve/reactor.h) —
+//   non-blocking sockets, pooled zero-copy line framing, responses queued
+//   into per-connection outboxes and flushed on write-readiness. 10k
+//   connections cost 10k fds and buffers, not 10k threads.
+//
+//   kLegacyThreads: the original thread-per-connection path — one reader
+//   thread per socket, blocking reads under a receive-timeout tick,
+//   responses delivered synchronously under a per-connection write lock
+//   (bounded by write_timeout_ms). Kept as an operational escape hatch
+//   (mbserved --io-model=threads) and as the parity baseline for the
+//   reactor test suite.
+//
+// Both cores feed the same bounded request queue; the mb_common thread
+// pool drains it in batches (amortising the queue lock and keeping
+// workers hot under load) and writes each response back through the
+// transport-agnostic Conn interface (serve/conn.h). Admission control is
+// intake-side: when the queue is at capacity (or one connection exceeds
+// its in-flight cap) the request is answered immediately with
+// {"ok":false,"error":"overloaded"} instead of queueing unboundedly —
+// under overload the server sheds load at constant latency rather than
+// building an ever-longer tail.
 //
 // Every request carries a deadline (its own "deadline_ms" field, or
 // ServerOptions.default_deadline_ms): a queued request whose budget is
 // already spent when a worker reaches it is answered
 // {"ok":false,"error":"deadline_exceeded"} *without* being scored, so an
 // overloaded server burns no work on answers nobody is waiting for.
-// Connections that go quiet past the idle timeout are evicted by a
-// receive-timeout tick in the reader (slow-loris defence; the tick also
-// makes Stop() prompt for connected-but-silent peers).
+// Connections that move no bytes past the idle timeout are evicted (on
+// the reactor's tick, or the legacy reader's receive-timeout tick), and
+// connections whose peer stops *reading* are evicted after
+// write_timeout_ms (the mb.serve.write_timeout counter) — a stalled
+// consumer can pin neither a worker nor unbounded outbox memory.
 //
 // Shutdown is a state machine: serving -> draining -> stopped. Drain()
 // (SIGTERM in mbserved) closes the listener, refuses new work with
 // {"ok":false,"error":"draining","retry_after_ms":N}, lets in-flight
-// requests finish up to a drain deadline, then hard-stops. healthz/readyz
-// keep answering through the drain so routers can see the state flip.
+// requests finish — and, on the reactor path, their responses flush —
+// up to a drain deadline, then hard-stops. healthz/readyz keep answering
+// through the drain so routers can see the state flip.
 //
 // Responses to a pipelined connection may arrive out of order (batching
 // workers run concurrently); clients that pipeline tag requests with
@@ -33,11 +51,12 @@
 #define MICROBROWSE_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -45,16 +64,27 @@
 #include "common/result.h"
 #include "common/socket.h"
 #include "common/thread_pool.h"
+#include "serve/conn.h"
 #include "serve/health.h"
+#include "serve/reactor.h"
 #include "serve/service.h"
 
 namespace microbrowse {
 namespace serve {
 
+/// Which serving core owns the sockets.
+enum class IoModel {
+  kEpoll = 0,          ///< One reactor thread, non-blocking I/O (default).
+  kLegacyThreads = 1,  ///< One blocking reader thread per connection.
+};
+
 /// Server configuration.
 struct ServerOptions {
   uint16_t port = 7077;  ///< 0 = kernel-assigned (tests).
   int num_threads = 4;   ///< Scoring worker threads.
+  /// Serving core; kLegacyThreads is the operational escape hatch should
+  /// the reactor misbehave in some environment.
+  IoModel io_model = IoModel::kEpoll;
   /// Bounded request queue; requests beyond it are rejected with
   /// "overloaded".
   size_t max_queue = 1024;
@@ -72,6 +102,15 @@ struct ServerOptions {
   /// still in flight are never idle-evicted — a client silently awaiting
   /// a slow response is waiting, not dead. 0 disables eviction.
   int64_t idle_timeout_ms = 60'000;
+  /// A connection whose peer stops reading our responses is evicted after
+  /// this long without write progress (mb.serve.write_timeout). On the
+  /// legacy path this bounds the blocking send; on the reactor path it
+  /// bounds outbox staleness. 0 disables the bound (legacy sends may then
+  /// block indefinitely — the pre-timeout behaviour).
+  int64_t write_timeout_ms = 5'000;
+  /// Reactor path only: pending unflushed response bytes beyond which a
+  /// slow consumer is evicted immediately (also mb.serve.write_timeout).
+  size_t max_outbox_bytes = 4 << 20;
   /// Requests one connection may have queued or executing before further
   /// reads on it are refused with "overloaded". 0 = unlimited.
   size_t max_inflight_per_connection = 128;
@@ -79,29 +118,38 @@ struct ServerOptions {
   int64_t drain_deadline_ms = 5'000;
   /// Advertised in "draining" refusals and the readyz response.
   int64_t drain_retry_after_ms = 500;
+  /// Test hook: SO_SNDBUF for accepted sockets (0 = kernel default). A
+  /// tiny send buffer makes "peer stopped reading" reproducible in
+  /// milliseconds instead of after megabytes.
+  int sndbuf_bytes = 0;
+  /// listen(2) backlog. The default rides out ordinary bursts; the c10k
+  /// bench raises it so a connect storm is not throttled by SYN drops
+  /// (the kernel clamps to net.core.somaxconn).
+  int listen_backlog = 64;
 };
 
 /// TCP front end over a ScoringService.
-class Server {
+class Server : private ReactorHandler {
  public:
   /// `service` must outlive the server.
   Server(ScoringService* service, ServerOptions options);
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the accept loop + worker pool. Returns the
-  /// bound port.
+  /// Binds, listens and starts the serving core + worker pool. Returns
+  /// the bound port.
   Result<uint16_t> Start();
 
   /// Graceful drain: closes the listener, flips healthz/readyz to
   /// "draining", answers new requests on existing connections with
   /// {"error":"draining","retry_after_ms":N}, waits for queued and
-  /// executing requests up to options.drain_deadline_ms, then Stop()s.
-  /// Returns OK when everything in flight completed, kDeadlineExceeded
-  /// when the hard stop abandoned work. FailedPrecondition when not
-  /// serving (never started, already draining, or stopped).
+  /// executing requests (and, on the reactor path, unflushed responses)
+  /// up to options.drain_deadline_ms, then Stop()s. Returns OK when
+  /// everything in flight completed, kDeadlineExceeded when the hard stop
+  /// abandoned work. FailedPrecondition when not serving (never started,
+  /// already draining, or stopped).
   Status Drain();
 
   /// Stops accepting, closes every connection, drains workers and joins
@@ -110,9 +158,16 @@ class Server {
 
   uint16_t port() const { return port_; }
 
-  /// Connections with a live reader. Drops to zero once every client has
-  /// disconnected and been reaped (test hook).
+  /// Live connections (reactor-registered, or with a live legacy reader).
+  /// Drops to zero once every client has disconnected and been reaped
+  /// (test hook).
   size_t active_connections();
+
+  /// Legacy path: reader thread handles awaiting a join. Bounded by the
+  /// exit-path reap — each exiting reader joins its predecessors — so it
+  /// cannot grow with connection churn (test hook; the reactor path has
+  /// no reader threads and always reports 0).
+  size_t finished_reader_handles();
 
   /// True from Drain() (or Stop()) onward — new scoring work is refused.
   bool draining() const {
@@ -128,46 +183,71 @@ class Server {
   /// serving -> draining -> stopped; the only legal transitions.
   enum State : int { kServing = 0, kDraining = 1, kStopped = 2 };
 
-  /// One live client connection; readers and workers share it via
-  /// shared_ptr so a response can still be written (or skipped) after the
-  /// reader saw EOF. Owns its reader thread: the handle is either joined
-  /// by Stop() or moved onto the finished-readers list when the reader
-  /// exits on its own.
-  struct Connection {
+  /// One legacy-path client connection: a blocking socket written under a
+  /// per-connection lock, owned by its reader thread. The reader's handle
+  /// is either joined by Stop() or moved onto the finished-readers list
+  /// when the reader exits on its own.
+  struct LegacyConn : Conn {
+    explicit LegacyConn(Server* server) : server(server) {}
+
+    /// Bounded synchronous delivery: SendAllTimed under write_mu. A send
+    /// that cannot finish within write_timeout_ms evicts the connection
+    /// (mb.serve.write_timeout) instead of pinning the calling worker.
+    void Write(std::string_view response_line) override;
+    void WriteRaw(std::string_view bytes) override;
+    void Kill() override;
+
+    Server* server;
     Socket socket;
     std::mutex write_mu;
-    std::atomic<bool> alive{true};
-    /// Requests from this connection currently queued or executing —
-    /// bounds per-connection pipelining and defers idle eviction while a
-    /// response is still owed.
-    std::atomic<int64_t> inflight{0};
     std::thread reader;
+
+   private:
+    void SendBounded(std::string_view framed);
   };
 
   struct PendingRequest {
-    std::shared_ptr<Connection> connection;
+    std::shared_ptr<Conn> connection;
     std::string line;
     Deadline deadline;
   };
 
-  void AcceptLoop();
-  void ReadLoop(std::shared_ptr<Connection> connection);
+  // --- Request path shared by both cores -----------------------------------
+
+  /// Dispatches one request line from a serving connection: admission
+  /// control, deadline stamping, queueing. Refusals are written inline.
+  void HandleRequestLine(const std::shared_ptr<Conn>& connection, std::string_view line);
   void DrainBatch();
   /// The deadline for one request line: its own "deadline_ms" field when
   /// present and parsable, else the server default.
-  Deadline RequestDeadline(const std::string& line) const;
+  Deadline RequestDeadline(std::string_view line) const;
   /// Answers one request received while draining: observability types are
   /// served inline, everything else is refused with "draining".
-  void HandleLineDuringDrain(Connection& connection, const std::string& line);
+  void HandleLineDuringDrain(Conn& connection, std::string_view line);
   /// Writes an {"ok":false,...} refusal, echoing the request id when the
   /// line parses. `retry_after_ms` < 0 omits the field.
-  void WriteRefusal(Connection& connection, const std::string& line,
-                    std::string_view error, int64_t retry_after_ms);
-  /// Answers one plain-HTTP GET (the /metricsz, /healthz and /readyz
-  /// scrape paths) and leaves the connection to be closed by the caller.
-  void HandleHttpGet(Connection& connection, LineReader& reader,
+  void WriteRefusal(Conn& connection, std::string_view line, std::string_view error,
+                    int64_t retry_after_ms);
+  /// The full raw response (status line, headers, body) for one plain-HTTP
+  /// GET request line — the /metricsz, /healthz and /readyz scrape paths.
+  std::string BuildHttpResponse(std::string_view request_line);
+
+  // --- Reactor core (ReactorHandler) ---------------------------------------
+
+  void OnLine(const std::shared_ptr<ReactorConn>& conn, std::string_view line) override;
+  void OnClose(const std::shared_ptr<ReactorConn>& conn, CloseReason reason) override;
+  void OnQuietTick(const std::shared_ptr<ReactorConn>& conn) override;
+  /// Sends the buffered HTTP response and schedules the close-after-flush.
+  void FinishHttp(const std::shared_ptr<ReactorConn>& conn);
+
+  // --- Legacy thread-per-connection core -----------------------------------
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<LegacyConn> connection);
+  /// Answers one plain-HTTP GET and leaves the connection to be closed by
+  /// the caller.
+  void HandleHttpGet(LegacyConn& connection, LineReader& reader,
                      const std::string& request_line);
-  void WriteResponse(Connection& connection, const std::string& response);
   /// Joins reader threads whose connections already ended (the threads
   /// have exited or are about to).
   void ReapFinishedReaders();
@@ -178,6 +258,10 @@ class Server {
   uint16_t port_ = 0;
 
   std::unique_ptr<ThreadPool> pool_;
+
+  std::unique_ptr<Reactor> reactor_;
+  std::thread reactor_thread_;
+
   std::thread accept_thread_;
 
   std::mutex queue_mu_;
@@ -187,9 +271,10 @@ class Server {
   std::atomic<int64_t> inflight_total_{0};
 
   std::mutex connections_mu_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::shared_ptr<LegacyConn>> connections_;
   /// Handles of readers that removed themselves from connections_; joined
-  /// by AcceptLoop before each accept and by Stop().
+  /// by each subsequently-exiting reader (which bounds the list under
+  /// churn), by AcceptLoop before each accept, and by Stop().
   std::vector<std::thread> finished_readers_;
 
   std::mutex stop_mu_;

@@ -1,0 +1,128 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Unit tests for the reactor's zero-copy line-framing buffer and the
+// buffer pool that recycles its storage across connections.
+
+#include "serve/conn_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace microbrowse {
+namespace serve {
+namespace {
+
+/// Simulates the kernel writing `bytes` into the buffer tail.
+void Feed(ConnBuffer& buffer, std::string_view bytes) {
+  char* tail = buffer.ReserveTail(bytes.size());
+  std::memcpy(tail, bytes.data(), bytes.size());
+  buffer.CommitTail(bytes.size());
+}
+
+TEST(ConnBufferTest, FramesCompleteLinesAndStripsTerminators) {
+  ConnBuffer buffer(1024);
+  Feed(buffer, "alpha\nbeta\r\ngamma");
+  std::string_view line;
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, "beta");  // The \r before the \n is stripped too.
+  EXPECT_FALSE(buffer.NextLine(&line));  // "gamma" has no newline yet.
+  EXPECT_EQ(buffer.pending_bytes(), 5u);
+  Feed(buffer, "\n");
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, "gamma");
+  EXPECT_EQ(buffer.pending_bytes(), 0u);
+}
+
+TEST(ConnBufferTest, LineSplitAcrossManyCommitsReassembles) {
+  ConnBuffer buffer(1024);
+  const std::string expected = "a somewhat longer request line";
+  for (char c : expected) Feed(buffer, std::string_view(&c, 1));
+  std::string_view line;
+  EXPECT_FALSE(buffer.NextLine(&line));
+  Feed(buffer, "\n");
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, expected);
+}
+
+TEST(ConnBufferTest, EmptyLinesAreReturnedEmpty) {
+  ConnBuffer buffer(1024);
+  Feed(buffer, "\n\r\nx\n");
+  std::string_view line;
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, "x");
+}
+
+TEST(ConnBufferTest, OverlongPartialLineFlipsPermanently) {
+  ConnBuffer buffer(16);
+  Feed(buffer, std::string(17, 'a'));  // 17 bytes, no newline.
+  EXPECT_TRUE(buffer.overlong());
+  // Even a newline arriving later does not un-flip it — the connection is
+  // already condemned and the caller must not serve the oversized line.
+  Feed(buffer, "\n");
+  EXPECT_TRUE(buffer.overlong());
+}
+
+TEST(ConnBufferTest, ConsumedLinesDoNotCountTowardTheLineBound) {
+  ConnBuffer buffer(16);
+  std::string_view line;
+  // Many short lines through a small-bound buffer: consumed bytes must not
+  // accumulate into a spurious overlong verdict.
+  for (int i = 0; i < 100; ++i) {
+    Feed(buffer, "0123456789\n");
+    ASSERT_TRUE(buffer.NextLine(&line));
+    EXPECT_EQ(line, "0123456789");
+  }
+  EXPECT_FALSE(buffer.overlong());
+}
+
+TEST(ConnBufferTest, TotalBytesCountsEverythingEverCommitted) {
+  ConnBuffer buffer(1024);
+  EXPECT_EQ(buffer.total_bytes(), 0u);
+  Feed(buffer, "abc\n");
+  Feed(buffer, "de");
+  EXPECT_EQ(buffer.total_bytes(), 6u);
+  std::string_view line;
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(buffer.total_bytes(), 6u);  // Consumption does not change it.
+}
+
+TEST(BufferPoolTest, ReleasedStorageIsReused) {
+  BufferPool pool;
+  EXPECT_EQ(pool.pooled(), 0u);
+  {
+    ConnBuffer buffer(1024, &pool);
+    Feed(buffer, "hello\n");
+  }
+  EXPECT_EQ(pool.pooled(), 1u);
+  {
+    ConnBuffer buffer(1024, &pool);
+    EXPECT_EQ(pool.pooled(), 0u);  // Acquired the pooled storage.
+    std::string_view line;
+    Feed(buffer, "world\n");
+    ASSERT_TRUE(buffer.NextLine(&line));
+    EXPECT_EQ(line, "world");  // No leftover bytes from the prior owner.
+  }
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(BufferPoolTest, OversizedBuffersAreDroppedNotPooled) {
+  BufferPool pool;
+  {
+    ConnBuffer buffer(4 << 20, &pool);
+    // Grow the storage past the pool's retention cap.
+    Feed(buffer, std::string(BufferPool::kMaxPooledCapacity + 1, 'x'));
+  }
+  EXPECT_EQ(pool.pooled(), 0u) << "one huge request permanently inflated the pool";
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace microbrowse

@@ -2,12 +2,18 @@
 //
 // End-to-end TCP tests for the mbserved front end: real sockets against an
 // ephemeral port, pipelined out-of-order responses matched by id echo, and
-// reader-side admission control shedding load with "overloaded".
+// intake-side admission control shedding load with "overloaded". The whole
+// suite is parameterized over both serving cores (epoll reactor and the
+// legacy thread-per-connection path) — every serving semantic must hold on
+// both.
 
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -71,7 +77,25 @@ class TestClient {
   std::unique_ptr<LineReader> reader_;
 };
 
-class ServerTest : public ::testing::Test {
+/// Connects with a tiny receive buffer negotiated at the handshake (set
+/// before connect, so the advertised TCP window honours it). A client that
+/// then stops reading fills every buffer between server and itself within a
+/// few kilobytes — the reproducible form of "peer stopped reading".
+Socket ConnectTinyRcvBuf(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  Socket socket(fd);
+  const int rcvbuf = 2048;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return socket;
+}
+
+class ServerTest : public ::testing::TestWithParam<IoModel> {
  protected:
   static void SetUpTestSuite() {
     // Unique per process: parallel ctest runs each TEST in its own process,
@@ -103,16 +127,30 @@ class ServerTest : public ::testing::Test {
 
   void SetUp() override { ASSERT_TRUE(registry_.LoadInitial(*paths_).ok()); }
 
+  /// Ephemeral-port options for the serving core under test.
+  ServerOptions BaseOptions() const {
+    ServerOptions options;
+    options.port = 0;
+    options.io_model = GetParam();
+    return options;
+  }
+
   static BundlePaths* paths_;
   BundleRegistry registry_;
 };
 
 BundlePaths* ServerTest::paths_ = nullptr;
 
-TEST_F(ServerTest, StartsOnEphemeralPortAndAnswersPing) {
+INSTANTIATE_TEST_SUITE_P(
+    IoModels, ServerTest,
+    ::testing::Values(IoModel::kEpoll, IoModel::kLegacyThreads),
+    [](const ::testing::TestParamInfo<IoModel>& info) {
+      return info.param == IoModel::kEpoll ? "Epoll" : "Threads";
+    });
+
+TEST_P(ServerTest, StartsOnEphemeralPortAndAnswersPing) {
   ScoringService service(&registry_);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   Server server(&service, options);
   auto port = server.Start();
   ASSERT_TRUE(port.ok()) << port.status().ToString();
@@ -128,10 +166,9 @@ TEST_F(ServerTest, StartsOnEphemeralPortAndAnswersPing) {
   server.Stop();
 }
 
-TEST_F(ServerTest, ScoresPairsOverTheWire) {
+TEST_P(ServerTest, ScoresPairsOverTheWire) {
   ScoringService service(&registry_);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   Server server(&service, options);
   auto port = server.Start();
   ASSERT_TRUE(port.ok());
@@ -150,10 +187,9 @@ TEST_F(ServerTest, ScoresPairsOverTheWire) {
   server.Stop();
 }
 
-TEST_F(ServerTest, PipelinedRequestsMatchedByIdEcho) {
+TEST_P(ServerTest, PipelinedRequestsMatchedByIdEcho) {
   ScoringService service(&registry_);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   options.num_threads = 4;
   options.max_batch = 3;  // Force multiple batches for one burst.
   Server server(&service, options);
@@ -189,12 +225,11 @@ TEST_F(ServerTest, PipelinedRequestsMatchedByIdEcho) {
   server.Stop();
 }
 
-TEST_F(ServerTest, OverloadShedsWithErrorNotQueueing) {
+TEST_P(ServerTest, OverloadShedsWithErrorNotQueueing) {
   ServiceOptions service_options;
   service_options.allow_debug_sleep = true;
   ScoringService service(&registry_, service_options);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   options.num_threads = 1;  // One worker, so a sleep stalls the pipeline...
   options.max_queue = 1;    // ...and the queue saturates immediately.
   Server server(&service, options);
@@ -233,10 +268,9 @@ TEST_F(ServerTest, OverloadShedsWithErrorNotQueueing) {
   server.Stop();
 }
 
-TEST_F(ServerTest, DisconnectedClientsAreReapedWhileRunning) {
+TEST_P(ServerTest, DisconnectedClientsAreReapedWhileRunning) {
   ScoringService service(&registry_);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   Server server(&service, options);
   auto port = server.Start();
   ASSERT_TRUE(port.ok());
@@ -264,10 +298,9 @@ TEST_F(ServerTest, DisconnectedClientsAreReapedWhileRunning) {
   server.Stop();
 }
 
-TEST_F(ServerTest, OverlongLineFailsTheConnection) {
+TEST_P(ServerTest, OverlongLineFailsTheConnection) {
   ScoringService service(&registry_);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   options.max_line_bytes = 1024;
   Server server(&service, options);
   auto port = server.Start();
@@ -296,10 +329,9 @@ TEST_F(ServerTest, OverlongLineFailsTheConnection) {
   server.Stop();
 }
 
-TEST_F(ServerTest, StopReturnsPromptlyWithSilentConnectedClient) {
+TEST_P(ServerTest, StopReturnsPromptlyWithSilentConnectedClient) {
   ScoringService service(&registry_);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   // Eviction is an hour away: Stop's promptness must come from waking the
   // reader (socket shutdown + the receive-timeout tick), not from waiting
   // out the idle timer. Regression test for Stop() hanging on a reader
@@ -326,10 +358,9 @@ TEST_F(ServerTest, StopReturnsPromptlyWithSilentConnectedClient) {
   EXPECT_LT(elapsed.count(), 5000) << "Stop() blocked on a silent client";
 }
 
-TEST_F(ServerTest, StopWhileClientsConnectedIsClean) {
+TEST_P(ServerTest, StopWhileClientsConnectedIsClean) {
   ScoringService service(&registry_);
-  ServerOptions options;
-  options.port = 0;
+  ServerOptions options = BaseOptions();
   Server server(&service, options);
   auto port = server.Start();
   ASSERT_TRUE(port.ok());
@@ -339,6 +370,88 @@ TEST_F(ServerTest, StopWhileClientsConnectedIsClean) {
   EXPECT_EQ(client->ReadResponse().Get("ok"), "true");
   server.Stop();   // With the connection still open.
   server.Stop();   // Idempotent.
+}
+
+TEST_P(ServerTest, SlowConsumerIsEvictedNotPinned) {
+  // Regression test: a client that sends requests and then stops *reading*
+  // used to pin a worker (and the reader writing refusals) inside an
+  // unbounded send forever. Both cores must instead evict the connection
+  // within the write timeout and count mb.serve.write_timeout.
+  ScoringService service(&registry_);
+  ServerOptions options = BaseOptions();
+  options.sndbuf_bytes = 4096;       // Tiny kernel buffer: stalls in KBs.
+  options.write_timeout_ms = 300;
+  options.max_outbox_bytes = 32 * 1024;
+  options.idle_timeout_ms = 2000;    // Keeps the eviction tick fast.
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  Socket stalled = ConnectTinyRcvBuf(*port);
+  ASSERT_TRUE(stalled.valid());
+  // Enough pings that their responses (and the "overloaded" refusals past
+  // the in-flight cap) overrun the ~12 KB of combined socket buffering
+  // many times over. The client never reads a byte of them.
+  std::string burst;
+  for (int i = 0; i < 3000; ++i) {
+    burst += R"({"type":"ping","id":"s)" + std::to_string(i) + "\"}\n";
+  }
+  // Bounded send: once the server evicts us mid-burst this fails with
+  // EPIPE/reset, which is exactly the success condition.
+  (void)SendAllTimed(stalled, burst, 5000);
+
+  bool evicted = false;
+  for (int i = 0; i < 1500; ++i) {
+    if (service.metrics().write_timeout->Value() >= 1 &&
+        server.active_connections() == 0) {
+      evicted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(evicted) << "stalled consumer still connected; write_timeout="
+                       << service.metrics().write_timeout->Value()
+                       << " active=" << server.active_connections();
+
+  // No worker is pinned: the server still answers a well-behaved client.
+  auto next = TestClient::ConnectTo(*port);
+  ASSERT_NE(next, nullptr);
+  ASSERT_TRUE(next->Send(R"({"type":"ping","id":"after"})").ok());
+  EXPECT_EQ(next->ReadResponse().Get("id"), "after");
+  server.Stop();
+}
+
+TEST_P(ServerTest, ChurnedConnectionsLeaveNoUnjoinedReaders) {
+  // Regression test: on the legacy path, exited reader threads were only
+  // joined from the accept loop *before* the next accept — churn followed
+  // by a quiet listener accumulated unjoined thread handles without bound.
+  // Each exiting reader now joins its predecessors, so after any amount of
+  // churn at most one handle awaits a join. (The reactor path has no
+  // reader threads and must always report zero.)
+  ScoringService service(&registry_);
+  Server server(&service, BaseOptions());
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  constexpr int kChurn = 8;
+  for (int i = 0; i < kChurn; ++i) {
+    auto client = TestClient::ConnectTo(*port);
+    ASSERT_NE(client, nullptr);
+    ASSERT_TRUE(client->Send(R"({"type":"ping"})").ok());
+    EXPECT_EQ(client->ReadResponse().Get("ok"), "true");
+    client->Close();
+    // Wait for the disconnect to be fully processed (connection removed)
+    // so every reader exit lands on the finished list before the next
+    // round — the exact sequence that used to accumulate handles.
+    for (int j = 0; j < 500 && server.active_connections() > 0; ++j) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(server.active_connections(), 0u) << "round " << i;
+  }
+  // The listener has been quiet the whole time, so the accept loop never
+  // reaped: the bound must come from the readers' own exit path.
+  EXPECT_LE(server.finished_reader_handles(), 1u);
+  server.Stop();
 }
 
 }  // namespace

@@ -5,8 +5,16 @@
 //   mbserved --model model.txt --stats stats.tsv [--model-type M1..M6]
 //            [--port 7077] [--threads N] [--max-queue N] [--max-batch N]
 //            [--cache-capacity N] [--default-deadline-ms N]
-//            [--idle-timeout-ms N] [--drain-deadline-ms N]
-//            [--drain-retry-after-ms N]
+//            [--idle-timeout-ms N] [--write-timeout-ms N]
+//            [--drain-deadline-ms N] [--drain-retry-after-ms N]
+//            [--io-model epoll|threads]
+//
+// --io-model picks the serving core: "epoll" (default) multiplexes every
+// connection through one reactor thread; "threads" is the legacy
+// thread-per-connection escape hatch, should the reactor misbehave in
+// some environment. --write-timeout-ms bounds how long a peer may stop
+// reading our responses before its connection is evicted
+// (mb.serve.write_timeout).
 //
 // Speaks the newline-delimited JSON protocol of serve/protocol.h:
 //
@@ -66,7 +74,8 @@ struct Flags {
                  "                [--model-type M1..M6] [--port N] [--threads N]\n"
                  "                [--max-queue N] [--max-batch N] [--cache-capacity N]\n"
                  "                [--default-deadline-ms N] [--idle-timeout-ms N]\n"
-                 "                [--drain-deadline-ms N] [--drain-retry-after-ms N]\n"
+                 "                [--write-timeout-ms N] [--drain-deadline-ms N]\n"
+                 "                [--drain-retry-after-ms N] [--io-model epoll|threads]\n"
                  "fault injection: MB_FAILPOINTS=name=spec,...\n");
     return 1;
   }
@@ -106,6 +115,11 @@ struct Flags {
         server.default_deadline_ms = n;
       } else if (key == "--idle-timeout-ms" && ParseInt(value, &n)) {
         server.idle_timeout_ms = n;
+      } else if (key == "--write-timeout-ms" && ParseInt(value, &n)) {
+        server.write_timeout_ms = n;
+      } else if (key == "--io-model" && (value == "epoll" || value == "threads")) {
+        server.io_model = value == "epoll" ? serve::IoModel::kEpoll
+                                           : serve::IoModel::kLegacyThreads;
       } else if (key == "--drain-deadline-ms" && ParseInt(value, &n)) {
         server.drain_deadline_ms = n;
       } else if (key == "--drain-retry-after-ms" && ParseInt(value, &n)) {
@@ -154,9 +168,10 @@ int main(int argc, char** argv) {
   serve::Server server(&service, flags.server);
   auto port = server.Start();
   if (!port.ok()) return Fail(port.status());
-  std::printf("mbserved listening on port %u (%d threads, queue %zu, batch %zu)\n",
-              static_cast<unsigned>(*port), flags.server.num_threads,
-              flags.server.max_queue, flags.server.max_batch);
+  std::printf("mbserved listening on port %u (%s core, %d threads, queue %zu, batch %zu)\n",
+              static_cast<unsigned>(*port),
+              flags.server.io_model == serve::IoModel::kEpoll ? "epoll" : "threads",
+              flags.server.num_threads, flags.server.max_queue, flags.server.max_batch);
   std::fflush(stdout);
 
   std::signal(SIGHUP, OnSighup);
