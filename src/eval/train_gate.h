@@ -1,0 +1,93 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// The training-benchmark speedup gate, factored out of bench/train_bench.cc
+// so the decision logic is unit-testable: given the sweep's measured
+// points, decide whether the parallel-training target ("proximal-batch
+// examples/sec at 8 threads >= 3x 1 thread on corpora of at least 100k
+// pairs") is enforced on this run and whether it passed. The benchmark
+// binary maps `passed == false` to a nonzero exit, which is what CI's
+// MB_REQUIRE_SPEEDUP=1 leg keys off.
+
+#ifndef MICROBROWSE_EVAL_TRAIN_GATE_H_
+#define MICROBROWSE_EVAL_TRAIN_GATE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace microbrowse {
+
+/// One measured sweep point, as written to BENCH_train.json.
+struct TrainGatePoint {
+  std::string solver;  ///< "adagrad" or "proximal_batch".
+  size_t pairs = 0;
+  int threads = 0;
+  double speedup_vs_1_thread = 1.0;
+};
+
+struct TrainGateOptions {
+  /// Required 8-thread speedup over 1 thread.
+  double min_speedup = 3.0;
+  /// Only points at or above this corpus size are gated: below it,
+  /// per-epoch parallel overhead dominates and the measurement says
+  /// nothing about the training path's scaling.
+  size_t min_pairs = 100000;
+  /// Thread count the target is stated at.
+  int gate_threads = 8;
+  /// Force enforcement regardless of detected hardware
+  /// (MB_REQUIRE_SPEEDUP=1).
+  bool require = false;
+  /// std::thread::hardware_concurrency() of the machine that ran the sweep.
+  unsigned hardware_threads = 0;
+};
+
+struct TrainGateResult {
+  /// Whether the gate applies to this run: forced by `require`, or the
+  /// hardware can genuinely run `gate_threads` workers and the sweep
+  /// contains at least one gateable point.
+  bool enforced = false;
+  /// False only when the gate is enforced and a gated point missed the
+  /// target; an unenforced run always passes.
+  bool passed = true;
+  /// Indices (into the input vector) of gated points below min_speedup,
+  /// populated even when the gate is not enforced so reports can warn.
+  std::vector<size_t> failing;
+  /// Speedup of the largest gated point (the headline number); 0 when the
+  /// sweep has no gateable point.
+  double headline_speedup = 0.0;
+  size_t headline_pairs = 0;
+};
+
+/// True for points the target is stated over: the proximal-batch solver at
+/// the gate thread count on a large-enough corpus.
+inline bool IsGatedPoint(const TrainGatePoint& point, const TrainGateOptions& options) {
+  return point.solver == "proximal_batch" && point.threads == options.gate_threads &&
+         point.pairs >= options.min_pairs;
+}
+
+inline TrainGateResult EvaluateTrainGate(const std::vector<TrainGatePoint>& points,
+                                         const TrainGateOptions& options) {
+  TrainGateResult result;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!IsGatedPoint(points[i], options)) continue;
+    if (points[i].pairs >= result.headline_pairs) {
+      result.headline_pairs = points[i].pairs;
+      result.headline_speedup = points[i].speedup_vs_1_thread;
+    }
+    if (points[i].speedup_vs_1_thread < options.min_speedup) {
+      result.failing.push_back(i);
+    }
+  }
+  const bool has_gated = result.headline_pairs > 0;
+  result.enforced =
+      options.require ||
+      (options.hardware_threads >= static_cast<unsigned>(options.gate_threads) && has_gated);
+  // An enforced run with no gateable point passes vacuously: the sweep was
+  // too small to state the target, which the report surfaces separately.
+  result.passed = !result.enforced || result.failing.empty();
+  return result;
+}
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_EVAL_TRAIN_GATE_H_

@@ -1,0 +1,134 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Sharded on-disk ad corpora and the streaming builders that consume them
+// with bounded memory. A corpus saved with SaveAdCorpusSharded becomes N
+// independent AdCorpus artifacts named
+//
+//   <stem>-00000-of-00008<ext> ... <stem>-00007-of-00008<ext>
+//
+// each crash-safe and checksummed like the monolithic format (adgroups are
+// never split across shards). ResolveCorpusShards maps a base path to its
+// shard set — or to the single monolithic file when one exists — and
+// validates the set: a mix of -of- counts, a duplicated index or a gap in
+// the index sequence all fail loudly rather than silently training on a
+// partial corpus.
+//
+// The streaming builders (BuildFeatureStatsSharded, BuildCoupledCsrSharded)
+// hold ONE shard's rows in memory at a time and produce results bitwise
+// identical to loading every shard into a single PairCorpus and running the
+// monolithic builders: statistics counts are integer sums (order-
+// independent), and the dataset builder draws its per-pair presentation
+// coin from one Rng seeded once across the whole stream, in shard-index
+// order. Peak memory is bounded by the largest shard plus the accumulated
+// model-side state, which is how `mbctl train` reaches million-pair corpora
+// without materialising them.
+
+#ifndef MICROBROWSE_IO_CORPUS_SHARDS_H_
+#define MICROBROWSE_IO_CORPUS_SHARDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/ad.h"
+#include "corpus/pair_extraction.h"
+#include "io/atomic_file.h"
+#include "microbrowse/classifier.h"
+#include "microbrowse/stats_db.h"
+
+namespace microbrowse {
+
+/// Path of shard `index` of `count` for `base_path`: the shard tag is
+/// spliced in front of the final extension ("corpus.tsv", 3, 8 ->
+/// "corpus-00003-of-00008.tsv").
+std::string ShardPath(const std::string& base_path, size_t index, size_t count);
+
+/// A resolved corpus input: either the single monolithic file at the base
+/// path, or a complete validated shard set in index order.
+struct ShardSetInfo {
+  std::vector<std::string> paths;  ///< In shard-index order.
+  bool sharded = false;            ///< False: paths holds the one monolithic file.
+};
+
+/// Resolves `base_path` into a shard set. A regular file at `base_path`
+/// wins (monolithic corpus). Otherwise the directory is scanned for
+/// `<stem>-NNNNN-of-MMMMM<ext>` siblings; mixed -of- counts or a duplicate
+/// index fail with kFailedPrecondition, a gap in 0..M-1 fails with
+/// kNotFound naming the missing shard, and no match at all is kNotFound.
+Result<ShardSetInfo> ResolveCorpusShards(const std::string& base_path);
+
+/// Accounting for one streaming pass over a shard set. Row-level numbers
+/// aggregate the per-shard LoadReports; shard-level numbers say how many
+/// shards loaded versus were skipped whole (skip_and_log mode only —
+/// strict mode fails on the first bad shard instead).
+struct ShardLoadReport {
+  size_t shards_total = 0;
+  size_t shards_loaded = 0;
+  size_t shards_skipped = 0;
+  int64_t rows_kept = 0;
+  int64_t rows_skipped = 0;
+  int64_t adgroups = 0;
+  int64_t pairs = 0;  ///< Significant pairs streamed (builders only).
+  std::string first_error;  ///< First shard-level problem, with its path.
+};
+
+/// Splits `corpus` into `num_shards` shard files next to `base_path`
+/// (adgroups round-robin by position, never split). Each shard is written
+/// atomically; existing shards of a DIFFERENT count for the same stem are
+/// left behind and will fail resolution, so callers regenerating with a
+/// new count should write into a fresh directory or remove the old set.
+Status SaveAdCorpusSharded(const AdCorpus& corpus, const std::string& base_path,
+                           size_t num_shards);
+
+/// Streams the shard set in index order, loading one shard at a time and
+/// handing it to `fn`. Shard read failures follow `options.recovery`:
+/// strict propagates the first failure, skip_and_log skips the whole shard
+/// (counted in `report`, never silently). Errors returned by `fn` always
+/// propagate. `report` may be null.
+Status ForEachCorpusShard(const ShardSetInfo& shards, const LoadOptions& options,
+                          ShardLoadReport* report,
+                          const std::function<Status(const AdCorpus&)>& fn);
+
+/// Loads and concatenates every shard (shard-index order) into one corpus.
+/// This is the NON-streaming convenience for consumers that need random
+/// access (e.g. cross-validation); memory is proportional to the full
+/// corpus.
+Result<AdCorpus> LoadShardedAdCorpus(const ShardSetInfo& shards, const LoadOptions& options,
+                                     ShardLoadReport* report = nullptr);
+
+/// Streaming BuildFeatureStats over a shard set: per shard, significant
+/// pairs are extracted and accumulated; per matching pass, the shards are
+/// re-streamed (multi-pass costs one corpus read per pass — the price of
+/// bounded memory). Counts are bitwise identical to the monolithic build
+/// over the concatenated corpus.
+Result<FeatureStatsDb> BuildFeatureStatsSharded(const ShardSetInfo& shards,
+                                                const PairExtractionOptions& extraction,
+                                                const BuildStatsOptions& options,
+                                                const LoadOptions& load_options,
+                                                ShardLoadReport* report = nullptr);
+
+/// A classifier dataset built by streaming shards: the flattened CSR plus
+/// the registries interned along the way (needed to persist a trained
+/// model).
+struct ShardedClassifierData {
+  CoupledCsr csr;
+  FeatureRegistry t_registry;
+  FeatureRegistry p_registry;
+};
+
+/// Streaming BuildClassifierDataset + FlattenCoupledDataset over a shard
+/// set: one Rng seeded with `seed` draws the per-pair presentation coin
+/// across the whole stream, occurrences append straight into the CSR
+/// arrays, and the registries' initial weights are snapshotted at the end —
+/// bitwise identical to the monolithic path on the concatenated corpus,
+/// without ever materialising it.
+Result<ShardedClassifierData> BuildCoupledCsrSharded(
+    const ShardSetInfo& shards, const FeatureStatsDb& db, const ClassifierConfig& config,
+    uint64_t seed, const PairExtractionOptions& extraction, const LoadOptions& load_options,
+    ShardLoadReport* report = nullptr);
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_IO_CORPUS_SHARDS_H_

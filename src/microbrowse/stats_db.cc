@@ -133,6 +133,23 @@ void AccumulatePass(const PairCorpus& corpus, const BuildStatsOptions& options,
 
 }  // namespace
 
+void AccumulateFeatureStats(const PairCorpus& corpus, const BuildStatsOptions& options,
+                            const FeatureStatsDb* matching_db, FeatureStatsDb* out) {
+  if (out->stats().empty()) {
+    // Fresh target: AccumulatePass's splice-merge fast path applies.
+    AccumulatePass(corpus, options, matching_db, out);
+    return;
+  }
+  // Non-empty target (a later shard): accumulate locally, then add counts.
+  // AccumulatePass's unordered_map::merge would silently drop counts for
+  // keys the target already holds.
+  FeatureStatsDb local;
+  AccumulatePass(corpus, options, matching_db, &local);
+  for (const auto& [key, stat] : local.stats()) {
+    out->AddCounts(key, stat.positive, stat.total);
+  }
+}
+
 FeatureStatsDb BuildFeatureStats(const PairCorpus& corpus, const BuildStatsOptions& options) {
   TraceSpan span("mb.stats.build");
   FeatureStatsDb db;

@@ -222,6 +222,18 @@ struct BuildStatsOptions {
 /// the snippet-classification framework, Fig. 1).
 FeatureStatsDb BuildFeatureStats(const PairCorpus& corpus, const BuildStatsOptions& options = {});
 
+/// One accumulation pass over `corpus` ADDED into `out` — the streaming
+/// building block behind BuildFeatureStats. Sharded-corpus builders call
+/// this once per shard per matching pass, so only one shard's pairs are in
+/// memory at a time; the counts are integer sums, making the cross-shard
+/// merge order-independent. `matching_db` is nullptr on the first pass and
+/// the previous pass's database afterwards, exactly as in
+/// BuildFeatureStats. Does not touch `out`'s smoothing / min-count
+/// settings and records no metrics; whole-corpus callers should prefer
+/// BuildFeatureStats.
+void AccumulateFeatureStats(const PairCorpus& corpus, const BuildStatsOptions& options,
+                            const FeatureStatsDb* matching_db, FeatureStatsDb* out);
+
 }  // namespace microbrowse
 
 #endif  // MICROBROWSE_MICROBROWSE_STATS_DB_H_

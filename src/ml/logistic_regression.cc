@@ -13,6 +13,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "ml/simd.h"
 
 namespace microbrowse {
 
@@ -71,11 +72,15 @@ void ForEach(std::optional<ThreadPool>& pool, size_t count,
 /// body. The partition depends only on the dataset shape — never on the
 /// thread count — so the block-ordered reduction below produces bitwise
 /// identical gradients for any number of workers. Block count is bounded
-/// both by a minimum block size (tiny blocks are all overhead) and by the
-/// partial-gradient scratch budget (one dense vector per block).
+/// both by a minimum block size (the n_blocks x n_features dense reduction
+/// is pure overhead when blocks are small — 64 blocks of 256 rows is what
+/// made 8 threads LOSE to 1 on 2k-pair sweeps) and by the partial-gradient
+/// scratch budget (one dense vector per block). 32 blocks keep 8-16
+/// workers busy with slack for stragglers while halving the old reduction
+/// cost; below ~2 blocks the solver just runs serially.
 size_t NumGradientBlocks(size_t n, size_t n_features) {
-  constexpr size_t kMinBlockSize = 256;
-  constexpr size_t kMaxBlocks = 64;
+  constexpr size_t kMinBlockSize = 1024;
+  constexpr size_t kMaxBlocks = 32;
   constexpr size_t kScratchBudgetBytes = size_t{256} << 20;
   const size_t row_bytes = std::max<size_t>(1, n_features) * sizeof(double);
   const size_t memory_cap = std::max<size_t>(1, kScratchBudgetBytes / row_bytes);
@@ -166,15 +171,23 @@ LogisticModel TrainProximalBatch(const CsrDataset& data, const LrOptions& option
   // partials in ascending block index. Floating-point addition order is
   // therefore a function of the dataset alone, so the trained weights are
   // bitwise identical for 1, 2 or 64 threads (the determinism suite
-  // asserts exactly this; see DESIGN.md section 11).
+  // asserts exactly this; see DESIGN.md section 11). The per-row scoring,
+  // the sigmoid and the reduce+prox pass run on the dispatched SIMD
+  // kernels (ml/simd.h); scalar and AVX2 kernels are bitwise identical, so
+  // the kernel choice never changes results either (DESIGN.md section 16).
+  const simd::KernelFns& fns = simd::GetKernelFns(simd::ActiveKernel());
   const size_t n_blocks = NumGradientBlocks(n, n_features);
   std::optional<ThreadPool> pool;
   const size_t pool_threads =
       std::min<size_t>(static_cast<size_t>(std::max(1, options.num_threads)), n_blocks);
   if (pool_threads > 1) pool.emplace(pool_threads);
 
-  std::vector<std::vector<double>> block_gradients(n_blocks);
-  for (auto& gradient : block_gradients) gradient.assign(n_features, 0.0);
+  // Flat per-block partial-gradient scratch: block b owns row b of an
+  // n_blocks x n_features matrix, which the fused kernel walks column-wise
+  // in ascending block order.
+  std::vector<double> block_gradients(n_blocks * n_features, 0.0);
+  // Per-example probabilities, written blockwise (disjoint row ranges).
+  std::vector<double> probs(n, 0.0);
   struct BlockSums {
     double bias_gradient = 0.0;
     double loss = 0.0;
@@ -193,19 +206,23 @@ LogisticModel TrainProximalBatch(const CsrDataset& data, const LrOptions& option
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     ++epochs_run;
     ForEach(pool, n_blocks, [&](size_t b) {
-      std::vector<double>& gradient = block_gradients[b];
-      std::fill(gradient.begin(), gradient.end(), 0.0);
+      double* gradient = block_gradients.data() + b * n_features;
+      std::fill(gradient, gradient + n_features, 0.0);
       BlockSums sums;
       const size_t begin_row = b * n / n_blocks;
       const size_t end_row = (b + 1) * n / n_blocks;
+      // Batched kernel scoring + sigmoid over the whole block, then a
+      // serial sweep for the loss and the gradient scatter (the scatter's
+      // indices collide, so it stays scalar in every kernel).
+      double* block_probs = probs.data() + begin_row;
+      fns.score_csr_rows(data.row_offsets.data(), data.ids.data(), data.values.data(),
+                         data.offsets.data(), weights.data(), n_features, bias, begin_row,
+                         end_row, block_probs);
+      fns.sigmoid_vec(block_probs, end_row - begin_row, block_probs);
       for (size_t i = begin_row; i < end_row; ++i) {
         const size_t begin = data.row_offsets[i];
         const size_t end = data.row_offsets[i + 1];
-        double score = bias + data.offsets[i];
-        for (size_t k = begin; k < end; ++k) {
-          if (data.ids[k] < n_features) score += data.values[k] * weights[data.ids[k]];
-        }
-        const double predicted = Sigmoid(score);
+        const double predicted = probs[i];
         sums.loss += data.weights[i] * LogLoss(data.labels[i], predicted);
         sums.weight += data.weights[i];
         const double gradient_scale =
@@ -221,12 +238,8 @@ LogisticModel TrainProximalBatch(const CsrDataset& data, const LrOptions& option
     ForEach(pool, n_feature_chunks, [&](size_t c) {
       const size_t begin_feature = c * n_features / n_feature_chunks;
       const size_t end_feature = (c + 1) * n_features / n_feature_chunks;
-      for (size_t j = begin_feature; j < end_feature; ++j) {
-        double gradient = 0.0;
-        for (size_t b = 0; b < n_blocks; ++b) gradient += block_gradients[b][j];
-        const double updated = weights[j] - step * (gradient + options.l2 * weights[j]);
-        weights[j] = SoftThreshold(updated, step * options.l1);
-      }
+      fns.fused_grad_prox(block_gradients.data(), n_blocks, n_features, begin_feature,
+                          end_feature, step, options.l1, options.l2, weights.data());
     });
 
     double bias_gradient = 0.0;

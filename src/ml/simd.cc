@@ -1,0 +1,140 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Scalar kernels and runtime kernel dispatch (see simd.h). This TU is
+// compiled with -ffp-contract=off so the canonical schedules in
+// simd_common.h keep their exact multiply/add sequences.
+
+#include "ml/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ml/simd_common.h"
+
+namespace microbrowse::simd {
+
+// Defined in simd_avx2.cc; null when the build or the CPU lacks AVX2.
+namespace internal {
+const KernelFns* Avx2Fns();
+bool Avx2CpuSupported();
+}  // namespace internal
+
+namespace {
+
+double ScalarDotRow(const FeatureId* ids, const double* values, size_t len,
+                    const double* weights, size_t n_features) {
+  return internal::DotRowCanonical(ids, values, len, weights, n_features);
+}
+
+void ScalarScoreCsrRows(const size_t* row_offsets, const FeatureId* ids, const double* values,
+                        const double* offsets, const double* weights, size_t n_features,
+                        double bias, size_t begin_row, size_t end_row, double* scores) {
+  for (size_t i = begin_row; i < end_row; ++i) {
+    const size_t begin = row_offsets[i];
+    const double base = bias + (offsets != nullptr ? offsets[i] : 0.0);
+    scores[i - begin_row] =
+        base + internal::DotRowCanonical(ids + begin, values + begin, row_offsets[i + 1] - begin,
+                                         weights, n_features);
+  }
+}
+
+void ScalarSigmoidVec(const double* x, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = internal::SigmoidCanonical(x[i]);
+}
+
+void ScalarFusedGradProx(const double* partials, size_t n_blocks, size_t stride, size_t begin,
+                         size_t end, double step, double l1, double l2, double* weights) {
+  const double thr = step * l1;
+  for (size_t j = begin; j < end; ++j) {
+    internal::FusedGradProxFeature(partials, n_blocks, stride, j, step, thr, l2, weights);
+  }
+}
+
+constexpr KernelFns kScalarFns = {
+    &ScalarDotRow,
+    &ScalarScoreCsrRows,
+    &ScalarSigmoidVec,
+    &ScalarFusedGradProx,
+};
+
+/// MB_SIMD / cpuid resolution, run once per process.
+Kernel ResolveKernel() {
+  std::string value;
+  if (const char* env = std::getenv("MB_SIMD"); env != nullptr) {
+    for (const char* p = env; *p != '\0'; ++p) {
+      value.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+    }
+  }
+  if (value == "off" || value == "scalar" || value == "0") return Kernel::kScalar;
+  if (value == "avx2" || value == "on" || value == "1") {
+    if (Avx2Available()) return Kernel::kAvx2;
+    std::fprintf(stderr,
+                 "microbrowse: MB_SIMD=%s requested but this CPU/build lacks AVX2; "
+                 "using scalar kernels\n",
+                 value.c_str());
+    return Kernel::kScalar;
+  }
+  if (!value.empty() && value != "auto") {
+    std::fprintf(stderr, "microbrowse: unknown MB_SIMD value '%s'; using auto detection\n",
+                 value.c_str());
+  }
+  return Avx2Available() ? Kernel::kAvx2 : Kernel::kScalar;
+}
+
+/// -1 = no override; otherwise the forced Kernel value.
+std::atomic<int> g_test_override{-1};
+
+}  // namespace
+
+const char* KernelName(Kernel kernel) {
+  return kernel == Kernel::kAvx2 ? "avx2" : "scalar";
+}
+
+bool Avx2Available() {
+  return internal::Avx2CpuSupported() && internal::Avx2Fns() != nullptr;
+}
+
+Kernel ActiveKernel() {
+  const int override_value = g_test_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return static_cast<Kernel>(override_value);
+  static const Kernel resolved = ResolveKernel();
+  return resolved;
+}
+
+void SetKernelForTest(std::optional<Kernel> kernel) {
+  g_test_override.store(kernel.has_value() ? static_cast<int>(*kernel) : -1,
+                        std::memory_order_relaxed);
+}
+
+const KernelFns& GetKernelFns(Kernel kernel) {
+  if (kernel == Kernel::kAvx2 && Avx2Available()) return *internal::Avx2Fns();
+  return kScalarFns;
+}
+
+double DotRow(const FeatureId* ids, const double* values, size_t len, const double* weights,
+              size_t n_features) {
+  return GetKernelFns(ActiveKernel()).dot_row(ids, values, len, weights, n_features);
+}
+
+void ScoreCsrRows(const size_t* row_offsets, const FeatureId* ids, const double* values,
+                  const double* offsets, const double* weights, size_t n_features, double bias,
+                  size_t begin_row, size_t end_row, double* scores) {
+  GetKernelFns(ActiveKernel())
+      .score_csr_rows(row_offsets, ids, values, offsets, weights, n_features, bias, begin_row,
+                      end_row, scores);
+}
+
+void SigmoidVec(const double* x, size_t n, double* out) {
+  GetKernelFns(ActiveKernel()).sigmoid_vec(x, n, out);
+}
+
+void FusedGradProx(const double* partials, size_t n_blocks, size_t stride, size_t begin,
+                   size_t end, double step, double l1, double l2, double* weights) {
+  GetKernelFns(ActiveKernel())
+      .fused_grad_prox(partials, n_blocks, stride, begin, end, step, l1, l2, weights);
+}
+
+}  // namespace microbrowse::simd

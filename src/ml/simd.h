@@ -1,0 +1,124 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Runtime-dispatched SIMD kernels for the training hot path (DESIGN.md
+// section 16). Three kernels cover the proximal solver's inner loops:
+//
+//   ScoreCsrRows   — batched CSR sparse dot-products (per-row scores)
+//   SigmoidVec     — elementwise logistic over a score buffer
+//   FusedGradProx  — block-partial gradient reduction fused with the
+//                    L2 gradient step and L1 proximal shrink
+//
+// The central contract: for every kernel, the scalar and AVX2
+// implementations are BITWISE IDENTICAL, not merely close. Both follow one
+// canonical operation schedule — a fixed 4-lane accumulator structure with
+// a fixed lane-reduction order for dot products, a shared polynomial
+// sigmoid evaluated with the exact same multiply/add sequence, and a
+// per-feature ascending-block reduction for the fused pass. No FMA
+// contraction is permitted (the kernel translation units compile with
+// -ffp-contract=off and the AVX2 code uses explicit mul+add intrinsics),
+// so the compiler cannot introduce divergent roundings. Consequences:
+//
+//   * thread-count determinism (DESIGN.md section 11) holds per kernel AND
+//     across kernels — MB_SIMD=off and MB_SIMD=avx2 train the same bits;
+//   * CV checkpoints written under one kernel resume under the other
+//     bitwise-identically (the fingerprint excludes the kernel, like the
+//     thread count);
+//   * the parity suite (tests/ml/simd_parity_test.cc) asserts exact
+//     equality, no tolerances.
+//
+// Kernel choice: MB_SIMD=off|scalar forces scalar, MB_SIMD=avx2 requests
+// AVX2 (falls back to scalar with a warning when the CPU lacks it), unset
+// or MB_SIMD=auto probes cpuid. Resolved once per process; tests override
+// with ScopedKernelOverride.
+
+#ifndef MICROBROWSE_ML_SIMD_H_
+#define MICROBROWSE_ML_SIMD_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "ml/sparse_vector.h"
+
+namespace microbrowse::simd {
+
+enum class Kernel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2".
+const char* KernelName(Kernel kernel);
+
+/// True when this build carries AVX2 code paths and the CPU supports them.
+bool Avx2Available();
+
+/// The kernel every convenience entry point below dispatches to. Resolved
+/// once from MB_SIMD / cpuid; stable for the process lifetime unless a
+/// test installs an override.
+Kernel ActiveKernel();
+
+/// Test hook: forces `kernel` (nullopt restores MB_SIMD / cpuid
+/// resolution). Not thread-safe against concurrent kernel calls; tests
+/// flip it between training runs only.
+void SetKernelForTest(std::optional<Kernel> kernel);
+
+/// RAII kernel override for tests.
+class ScopedKernelOverride {
+ public:
+  explicit ScopedKernelOverride(Kernel kernel) { SetKernelForTest(kernel); }
+  ~ScopedKernelOverride() { SetKernelForTest(std::nullopt); }
+  ScopedKernelOverride(const ScopedKernelOverride&) = delete;
+  ScopedKernelOverride& operator=(const ScopedKernelOverride&) = delete;
+};
+
+/// Per-kernel entry points. All functions of one table compute the
+/// canonical schedule; tables for different kernels agree bitwise.
+struct KernelFns {
+  /// Lane-structured sparse dot product of one CSR row against `weights`:
+  /// entries are consumed in groups of four, group g entry l contributing
+  /// to lane accumulator l; entries whose id >= n_features (and the empty
+  /// lanes of a final partial group) contribute +0.0 to their lane. The
+  /// result is (lane0 + lane2) + (lane1 + lane3).
+  double (*dot_row)(const FeatureId* ids, const double* values, size_t len,
+                    const double* weights, size_t n_features);
+
+  /// scores[i - begin_row] = (bias + offsets[i]) + dot_row(row i) for every
+  /// row in [begin_row, end_row). `offsets` may be null (treated as 0).
+  void (*score_csr_rows)(const size_t* row_offsets, const FeatureId* ids,
+                         const double* values, const double* offsets, const double* weights,
+                         size_t n_features, double bias, size_t begin_row, size_t end_row,
+                         double* scores);
+
+  /// out[i] = CanonicalSigmoid(x[i]): 1/(1+exp(-x)) evaluated via a shared
+  /// range-reduced polynomial exp (see simd.cc); in-place allowed.
+  void (*sigmoid_vec)(const double* x, size_t n, double* out);
+
+  /// For every feature j in [begin, end):
+  ///   g      = sum over b in 0..n_blocks-1 (ascending) of
+  ///            partials[b * stride + j]
+  ///   u      = weights[j] - step * (g + l2 * weights[j])
+  ///   weights[j] = SoftThreshold(u, step * l1)
+  /// with branchless soft-thresholding (max semantics of vmaxpd: a NaN
+  /// magnitude collapses to 0).
+  void (*fused_grad_prox)(const double* partials, size_t n_blocks, size_t stride,
+                          size_t begin, size_t end, double step, double l1, double l2,
+                          double* weights);
+};
+
+/// Kernel table for `kernel`; requesting kAvx2 on hardware without AVX2
+/// returns the scalar table.
+const KernelFns& GetKernelFns(Kernel kernel);
+
+/// Convenience wrappers over GetKernelFns(ActiveKernel()).
+double DotRow(const FeatureId* ids, const double* values, size_t len, const double* weights,
+              size_t n_features);
+void ScoreCsrRows(const size_t* row_offsets, const FeatureId* ids, const double* values,
+                  const double* offsets, const double* weights, size_t n_features, double bias,
+                  size_t begin_row, size_t end_row, double* scores);
+void SigmoidVec(const double* x, size_t n, double* out);
+void FusedGradProx(const double* partials, size_t n_blocks, size_t stride, size_t begin,
+                   size_t end, double step, double l1, double l2, double* weights);
+
+}  // namespace microbrowse::simd
+
+#endif  // MICROBROWSE_ML_SIMD_H_

@@ -1,0 +1,182 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// AVX2 kernel implementations (see simd.h). Compiled with -mavx2 and
+// -ffp-contract=off — NO -mfma-generated contractions may reach the kernel
+// bodies, and every intrinsic below is an explicit mul/add pair, so each
+// lane executes exactly the canonical schedule of simd_common.h. Nothing
+// in this TU executes an AVX2 instruction unless the dispatcher confirmed
+// cpuid support first.
+
+#include "ml/simd.h"
+
+#include "ml/simd_common.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace microbrowse::simd {
+namespace {
+
+// vgatherdpd sign-extends its 32-bit indices; feature spaces beyond
+// INT32_MAX (16 GiB of weights) take the canonical scalar path instead.
+constexpr size_t kMaxGatherFeatures = 0x7FFFFFFF;
+
+/// Four sigmoid lanes on the canonical schedule (see SigmoidCanonical).
+inline __m256d SigmoidLanes(__m256d x) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  // -|x|, clamped (vmaxpd: NaN lanes collapse to the clamp).
+  __m256d nx = _mm256_or_pd(_mm256_andnot_pd(sign_mask, x), sign_mask);
+  nx = _mm256_max_pd(nx, _mm256_set1_pd(internal::kExpLoClamp));
+  // Round nx / ln2 to nearest-even via the shifter trick.
+  const __m256d shifter = _mm256_set1_pd(internal::kShifter);
+  const __m256d t = _mm256_mul_pd(nx, _mm256_set1_pd(internal::kLog2E));
+  const __m256d kd = _mm256_sub_pd(_mm256_add_pd(t, shifter), shifter);
+  // Cody-Waite remainder, then the fixed Horner polynomial.
+  const __m256d r = _mm256_sub_pd(
+      _mm256_sub_pd(nx, _mm256_mul_pd(kd, _mm256_set1_pd(internal::kLn2Hi))),
+      _mm256_mul_pd(kd, _mm256_set1_pd(internal::kLn2Lo)));
+  __m256d p = _mm256_set1_pd(internal::kExpPoly[11]);
+  for (int i = 10; i >= 0; --i) {
+    p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(internal::kExpPoly[i]));
+  }
+  // 2^k via exponent-field construction; k is in [-1022, 0].
+  const __m128i k32 = _mm256_cvtpd_epi32(kd);
+  const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+  const __m256i exp_bits =
+      _mm256_slli_epi64(_mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+  const __m256d e = _mm256_mul_pd(p, _mm256_castsi256_pd(exp_bits));
+  const __m256d inv = _mm256_div_pd(one, _mm256_add_pd(one, e));
+  const __m256d mirrored = _mm256_mul_pd(e, inv);  // e / (1 + e), see SigmoidCanonical.
+  const __m256d negative = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_LT_OQ);
+  return _mm256_blendv_pd(inv, mirrored, negative);
+}
+
+/// One masked 4-entry dot-product step: lanes with a clear `valid32` bit
+/// (inactive tail lanes or out-of-range ids) contribute exactly +0.0.
+inline __m256d DotStep(__m256d acc, __m128i idv, __m256d v, __m128i valid32,
+                       const double* weights) {
+  const __m256d mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(valid32));
+  const __m256d w = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), weights, idv, mask, 8);
+  return _mm256_add_pd(acc, _mm256_and_pd(mask, _mm256_mul_pd(v, w)));
+}
+
+double Avx2DotRow(const FeatureId* ids, const double* values, size_t len,
+                  const double* weights, size_t n_features) {
+  if (n_features > kMaxGatherFeatures) {
+    return internal::DotRowCanonical(ids, values, len, weights, n_features);
+  }
+  // Unsigned id < n_features compare via sign-bias (AVX2 compares are
+  // signed only).
+  const __m128i bias32 = _mm_set1_epi32(INT32_MIN);
+  const __m128i biased_n =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int32_t>(n_features)), bias32);
+  __m256d acc = _mm256_setzero_pd();
+  size_t g = 0;
+  for (; g + 4 <= len; g += 4) {
+    const __m128i idv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + g));
+    const __m128i valid32 = _mm_cmpgt_epi32(biased_n, _mm_xor_si128(idv, bias32));
+    acc = DotStep(acc, idv, _mm256_loadu_pd(values + g), valid32, weights);
+  }
+  const size_t tail = len - g;
+  if (tail != 0) {
+    alignas(16) uint32_t tail_ids[4] = {0, 0, 0, 0};
+    alignas(16) uint32_t tail_active[4] = {0, 0, 0, 0};
+    alignas(32) double tail_values[4] = {0.0, 0.0, 0.0, 0.0};
+    for (size_t l = 0; l < tail; ++l) {
+      tail_ids[l] = ids[g + l];
+      tail_values[l] = values[g + l];
+      tail_active[l] = 0xFFFFFFFFu;
+    }
+    const __m128i idv = _mm_load_si128(reinterpret_cast<const __m128i*>(tail_ids));
+    const __m128i in_range = _mm_cmpgt_epi32(biased_n, _mm_xor_si128(idv, bias32));
+    const __m128i valid32 =
+        _mm_and_si128(_mm_load_si128(reinterpret_cast<const __m128i*>(tail_active)), in_range);
+    acc = DotStep(acc, idv, _mm256_load_pd(tail_values), valid32, weights);
+  }
+  // (lane0 + lane2) + (lane1 + lane3), the canonical reduction order.
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+void Avx2ScoreCsrRows(const size_t* row_offsets, const FeatureId* ids, const double* values,
+                      const double* offsets, const double* weights, size_t n_features,
+                      double bias, size_t begin_row, size_t end_row, double* scores) {
+  for (size_t i = begin_row; i < end_row; ++i) {
+    const size_t begin = row_offsets[i];
+    const double base = bias + (offsets != nullptr ? offsets[i] : 0.0);
+    scores[i - begin_row] = base + Avx2DotRow(ids + begin, values + begin,
+                                              row_offsets[i + 1] - begin, weights, n_features);
+  }
+}
+
+void Avx2SigmoidVec(const double* x, size_t n, double* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, SigmoidLanes(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = internal::SigmoidCanonical(x[i]);
+}
+
+void Avx2FusedGradProx(const double* partials, size_t n_blocks, size_t stride, size_t begin,
+                       size_t end, double step, double l1, double l2, double* weights) {
+  const double thr = step * l1;
+  const __m256d vstep = _mm256_set1_pd(step);
+  const __m256d vl2 = _mm256_set1_pd(l2);
+  const __m256d vthr = _mm256_set1_pd(thr);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d vzero = _mm256_setzero_pd();
+  size_t j = begin;
+  for (; j + 4 <= end; j += 4) {
+    __m256d g = vzero;
+    for (size_t b = 0; b < n_blocks; ++b) {
+      g = _mm256_add_pd(g, _mm256_loadu_pd(partials + b * stride + j));
+    }
+    const __m256d w = _mm256_loadu_pd(weights + j);
+    const __m256d u =
+        _mm256_sub_pd(w, _mm256_mul_pd(vstep, _mm256_add_pd(g, _mm256_mul_pd(vl2, w))));
+    // copysign(max(|u| - thr, 0), u); vmaxpd(second operand wins on NaN).
+    __m256d a = _mm256_sub_pd(_mm256_andnot_pd(sign_mask, u), vthr);
+    a = _mm256_max_pd(a, vzero);
+    _mm256_storeu_pd(weights + j, _mm256_or_pd(a, _mm256_and_pd(sign_mask, u)));
+  }
+  for (; j < end; ++j) {
+    internal::FusedGradProxFeature(partials, n_blocks, stride, j, step, thr, l2, weights);
+  }
+}
+
+constexpr KernelFns kAvx2Fns = {
+    &Avx2DotRow,
+    &Avx2ScoreCsrRows,
+    &Avx2SigmoidVec,
+    &Avx2FusedGradProx,
+};
+
+}  // namespace
+
+namespace internal {
+
+const KernelFns* Avx2Fns() { return &kAvx2Fns; }
+
+bool Avx2CpuSupported() { return __builtin_cpu_supports("avx2") != 0; }
+
+}  // namespace internal
+
+}  // namespace microbrowse::simd
+
+#else  // !(__x86_64__ && __AVX2__)
+
+namespace microbrowse::simd::internal {
+
+const KernelFns* Avx2Fns() { return nullptr; }
+
+bool Avx2CpuSupported() { return false; }
+
+}  // namespace microbrowse::simd::internal
+
+#endif

@@ -1,0 +1,138 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Internal canonical arithmetic shared by the scalar and AVX2 kernel
+// translation units (see simd.h for the contract). Everything here defines
+// THE operation schedule: the AVX2 code must execute the same multiplies,
+// adds, compares and selects on each lane, in the same order, so results
+// agree bitwise. Both TUs compile with -ffp-contract=off — do not include
+// this header from code built without that flag if you call the helpers.
+
+#ifndef MICROBROWSE_ML_SIMD_COMMON_H_
+#define MICROBROWSE_ML_SIMD_COMMON_H_
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "ml/sparse_vector.h"
+
+namespace microbrowse::simd::internal {
+
+// --- Canonical sigmoid: 1 / (1 + exp(-|x|)) with a mirrored selection for
+// negative inputs, exp evaluated by Cody-Waite range reduction and a
+// fixed-degree Horner polynomial. All constants are shared with the AVX2
+// lanes.
+inline constexpr double kLog2E = 1.4426950408889634074;  // 1 / ln 2
+// ln2 split so kd * kLn2Hi is exact for |kd| < 2^20 (low mantissa bits 0).
+inline constexpr double kLn2Hi = 6.93145751953125e-1;
+inline constexpr double kLn2Lo = 1.42860682030941723212e-6;
+// 1.5 * 2^52: (t + kShifter) - kShifter rounds t to nearest-even integer.
+inline constexpr double kShifter = 6755399441055744.0;
+// exp arguments below this clamp; exp(-708) ~ 3e-308 keeps the 2^k scale
+// normal and sigmoid is 0/1 to machine precision far earlier anyway.
+inline constexpr double kExpLoClamp = -708.0;
+// Taylor coefficients 1/k! for exp on [-ln2/2, ln2/2]; degree 11 leaves
+// |r|^12/12! < 1e-14 relative error at the interval edge.
+inline constexpr double kExpPoly[12] = {
+    1.0,
+    1.0,
+    1.0 / 2.0,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5040.0,
+    1.0 / 40320.0,
+    1.0 / 362880.0,
+    1.0 / 3628800.0,
+    1.0 / 39916800.0,
+};
+
+/// exp(nx) for nx <= 0, canonical schedule. `nx` must already be clamped
+/// to [kExpLoClamp, 0].
+inline double ExpNegCanonical(double nx) {
+  const double t = nx * kLog2E;
+  const double kd = (t + kShifter) - kShifter;
+  const double r = (nx - kd * kLn2Hi) - kd * kLn2Lo;
+  double p = kExpPoly[11];
+  p = p * r + kExpPoly[10];
+  p = p * r + kExpPoly[9];
+  p = p * r + kExpPoly[8];
+  p = p * r + kExpPoly[7];
+  p = p * r + kExpPoly[6];
+  p = p * r + kExpPoly[5];
+  p = p * r + kExpPoly[4];
+  p = p * r + kExpPoly[3];
+  p = p * r + kExpPoly[2];
+  p = p * r + kExpPoly[1];
+  p = p * r + kExpPoly[0];
+  const int64_t k = static_cast<int64_t>(kd);
+  const double scale = std::bit_cast<double>(static_cast<uint64_t>(k + 1023) << 52);
+  return p * scale;
+}
+
+/// Canonical sigmoid; every SigmoidVec lane computes exactly this.
+inline double SigmoidCanonical(double x) {
+  // -|x|, clamped with vmaxpd select semantics (NaN collapses to the
+  // clamp, matching _mm256_max_pd(nx, clamp)).
+  double nx = -std::fabs(x);
+  nx = nx > kExpLoClamp ? nx : kExpLoClamp;
+  const double e = ExpNegCanonical(nx);
+  const double inv = 1.0 / (1.0 + e);
+  // e * inv == e / (1 + e), NOT 1 - inv: the subtraction's half-ulp-of-one
+  // absolute error would swamp saturated negatives in relative terms.
+  const double mirrored = e * inv;
+  // blendv on (x < 0): ordered compare, so NaN takes the positive branch.
+  return x < 0.0 ? mirrored : inv;
+}
+
+/// Canonical lane-structured dot product of one CSR row (see
+/// KernelFns::dot_row). The scalar kernel IS this function; the AVX2
+/// kernel reproduces its lane schedule with gathers.
+inline double DotRowCanonical(const FeatureId* ids, const double* values, size_t len,
+                              const double* weights, size_t n_features) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t g = 0;
+  for (; g + 4 <= len; g += 4) {
+    for (int l = 0; l < 4; ++l) {
+      const FeatureId id = ids[g + l];
+      const double t = id < n_features ? values[g + l] * weights[id] : 0.0;
+      acc[l] += t;
+    }
+  }
+  const size_t tail = len - g;
+  if (tail != 0) {
+    // The masked AVX2 tail adds +0.0 to the inactive lanes; mirror that.
+    for (size_t l = 0; l < 4; ++l) {
+      double t = 0.0;
+      if (l < tail) {
+        const FeatureId id = ids[g + l];
+        if (id < n_features) t = values[g + l] * weights[id];
+      }
+      acc[l] += t;
+    }
+  }
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+/// Canonical per-feature fused reduce + proximal update (see
+/// KernelFns::fused_grad_prox). Each feature is independent, so the vector
+/// kernel matches bitwise by construction.
+inline void FusedGradProxFeature(const double* partials, size_t n_blocks, size_t stride,
+                                 size_t j, double step, double thr, double l2,
+                                 double* weights) {
+  double g = 0.0;
+  for (size_t b = 0; b < n_blocks; ++b) g += partials[b * stride + j];
+  const double w = weights[j];
+  const double u = w - step * (g + l2 * w);
+  // Branchless soft threshold: copysign(max(|u| - thr, 0), u), with vmaxpd
+  // select semantics (NaN magnitude collapses to +0).
+  double a = std::fabs(u) - thr;
+  a = a > 0.0 ? a : 0.0;
+  weights[j] = std::copysign(a, u);
+}
+
+}  // namespace microbrowse::simd::internal
+
+#endif  // MICROBROWSE_ML_SIMD_COMMON_H_

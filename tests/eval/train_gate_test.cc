@@ -1,0 +1,125 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Unit tests for the training-benchmark speedup gate (eval/train_gate.h):
+// which sweep points are gated, when the gate is enforced, and how failures
+// and the headline number are reported.
+
+#include "eval/train_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace microbrowse {
+namespace {
+
+TrainGatePoint Point(const char* solver, size_t pairs, int threads, double speedup) {
+  TrainGatePoint point;
+  point.solver = solver;
+  point.pairs = pairs;
+  point.threads = threads;
+  point.speedup_vs_1_thread = speedup;
+  return point;
+}
+
+TEST(TrainGateTest, GatesOnlyLargeProximalPointsAtGateThreads) {
+  TrainGateOptions options;
+  EXPECT_TRUE(IsGatedPoint(Point("proximal_batch", 100000, 8, 3.5), options));
+  EXPECT_TRUE(IsGatedPoint(Point("proximal_batch", 1000000, 8, 3.5), options));
+  EXPECT_FALSE(IsGatedPoint(Point("proximal_batch", 99999, 8, 3.5), options));
+  EXPECT_FALSE(IsGatedPoint(Point("proximal_batch", 100000, 4, 3.5), options));
+  EXPECT_FALSE(IsGatedPoint(Point("adagrad", 100000, 8, 3.5), options));
+}
+
+TEST(TrainGateTest, PassesWhenEveryGatedPointMeetsTarget) {
+  TrainGateOptions options;
+  options.require = true;
+  const std::vector<TrainGatePoint> points = {
+      Point("adagrad", 100000, 8, 0.9),           // Not gated: wrong solver.
+      Point("proximal_batch", 100000, 2, 1.4),    // Not gated: wrong threads.
+      Point("proximal_batch", 10000, 8, 1.1),     // Not gated: too small.
+      Point("proximal_batch", 100000, 8, 3.02),   // Gated, meets.
+      Point("proximal_batch", 1000000, 8, 4.10),  // Gated, meets.
+  };
+  const TrainGateResult result = EvaluateTrainGate(points, options);
+  EXPECT_TRUE(result.enforced);
+  EXPECT_TRUE(result.passed);
+  EXPECT_TRUE(result.failing.empty());
+  EXPECT_EQ(result.headline_pairs, 1000000u);
+  EXPECT_DOUBLE_EQ(result.headline_speedup, 4.10);
+}
+
+TEST(TrainGateTest, FailsWhenAnyGatedPointMissesTarget) {
+  TrainGateOptions options;
+  options.require = true;
+  const std::vector<TrainGatePoint> points = {
+      Point("proximal_batch", 100000, 8, 2.99),   // Gated, misses.
+      Point("proximal_batch", 1000000, 8, 3.50),  // Gated, meets.
+  };
+  const TrainGateResult result = EvaluateTrainGate(points, options);
+  EXPECT_TRUE(result.enforced);
+  EXPECT_FALSE(result.passed);
+  ASSERT_EQ(result.failing.size(), 1u);
+  EXPECT_EQ(result.failing[0], 0u);
+  // The headline is the LARGEST gated point, independent of which failed.
+  EXPECT_EQ(result.headline_pairs, 1000000u);
+}
+
+TEST(TrainGateTest, NotEnforcedOnSmallHardwareUnlessRequired) {
+  const std::vector<TrainGatePoint> points = {
+      Point("proximal_batch", 100000, 8, 1.0),  // A 1-core box can't scale.
+  };
+  TrainGateOptions options;
+  options.hardware_threads = 1;
+  TrainGateResult result = EvaluateTrainGate(points, options);
+  EXPECT_FALSE(result.enforced);
+  EXPECT_TRUE(result.passed);
+  // The miss is still visible for reporting.
+  ASSERT_EQ(result.failing.size(), 1u);
+
+  options.require = true;
+  result = EvaluateTrainGate(points, options);
+  EXPECT_TRUE(result.enforced);
+  EXPECT_FALSE(result.passed);
+}
+
+TEST(TrainGateTest, EnforcedAutomaticallyOnCapableHardwareWithGateablePoint) {
+  TrainGateOptions options;
+  options.hardware_threads = 16;
+  const std::vector<TrainGatePoint> meets = {Point("proximal_batch", 200000, 8, 3.4)};
+  EXPECT_TRUE(EvaluateTrainGate(meets, options).enforced);
+  EXPECT_TRUE(EvaluateTrainGate(meets, options).passed);
+
+  // Capable hardware but a sweep with nothing gateable: not enforced.
+  const std::vector<TrainGatePoint> tiny = {Point("proximal_batch", 2000, 8, 1.2)};
+  EXPECT_FALSE(EvaluateTrainGate(tiny, options).enforced);
+}
+
+TEST(TrainGateTest, RequiredRunWithNoGateablePointPassesVacuously) {
+  TrainGateOptions options;
+  options.require = true;
+  const std::vector<TrainGatePoint> points = {Point("proximal_batch", 2000, 8, 1.2)};
+  const TrainGateResult result = EvaluateTrainGate(points, options);
+  EXPECT_TRUE(result.enforced);
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(result.headline_pairs, 0u);
+  EXPECT_EQ(result.headline_speedup, 0.0);
+}
+
+TEST(TrainGateTest, CustomThresholdsAreHonoured) {
+  TrainGateOptions options;
+  options.require = true;
+  options.min_speedup = 2.0;
+  options.min_pairs = 50000;
+  options.gate_threads = 4;
+  const std::vector<TrainGatePoint> points = {
+      Point("proximal_batch", 50000, 4, 2.1),
+      Point("proximal_batch", 50000, 8, 0.5),  // Wrong threads under custom gate.
+  };
+  const TrainGateResult result = EvaluateTrainGate(points, options);
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(result.headline_pairs, 50000u);
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -1,0 +1,214 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Fuzz-smoke coverage for the sharded corpus reader (io/corpus_shards.cc)
+// feeding the streaming trainers. Properties:
+//   truncation   — a shard cut at arbitrary byte boundaries either fails the
+//                  strict stream or is skipped whole under skip_and_log,
+//                  with the report counting it; never a crash, never a
+//                  silently shrunken corpus without accounting;
+//   byte soup    — shard files full of random bytes never crash resolution
+//                  or the streaming stats/CSR builders;
+//   set mutation — randomly deleting, duplicating-with-mixed-count or
+//                  renaming shards makes ResolveCorpusShards fail with a
+//                  clean Status, never resolve a partial set.
+// Deterministic seeds; tier-1-friendly sizes (label fuzz-smoke).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "corpus/generator.h"
+#include "io/corpus_shards.h"
+#include "io/serialization.h"
+
+namespace microbrowse {
+namespace {
+
+std::string FuzzDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/shard_fuzz_" +
+                          std::to_string(::getpid()) + "_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Writes a small real 4-shard corpus and returns its base path.
+std::string WriteShardSet(const std::string& dir, uint64_t seed) {
+  AdCorpusOptions options;
+  options.num_adgroups = 24;
+  options.seed = seed;
+  auto generated = GenerateAdCorpus(options);
+  EXPECT_TRUE(generated.ok());
+  const std::string base = dir + "/corpus.tsv";
+  EXPECT_TRUE(SaveAdCorpusSharded(generated->corpus, base, 4).ok());
+  return base;
+}
+
+LoadOptions Salvage() {
+  LoadOptions options;
+  options.recovery = LoadOptions::Recovery::kSkipAndLog;
+  return options;
+}
+
+TEST(ShardFuzzTest, TruncatedShardNeverCrashesAndIsAlwaysAccounted) {
+  const std::string dir = FuzzDir("trunc");
+  const std::string base = WriteShardSet(dir, 101);
+  const std::string victim = ShardPath(base, 2, 4);
+  const std::string bytes = ReadAll(victim);
+  ASSERT_GT(bytes.size(), 0u);
+
+  Rng rng(20260807);
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    const size_t len = rng.NextIndex(bytes.size());
+    WriteAll(victim, bytes.substr(0, len));
+    auto resolved = ResolveCorpusShards(base);
+    ASSERT_TRUE(resolved.ok());
+
+    // Strict mode: a damaged shard either fails the stream (naming the
+    // shard) or — for clean-prefix truncations of a line-oriented format —
+    // loads fewer adgroups, which the report must reflect.
+    ShardLoadReport strict_report;
+    auto strict = LoadShardedAdCorpus(*resolved, {}, &strict_report);
+    if (!strict.ok()) {
+      EXPECT_NE(strict.status().message().find("00002-of-00004"), std::string::npos)
+          << "truncation to " << len;
+    }
+
+    // Salvage mode must always produce a corpus and a consistent report.
+    ShardLoadReport report;
+    auto salvaged = LoadShardedAdCorpus(*resolved, Salvage(), &report);
+    ASSERT_TRUE(salvaged.ok()) << "truncation to " << len;
+    EXPECT_EQ(report.shards_total, 4u);
+    EXPECT_EQ(report.shards_loaded + report.shards_skipped, 4u);
+    if (report.shards_skipped > 0) {
+      EXPECT_FALSE(report.first_error.empty());
+    }
+    EXPECT_EQ(static_cast<int64_t>(salvaged->adgroups.size()), report.adgroups);
+
+    // The streaming builders ride the same path: never crash, always ok in
+    // salvage mode.
+    auto stats = BuildFeatureStatsSharded(*resolved, {}, {}, Salvage(), nullptr);
+    EXPECT_TRUE(stats.ok()) << "truncation to " << len;
+  }
+  WriteAll(victim, bytes);
+  ASSERT_TRUE(LoadShardedAdCorpus(*ResolveCorpusShards(base), {}).ok());
+}
+
+TEST(ShardFuzzTest, ByteSoupShardsNeverCrashTheStreamingBuilders) {
+  const std::string dir = FuzzDir("soup");
+  const std::string base = WriteShardSet(dir, 202);
+  Rng rng(4242);
+  for (int iteration = 0; iteration < 80; ++iteration) {
+    // Overwrite a random shard with garbage — sometimes headed by a
+    // plausible-looking first line so the row parser engages.
+    const size_t victim_index = rng.NextIndex(4);
+    const std::string victim = ShardPath(base, victim_index, 4);
+    const size_t len = rng.NextIndex(600);
+    std::string soup;
+    if (iteration % 2 == 0) soup = "adgroup\t";
+    for (size_t i = 0; i < len; ++i) {
+      soup.push_back(static_cast<char>(rng.NextIndex(256)));
+    }
+    WriteAll(victim, soup);
+
+    auto resolved = ResolveCorpusShards(base);
+    ASSERT_TRUE(resolved.ok());
+    ShardLoadReport report;
+    auto stats = BuildFeatureStatsSharded(*resolved, {}, {}, Salvage(), &report);
+    ASSERT_TRUE(stats.ok()) << "iteration " << iteration;
+    EXPECT_EQ(report.shards_loaded + report.shards_skipped, 4u);
+
+    ShardLoadReport csr_report;
+    FeatureStatsDb empty_db;
+    auto csr = BuildCoupledCsrSharded(*resolved, empty_db, ClassifierConfig::M1(), 7, {},
+                                      Salvage(), &csr_report);
+    ASSERT_TRUE(csr.ok()) << "iteration " << iteration;
+
+    // Restore the victim for the next round.
+    AdCorpusOptions options;
+    options.num_adgroups = 24;
+    options.seed = 202;
+    auto regenerated = GenerateAdCorpus(options);
+    ASSERT_TRUE(regenerated.ok());
+    ASSERT_TRUE(SaveAdCorpusSharded(regenerated->corpus, base, 4).ok());
+  }
+}
+
+TEST(ShardFuzzTest, MutatedShardSetsResolveCleanlyOrFailCleanly) {
+  Rng rng(909);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const std::string dir = FuzzDir("mutate_" + std::to_string(iteration));
+    const std::string base = WriteShardSet(dir, 300 + static_cast<uint64_t>(iteration));
+    const size_t victim_index = rng.NextIndex(4);
+    const std::string victim = ShardPath(base, victim_index, 4);
+    const int mutation = static_cast<int>(rng.NextIndex(3));
+    StatusCode want = StatusCode::kOk;
+    switch (mutation) {
+      case 0:  // Delete a shard: a gap the resolver must name.
+        ASSERT_TRUE(std::filesystem::remove(victim));
+        want = StatusCode::kNotFound;
+        break;
+      case 1:  // Overlapping generation with a different count.
+        std::filesystem::copy_file(victim, ShardPath(base, victim_index, 7));
+        want = StatusCode::kFailedPrecondition;
+        break;
+      case 2:  // Shard index out of range for its claimed count.
+        std::filesystem::copy_file(victim, ShardPath(base, 9, 4));
+        want = StatusCode::kFailedPrecondition;
+        break;
+    }
+    auto resolved = ResolveCorpusShards(base);
+    ASSERT_FALSE(resolved.ok()) << "iteration " << iteration << " mutation " << mutation;
+    EXPECT_EQ(resolved.status().code(), want)
+        << "iteration " << iteration << " mutation " << mutation << ": "
+        << resolved.status().message();
+  }
+}
+
+TEST(ShardFuzzTest, BitFlippedRowsAreSkippedRowWiseWithAccurateCounts) {
+  const std::string dir = FuzzDir("flip");
+  const std::string base = WriteShardSet(dir, 505);
+  const std::string victim = ShardPath(base, 1, 4);
+  const std::string bytes = ReadAll(victim);
+  Rng rng(77);
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    std::string damaged = bytes;
+    const size_t pos = rng.NextIndex(damaged.size());
+    const int bit = static_cast<int>(rng.NextIndex(8));
+    damaged[pos] = static_cast<char>(damaged[pos] ^ (1 << bit));
+    WriteAll(victim, damaged);
+    auto resolved = ResolveCorpusShards(base);
+    ASSERT_TRUE(resolved.ok());
+    ShardLoadReport report;
+    auto corpus = LoadShardedAdCorpus(*resolved, Salvage(), &report);
+    ASSERT_TRUE(corpus.ok()) << "byte " << pos << " bit " << bit;
+    // Whatever the row recovery decided, the corpus the trainer sees and
+    // the report shown to the operator must agree.
+    EXPECT_EQ(static_cast<int64_t>(corpus->adgroups.size()), report.adgroups)
+        << "byte " << pos << " bit " << bit;
+    EXPECT_EQ(report.shards_loaded + report.shards_skipped, report.shards_total);
+  }
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -1,0 +1,274 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Sharded corpus round trips and the central streaming-parity claims: the
+// shard-streaming stats and dataset builders must produce results bitwise
+// identical to materialising the whole corpus and running the monolithic
+// builders, and shard-set resolution must refuse incomplete or ambiguous
+// sets rather than silently training on part of a corpus.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/pair_extraction.h"
+#include "io/corpus_shards.h"
+#include "io/serialization.h"
+#include "microbrowse/classifier.h"
+#include "microbrowse/stats_db.h"
+
+namespace microbrowse {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+AdCorpus MakeCorpus(uint64_t seed, int adgroups) {
+  AdCorpusOptions options;
+  options.num_adgroups = adgroups;
+  options.seed = seed;
+  auto generated = GenerateAdCorpus(options);
+  EXPECT_TRUE(generated.ok());
+  return generated->corpus;
+}
+
+TEST(ShardPathTest, SplicesTagBeforeExtension) {
+  EXPECT_EQ(ShardPath("corpus.tsv", 3, 8), "corpus-00003-of-00008.tsv");
+  EXPECT_EQ(ShardPath("/data/run/c.tsv", 0, 2), "/data/run/c-00000-of-00002.tsv");
+  EXPECT_EQ(ShardPath("corpus", 1, 2), "corpus-00001-of-00002");
+  EXPECT_EQ(ShardPath("a.b/corpus", 1, 2), "a.b/corpus-00001-of-00002");
+}
+
+TEST(ResolveCorpusShardsTest, MonolithicFileWins) {
+  const std::string dir = FreshDir("resolve_mono");
+  const AdCorpus corpus = MakeCorpus(3, 20);
+  ASSERT_TRUE(SaveAdCorpus(corpus, dir + "/corpus.tsv").ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_FALSE(resolved->sharded);
+  ASSERT_EQ(resolved->paths.size(), 1u);
+  EXPECT_EQ(resolved->paths[0], dir + "/corpus.tsv");
+}
+
+TEST(ResolveCorpusShardsTest, FindsCompleteShardSetInIndexOrder) {
+  const std::string dir = FreshDir("resolve_set");
+  const AdCorpus corpus = MakeCorpus(5, 30);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 3).ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->sharded);
+  ASSERT_EQ(resolved->paths.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(resolved->paths[i], ShardPath(dir + "/corpus.tsv", i, 3));
+  }
+}
+
+TEST(ResolveCorpusShardsTest, NothingThereIsNotFound) {
+  const std::string dir = FreshDir("resolve_nothing");
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResolveCorpusShardsTest, MissingMiddleShardIsNotFoundByName) {
+  const std::string dir = FreshDir("resolve_gap");
+  const AdCorpus corpus = MakeCorpus(7, 30);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 4).ok());
+  ASSERT_TRUE(std::filesystem::remove(ShardPath(dir + "/corpus.tsv", 2, 4)));
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(resolved.status().message().find("00002-of-00004"), std::string::npos);
+}
+
+TEST(ResolveCorpusShardsTest, MixedShardCountsAreRefused) {
+  const std::string dir = FreshDir("resolve_mixed");
+  const AdCorpus corpus = MakeCorpus(9, 30);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 2).ok());
+  // A leftover shard from an older 3-way generation overlapping the 2-way
+  // set: ambiguous, must refuse rather than pick one.
+  ASSERT_TRUE(SaveAdCorpus(corpus, ShardPath(dir + "/corpus.tsv", 1, 3)).ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resolved.status().message().find("mixed shard counts"), std::string::npos);
+}
+
+TEST(ResolveCorpusShardsTest, OutOfRangeShardIndexIsRefused) {
+  const std::string dir = FreshDir("resolve_oob");
+  const AdCorpus corpus = MakeCorpus(11, 20);
+  ASSERT_TRUE(SaveAdCorpus(corpus, ShardPath(dir + "/corpus.tsv", 5, 4)).ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ResolveCorpusShardsTest, SimilarlyNamedSiblingsAreIgnored) {
+  const std::string dir = FreshDir("resolve_siblings");
+  const AdCorpus corpus = MakeCorpus(13, 20);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 2).ok());
+  // Different stems or extensions must not join the set.
+  ASSERT_TRUE(SaveAdCorpus(corpus, dir + "/corpus2-00000-of-00002.tsv").ok());
+  ASSERT_TRUE(SaveAdCorpus(corpus, dir + "/corpus-00000-of-00002.tsv.bak").ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->paths.size(), 2u);
+}
+
+TEST(ShardRoundTripTest, ShardedSaveLoadPreservesEveryAdGroup) {
+  const std::string dir = FreshDir("roundtrip");
+  const AdCorpus corpus = MakeCorpus(17, 50);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 4).ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+  ShardLoadReport report;
+  auto loaded = LoadShardedAdCorpus(*resolved, {}, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.shards_total, 4u);
+  EXPECT_EQ(report.shards_loaded, 4u);
+  EXPECT_EQ(report.shards_skipped, 0u);
+  EXPECT_EQ(static_cast<size_t>(report.adgroups), corpus.adgroups.size());
+  EXPECT_EQ(loaded->adgroups.size(), corpus.adgroups.size());
+  EXPECT_EQ(loaded->placement, corpus.placement);
+  // Round-robin sharding reorders adgroups; ids must all survive.
+  std::vector<int64_t> original_ids, loaded_ids;
+  for (const AdGroup& group : corpus.adgroups) original_ids.push_back(group.id);
+  for (const AdGroup& group : loaded->adgroups) loaded_ids.push_back(group.id);
+  std::sort(original_ids.begin(), original_ids.end());
+  std::sort(loaded_ids.begin(), loaded_ids.end());
+  EXPECT_EQ(loaded_ids, original_ids);
+}
+
+TEST(ShardStreamingTest, SkipAndLogSkipsWholeBadShardWithAccounting) {
+  const std::string dir = FreshDir("stream_salvage");
+  const AdCorpus corpus = MakeCorpus(19, 40);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 4).ok());
+  {
+    std::ofstream out(ShardPath(dir + "/corpus.tsv", 1, 4), std::ios::trunc);
+    out << "this is not an adcorpus artifact\n";
+  }
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+
+  // Strict: the first bad shard fails the stream, naming the shard.
+  ShardLoadReport strict_report;
+  auto strict = LoadShardedAdCorpus(*resolved, {}, &strict_report);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("00001-of-00004"), std::string::npos);
+
+  // Salvage: the bad shard is skipped whole, everything else loads, and
+  // the report says exactly what happened — no silent mistraining.
+  LoadOptions salvage;
+  salvage.recovery = LoadOptions::Recovery::kSkipAndLog;
+  ShardLoadReport report;
+  auto loaded = LoadShardedAdCorpus(*resolved, salvage, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.shards_total, 4u);
+  EXPECT_EQ(report.shards_loaded, 3u);
+  EXPECT_EQ(report.shards_skipped, 1u);
+  EXPECT_NE(report.first_error.find("00001-of-00004"), std::string::npos);
+  EXPECT_LT(loaded->adgroups.size(), corpus.adgroups.size());
+  EXPECT_GT(loaded->adgroups.size(), 0u);
+}
+
+TEST(ShardStreamingTest, StatsBuildMatchesMonolithicBitwise) {
+  const std::string dir = FreshDir("stream_stats");
+  const AdCorpus corpus = MakeCorpus(21, 60);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 3).ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+
+  BuildStatsOptions options;
+  options.num_threads = 2;
+  ShardLoadReport report;
+  auto streamed = BuildFeatureStatsSharded(*resolved, {}, options, {}, &report);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(report.shards_loaded, 3u);
+  EXPECT_GT(report.pairs, 0);
+
+  // Reference: materialise the shard set, then the monolithic builder.
+  auto materialized = LoadShardedAdCorpus(*resolved, {});
+  ASSERT_TRUE(materialized.ok());
+  const PairCorpus pairs = ExtractSignificantPairs(*materialized, {});
+  ASSERT_EQ(static_cast<int64_t>(pairs.pairs.size()), report.pairs);
+  const FeatureStatsDb reference = BuildFeatureStats(pairs, options);
+
+  ASSERT_EQ(streamed->size(), reference.size());
+  for (const auto& [key, stat] : reference.stats()) {
+    const FeatureStat* other = streamed->Find(key);
+    ASSERT_NE(other, nullptr) << key;
+    EXPECT_EQ(other->positive, stat.positive) << key;
+    EXPECT_EQ(other->total, stat.total) << key;
+  }
+  EXPECT_EQ(streamed->smoothing(), reference.smoothing());
+  EXPECT_EQ(streamed->min_count(), reference.min_count());
+}
+
+TEST(ShardStreamingTest, CoupledCsrBuildMatchesMonolithicBitwise) {
+  const std::string dir = FreshDir("stream_csr");
+  const AdCorpus corpus = MakeCorpus(23, 60);
+  ASSERT_TRUE(SaveAdCorpusSharded(corpus, dir + "/corpus.tsv", 3).ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+
+  auto materialized = LoadShardedAdCorpus(*resolved, {});
+  ASSERT_TRUE(materialized.ok());
+  const PairCorpus pairs = ExtractSignificantPairs(*materialized, {});
+  const FeatureStatsDb db = BuildFeatureStats(pairs, {});
+  const ClassifierConfig config = ClassifierConfig::M6();
+  constexpr uint64_t kSeed = 99;
+
+  auto streamed = BuildCoupledCsrSharded(*resolved, db, config, kSeed, {}, {}, nullptr);
+  ASSERT_TRUE(streamed.ok());
+  const CoupledCsr reference =
+      FlattenCoupledDataset(BuildClassifierDataset(pairs, db, config, kSeed));
+
+  // Exact equality across every CSR array: same ids, same signs, same
+  // labels, same warm-start weights — the streaming path IS the monolithic
+  // path, minus the materialisation.
+  EXPECT_EQ(streamed->csr.row_offsets, reference.row_offsets);
+  EXPECT_EQ(streamed->csr.t_ids, reference.t_ids);
+  EXPECT_EQ(streamed->csr.p_ids, reference.p_ids);
+  EXPECT_EQ(streamed->csr.signs, reference.signs);
+  EXPECT_EQ(streamed->csr.labels, reference.labels);
+  EXPECT_EQ(streamed->csr.t_init, reference.t_init);
+  EXPECT_EQ(streamed->csr.p_init, reference.p_init);
+  ASSERT_GT(streamed->csr.size(), 0u);
+  ASSERT_GT(streamed->csr.num_t_features(), 0u);
+}
+
+TEST(ShardStreamingTest, MonolithicPathThroughShardApiMatchesDirectLoad) {
+  // A non-sharded ShardSetInfo (single file) must behave exactly like the
+  // plain loader, so callers can route everything through the shard API.
+  const std::string dir = FreshDir("stream_single");
+  const AdCorpus corpus = MakeCorpus(27, 30);
+  ASSERT_TRUE(SaveAdCorpus(corpus, dir + "/corpus.tsv").ok());
+  auto resolved = ResolveCorpusShards(dir + "/corpus.tsv");
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_FALSE(resolved->sharded);
+  auto via_shards = LoadShardedAdCorpus(*resolved, {});
+  auto direct = LoadAdCorpus(dir + "/corpus.tsv");
+  ASSERT_TRUE(via_shards.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(via_shards->adgroups.size(), direct->adgroups.size());
+  for (size_t g = 0; g < direct->adgroups.size(); ++g) {
+    EXPECT_EQ(via_shards->adgroups[g].id, direct->adgroups[g].id);
+    EXPECT_EQ(via_shards->adgroups[g].creatives.size(), direct->adgroups[g].creatives.size());
+  }
+}
+
+TEST(ShardSaveTest, RejectsZeroShards) {
+  const AdCorpus corpus = MakeCorpus(29, 5);
+  EXPECT_EQ(SaveAdCorpusSharded(corpus, "unused.tsv", 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace microbrowse

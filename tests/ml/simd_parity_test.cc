@@ -1,0 +1,344 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Scalar/SIMD parity wall (DESIGN.md section 16): every kernel of ml/simd.h
+// is asserted against its scalar reference with EXACT BITWISE equality —
+// curated dot-product vectors (denormals, signed zeros, alternating signs,
+// 1-element and 10k-element rows, out-of-range ids), the vector sigmoid,
+// the fused gradient+L1-proximal pass, and whole solver runs. The kernels
+// are bitwise identical by construction (one canonical operation schedule,
+// no FMA contraction), so no tolerances appear in the cross-kernel checks;
+// the only approximate comparison is canonical-sigmoid vs std::exp
+// accuracy, and the <=1e-12 end-weight bound against a naive reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "ml/csr.h"
+#include "ml/feature_registry.h"
+#include "ml/logistic_regression.h"
+#include "ml/simd.h"
+
+namespace microbrowse {
+namespace {
+
+/// True bitwise equality (distinguishes +0.0 from -0.0, unlike ==).
+bool BitEq(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+#define EXPECT_BITEQ(a, b) \
+  EXPECT_PRED2(BitEq, (a), (b)) << "bits: " << std::bit_cast<uint64_t>(a) << " vs " \
+                                << std::bit_cast<uint64_t>(b)
+
+class SimdParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::Avx2Available()) {
+      GTEST_SKIP() << "AVX2 unavailable on this host; scalar-only build";
+    }
+  }
+};
+
+struct DotCase {
+  std::string name;
+  std::vector<FeatureId> ids;
+  std::vector<double> values;
+};
+
+/// A weight table exercising denormals, signed zeros, huge/tiny magnitudes
+/// and alternating signs.
+std::vector<double> CuratedWeights(size_t n) {
+  std::vector<double> weights(n);
+  Rng rng(1234);
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 8) {
+      case 0: weights[i] = rng.Gaussian(0.0, 1.0); break;
+      case 1: weights[i] = 5e-324; break;  // Smallest subnormal.
+      case 2: weights[i] = -1e-310; break;  // Subnormal.
+      case 3: weights[i] = 0.0; break;
+      case 4: weights[i] = -0.0; break;
+      case 5: weights[i] = (i % 16 < 8) ? 1e300 : -1e300; break;
+      case 6: weights[i] = -rng.Uniform(0.5, 1.5); break;
+      default: weights[i] = rng.Uniform(1e-20, 1e-10); break;
+    }
+  }
+  return weights;
+}
+
+std::vector<DotCase> CuratedDotCases(size_t n_features) {
+  Rng rng(99);
+  std::vector<DotCase> cases;
+  cases.push_back({"empty", {}, {}});
+  cases.push_back({"one_element", {3}, {1.25}});
+  cases.push_back({"two_elements_tail", {1, 2}, {0.5, -0.5}});
+  cases.push_back({"three_elements_tail", {7, 8, 9}, {1e-320, -1e-320, 2.0}});
+  cases.push_back({"all_zero_values", {0, 1, 2, 3, 4}, {0.0, -0.0, 0.0, -0.0, 0.0}});
+  {
+    DotCase alternating{"alternating_signs", {}, {}};
+    for (FeatureId i = 0; i < 37; ++i) {
+      alternating.ids.push_back(i % static_cast<FeatureId>(n_features));
+      alternating.values.push_back(i % 2 == 0 ? 1.0 : -1.0);
+    }
+    cases.push_back(std::move(alternating));
+  }
+  {
+    DotCase denormals{"denormal_values", {}, {}};
+    for (FeatureId i = 0; i < 9; ++i) {
+      denormals.ids.push_back(i);
+      denormals.values.push_back(i % 2 == 0 ? 4.9e-324 : -3e-310);
+    }
+    cases.push_back(std::move(denormals));
+  }
+  {
+    // Out-of-range ids must contribute exactly +0.0 in both kernels,
+    // including the all-ones kInvalidFeatureId sentinel.
+    DotCase out_of_range{"out_of_range_ids", {}, {}};
+    out_of_range.ids = {0, static_cast<FeatureId>(n_features), 2, kInvalidFeatureId,
+                        static_cast<FeatureId>(n_features - 1), 0x80000000u, 5};
+    out_of_range.values = {1.0, 2.0, -3.0, 4.0, 5.0, -6.0, 7.0};
+    cases.push_back(std::move(out_of_range));
+  }
+  {
+    DotCase large{"ten_k_elements", {}, {}};
+    for (size_t i = 0; i < 10000; ++i) {
+      large.ids.push_back(static_cast<FeatureId>(rng.NextIndex(n_features)));
+      large.values.push_back(rng.Gaussian(0.0, 1.0));
+    }
+    cases.push_back(std::move(large));
+  }
+  {
+    DotCase large_tail{"ten_k_plus_three", {}, {}};
+    for (size_t i = 0; i < 10003; ++i) {
+      large_tail.ids.push_back(static_cast<FeatureId>(rng.NextIndex(n_features)));
+      large_tail.values.push_back(rng.Uniform(-2.0, 2.0));
+    }
+    cases.push_back(std::move(large_tail));
+  }
+  return cases;
+}
+
+TEST_F(SimdParityTest, DotRowBitwiseEqualOnCuratedVectors) {
+  constexpr size_t kFeatures = 4096;
+  const std::vector<double> weights = CuratedWeights(kFeatures);
+  const auto& scalar = simd::GetKernelFns(simd::Kernel::kScalar);
+  const auto& avx2 = simd::GetKernelFns(simd::Kernel::kAvx2);
+  for (const DotCase& c : CuratedDotCases(kFeatures)) {
+    const double s = scalar.dot_row(c.ids.data(), c.values.data(), c.ids.size(),
+                                    weights.data(), kFeatures);
+    const double v = avx2.dot_row(c.ids.data(), c.values.data(), c.ids.size(), weights.data(),
+                                  kFeatures);
+    EXPECT_BITEQ(s, v) << c.name;
+  }
+}
+
+TEST_F(SimdParityTest, ScoreCsrRowsBitwiseEqual) {
+  constexpr size_t kFeatures = 777;  // Not a multiple of 4.
+  Rng rng(7);
+  const std::vector<double> weights = CuratedWeights(kFeatures);
+  CsrDataset data;
+  data.num_features = kFeatures;
+  data.row_offsets.push_back(0);
+  for (size_t i = 0; i < 257; ++i) {
+    const size_t nnz = rng.NextIndex(9);  // Rows of every tail length, some empty.
+    for (size_t k = 0; k < nnz; ++k) {
+      data.ids.push_back(static_cast<FeatureId>(rng.NextIndex(kFeatures + 8)));
+      data.values.push_back(rng.Gaussian(0.0, 1.0));
+    }
+    data.row_offsets.push_back(data.ids.size());
+    data.offsets.push_back(rng.Uniform(-0.5, 0.5));
+  }
+  const size_t n = data.row_offsets.size() - 1;
+  std::vector<double> scalar_scores(n, 0.0);
+  std::vector<double> avx2_scores(n, 0.0);
+  const auto& scalar = simd::GetKernelFns(simd::Kernel::kScalar);
+  const auto& avx2 = simd::GetKernelFns(simd::Kernel::kAvx2);
+  scalar.score_csr_rows(data.row_offsets.data(), data.ids.data(), data.values.data(),
+                        data.offsets.data(), weights.data(), kFeatures, 0.125, 0, n,
+                        scalar_scores.data());
+  avx2.score_csr_rows(data.row_offsets.data(), data.ids.data(), data.values.data(),
+                      data.offsets.data(), weights.data(), kFeatures, 0.125, 0, n,
+                      avx2_scores.data());
+  for (size_t i = 0; i < n; ++i) EXPECT_BITEQ(scalar_scores[i], avx2_scores[i]) << "row " << i;
+}
+
+TEST_F(SimdParityTest, SigmoidVecBitwiseEqualAndAccurate) {
+  std::vector<double> inputs = {0.0,   -0.0,  1e-320, -1e-320, 1e-16, -1e-16, 0.5,
+                                -0.5,  2.0,   -2.0,   20.0,    -20.0, 36.0,   -36.0,
+                                300.0, -300.0, 709.0, -709.0,  1e4,   -1e4,
+                                std::numeric_limits<double>::infinity(),
+                                -std::numeric_limits<double>::infinity()};
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) inputs.push_back(rng.Uniform(-40.0, 40.0));
+  for (int i = 0; i < 1000; ++i) inputs.push_back(rng.Uniform(-800.0, 800.0));
+
+  std::vector<double> scalar_out(inputs.size(), 0.0);
+  std::vector<double> avx2_out(inputs.size(), 0.0);
+  simd::GetKernelFns(simd::Kernel::kScalar).sigmoid_vec(inputs.data(), inputs.size(),
+                                                        scalar_out.data());
+  simd::GetKernelFns(simd::Kernel::kAvx2).sigmoid_vec(inputs.data(), inputs.size(),
+                                                      avx2_out.data());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_BITEQ(scalar_out[i], avx2_out[i]) << "x = " << inputs[i];
+    // Accuracy against the std::exp-based sigmoid: tight relative bound in
+    // the numerically meaningful range, absolute in the saturated tails.
+    const double reference = Sigmoid(inputs[i]);
+    if (std::fabs(inputs[i]) <= 36.0) {
+      EXPECT_NEAR(scalar_out[i], reference, 1e-12 * std::max(reference, 1e-300))
+          << "x = " << inputs[i];
+    } else {
+      EXPECT_NEAR(scalar_out[i], reference, 1e-15) << "x = " << inputs[i];
+    }
+  }
+}
+
+TEST_F(SimdParityTest, FusedGradProxBitwiseEqualAndWithinReferenceTolerance) {
+  constexpr size_t kFeatures = 1003;  // Forces a vector tail.
+  constexpr size_t kBlocks = 7;
+  Rng rng(42);
+  std::vector<double> partials(kBlocks * kFeatures);
+  for (double& p : partials) p = rng.Gaussian(0.0, 0.01);
+  std::vector<double> initial(kFeatures);
+  for (double& w : initial) w = rng.Gaussian(0.0, 0.3);
+  const double step = 0.05;
+  const double l1 = 0.01;
+  const double l2 = 0.001;
+
+  std::vector<double> scalar_weights = initial;
+  std::vector<double> avx2_weights = initial;
+  simd::GetKernelFns(simd::Kernel::kScalar)
+      .fused_grad_prox(partials.data(), kBlocks, kFeatures, 0, kFeatures, step, l1, l2,
+                       scalar_weights.data());
+  simd::GetKernelFns(simd::Kernel::kAvx2)
+      .fused_grad_prox(partials.data(), kBlocks, kFeatures, 0, kFeatures, step, l1, l2,
+                       avx2_weights.data());
+
+  // Naive reference: ascending-block sum, textbook soft threshold.
+  std::vector<double> reference = initial;
+  for (size_t j = 0; j < kFeatures; ++j) {
+    double g = 0.0;
+    for (size_t b = 0; b < kBlocks; ++b) g += partials[b * kFeatures + j];
+    const double u = reference[j] - step * (g + l2 * reference[j]);
+    const double thr = step * l1;
+    reference[j] = u > thr ? u - thr : (u < -thr ? u + thr : 0.0);
+  }
+  for (size_t j = 0; j < kFeatures; ++j) {
+    EXPECT_BITEQ(scalar_weights[j], avx2_weights[j]) << "feature " << j;
+    EXPECT_NEAR(scalar_weights[j], reference[j],
+                1e-12 * std::max(1.0, std::fabs(reference[j])))
+        << "feature " << j;
+  }
+}
+
+/// Planted synthetic CSR problem shared by the solver-level tests.
+CsrDataset MakePlanted(size_t n, size_t n_features, size_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> truth(n_features);
+  for (double& w : truth) w = rng.Gaussian(0.0, 0.5);
+  CsrDataset data;
+  data.num_features = n_features;
+  data.weights.assign(n, 1.0);
+  data.offsets.assign(n, 0.0);
+  data.row_offsets.push_back(0);
+  for (size_t i = 0; i < n; ++i) {
+    double score = 0.0;
+    for (size_t k = 0; k < nnz; ++k) {
+      const FeatureId id = static_cast<FeatureId>(rng.NextIndex(n_features));
+      const double value = rng.Uniform(0.5, 1.5);
+      data.ids.push_back(id);
+      data.values.push_back(value);
+      score += value * truth[id];
+    }
+    data.labels.push_back(rng.Bernoulli(Sigmoid(score)) ? 1.0 : 0.0);
+    data.row_offsets.push_back(data.ids.size());
+  }
+  return data;
+}
+
+TEST_F(SimdParityTest, ProximalSolverBitwiseEqualAcrossKernels) {
+  const CsrDataset data = MakePlanted(3000, 613, 11, 5);
+  LrOptions options;
+  options.solver = LrSolver::kProximalBatch;
+  options.epochs = 9;
+  options.l1 = 2e-3;
+  options.l2 = 1e-3;
+  options.num_threads = 2;
+
+  LogisticModel scalar_model;
+  {
+    simd::ScopedKernelOverride override(simd::Kernel::kScalar);
+    auto trained = TrainLogisticRegression(data, options);
+    ASSERT_TRUE(trained.ok());
+    scalar_model = std::move(*trained);
+  }
+  LogisticModel avx2_model;
+  {
+    simd::ScopedKernelOverride override(simd::Kernel::kAvx2);
+    auto trained = TrainLogisticRegression(data, options);
+    ASSERT_TRUE(trained.ok());
+    avx2_model = std::move(*trained);
+  }
+  ASSERT_EQ(scalar_model.weights().size(), avx2_model.weights().size());
+  for (size_t j = 0; j < scalar_model.weights().size(); ++j) {
+    EXPECT_BITEQ(scalar_model.weights()[j], avx2_model.weights()[j]) << "feature " << j;
+  }
+  EXPECT_BITEQ(scalar_model.bias(), avx2_model.bias());
+  // Sanity: the solver actually learned something, so the parity is not a
+  // comparison of two all-zero vectors.
+  EXPECT_LT(scalar_model.num_zero_weights(), scalar_model.weights().size());
+}
+
+TEST_F(SimdParityTest, AdaGradSolverUnaffectedByKernelChoice) {
+  // AdaGrad's sequential path intentionally stays on std::exp scoring; the
+  // kernel override must be a no-op there (this is what keeps the golden
+  // Table 2 numbers identical under MB_SIMD=off and avx2).
+  const CsrDataset data = MakePlanted(800, 128, 8, 17);
+  LrOptions options;
+  options.solver = LrSolver::kAdaGrad;
+  options.epochs = 6;
+  options.l1 = 1e-3;
+
+  LogisticModel scalar_model;
+  {
+    simd::ScopedKernelOverride override(simd::Kernel::kScalar);
+    auto trained = TrainLogisticRegression(data, options);
+    ASSERT_TRUE(trained.ok());
+    scalar_model = std::move(*trained);
+  }
+  LogisticModel avx2_model;
+  {
+    simd::ScopedKernelOverride override(simd::Kernel::kAvx2);
+    auto trained = TrainLogisticRegression(data, options);
+    ASSERT_TRUE(trained.ok());
+    avx2_model = std::move(*trained);
+  }
+  EXPECT_EQ(scalar_model.weights(), avx2_model.weights());
+  EXPECT_BITEQ(scalar_model.bias(), avx2_model.bias());
+}
+
+TEST(SimdDispatchTest, KernelNamesAndOverride) {
+  EXPECT_STREQ(simd::KernelName(simd::Kernel::kScalar), "scalar");
+  EXPECT_STREQ(simd::KernelName(simd::Kernel::kAvx2), "avx2");
+  {
+    simd::ScopedKernelOverride override(simd::Kernel::kScalar);
+    EXPECT_EQ(simd::ActiveKernel(), simd::Kernel::kScalar);
+  }
+  if (simd::Avx2Available()) {
+    simd::ScopedKernelOverride override(simd::Kernel::kAvx2);
+    EXPECT_EQ(simd::ActiveKernel(), simd::Kernel::kAvx2);
+  }
+  // Without AVX2 the avx2 table silently resolves to scalar.
+  const auto& fns = simd::GetKernelFns(simd::Kernel::kAvx2);
+  EXPECT_NE(fns.dot_row, nullptr);
+}
+
+}  // namespace
+}  // namespace microbrowse
