@@ -23,6 +23,8 @@
 // across the phases), MB_CHAOS_CLIENTS fleet size (default 32),
 // MB_CHAOS_SEED, MB_CHAOS_IO_MODEL serving core ("epoll" default,
 // "threads" for the legacy path — the CI chaos job soaks both),
+// MB_CHAOS_EPOLL_MODE reactor triggering ("edge" default, "level" for the
+// baseline mode — ignored by the threads core; the CI matrix soaks both),
 // MB_BENCH_OUT report path (default BENCH_chaos.json). Exits non-zero if
 // any invariant fails — the CI chaos job runs this under ASan.
 
@@ -162,6 +164,13 @@ int main() {
   const serve::IoModel io_model = io_model_name == "threads"
                                       ? serve::IoModel::kLegacyThreads
                                       : serve::IoModel::kEpoll;
+  const char* epoll_mode_env = std::getenv("MB_CHAOS_EPOLL_MODE");
+  const std::string epoll_mode_name =
+      epoll_mode_env != nullptr && std::string(epoll_mode_env) == "level" ? "level"
+                                                                          : "edge";
+  const serve::EpollMode epoll_mode = epoll_mode_name == "level"
+                                          ? serve::EpollMode::kLevel
+                                          : serve::EpollMode::kEdge;
   const int phase_ms = total_seconds * 1000 / 2;
   constexpr int kIdleProbes = 4;
   // Tight is chosen below the typical queue wait (a full 8-deep queue at
@@ -221,10 +230,11 @@ int main() {
   // ---------------------------------------------------------------- Phase A
   std::printf(
       "chaos_bench phase A (accounting): %d clients + %d idle probes, %d ms, "
-      "%s core\n",
-      fleet, kIdleProbes, phase_ms, io_model_name.c_str());
+      "%s core (%s-triggered)\n",
+      fleet, kIdleProbes, phase_ms, io_model_name.c_str(), epoll_mode_name.c_str());
   serve::ServerOptions options_a;
   options_a.io_model = io_model;
+  options_a.epoll_mode = epoll_mode;
   options_a.port = 0;
   options_a.num_threads = 4;
   options_a.max_queue = 8;  // Small on purpose: overload must actually happen.
@@ -355,6 +365,7 @@ int main() {
               chaos_fleet, phase_ms);
   serve::ServerOptions options_b;
   options_b.io_model = io_model;
+  options_b.epoll_mode = epoll_mode;
   options_b.port = 0;
   options_b.num_threads = 4;
   options_b.max_queue = 64;
@@ -462,6 +473,7 @@ int main() {
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"io_model\": \"" << io_model_name << "\",\n"
+      << "  \"epoll_mode\": \"" << epoll_mode_name << "\",\n"
       << "  \"phase_a\": {\"sent\": " << phase_a.sent << ", \"ok\": " << phase_a.ok
       << ", \"deadline_exceeded\": " << phase_a.deadline_exceeded
       << ", \"overloaded\": " << phase_a.overloaded

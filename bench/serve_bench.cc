@@ -19,6 +19,18 @@
 // enforced (>= 10x) only when MB_REQUIRE_COLD_SPEEDUP=1, mirroring the
 // hardware-conditional gate of train_bench.
 //
+// The sustained_qps stage measures the request hot path end to end over
+// real sockets: MB_QPS_CONNS pipelined connections (window MB_QPS_WINDOW)
+// ping the server for MB_QPS_SECONDS, against two configurations of the
+// epoll core — the level-triggered + FIFO-queue baseline and the
+// edge-triggered + work-stealing default (DESIGN.md §17). QPS, client-side
+// p50/p99 and whole-process allocations-per-request (a counting global
+// operator new, enabled only during the measured window) are reported for
+// both. When MB_REQUIRE_TPUT=1 *and* the machine has >= 8 hardware
+// threads, the stage enforces tuned QPS >= 2x baseline with p99 no worse
+// (10% tolerance); below 8 cores the numbers are informational — a 1-core
+// container cannot saturate the contention the stage exists to measure.
+//
 // The final stage is the c10k soak: a real epoll-core Server on an
 // ephemeral port, MB_C10K_CONNS (default 10000) concurrent TCP
 // connections held open by one in-process epoll client loop, and
@@ -28,12 +40,20 @@
 // when MB_REQUIRE_C10K=1 — loaded CI machines should not fail the build
 // on scheduler noise unless the job opted in. RLIMIT_NOFILE is raised to
 // its hard cap first; if the cap cannot fit 2 fds per connection the
-// stage scales the connection count down and says so.
+// stage scales the connection count down and says so — and when even a
+// minimal swarm does not fit, the stage is skipped outright with the
+// reason logged and recorded in the JSON report rather than producing
+// numbers that measure the fd limit instead of the server.
+// MB_C10K_EPOLL_MODE ("edge" default, "level") selects the reactor
+// triggering mode so the CI matrix can soak both.
 //
 // Environment: MB_ADGROUPS (default 200), MB_REQUESTS per worker (default
-// 500), MB_SEED, MB_COLDSTART_REPS (default 5), MB_C10K_CONNS (0 skips
-// the stage), MB_C10K_ROUNDS, MB_C10K_P99_MS, MB_REQUIRE_C10K,
-// MB_BENCH_OUT, MB_REQUIRE_COLD_SPEEDUP.
+// 500), MB_SEED, MB_COLDSTART_REPS (default 5), MB_QPS_CONNS (default 8,
+// 0 skips the stage), MB_QPS_WINDOW (default 16), MB_QPS_SECONDS (default
+// 2), MB_QPS_THREADS server workers (default 4), MB_REQUIRE_TPUT,
+// MB_C10K_CONNS (0 skips the stage), MB_C10K_ROUNDS, MB_C10K_P99_MS,
+// MB_C10K_EPOLL_MODE, MB_REQUIRE_C10K, MB_BENCH_OUT,
+// MB_REQUIRE_COLD_SPEEDUP.
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -54,6 +74,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -78,6 +99,34 @@
 #include "serve/service.h"
 
 using namespace microbrowse;
+
+// --------------------------------------------------- counting allocator
+// Whole-process allocation counter behind the sustained_qps stage's
+// allocations-per-request metric. Counting is off except during the
+// measured window, so setup/teardown churn never pollutes the number.
+// Only the plain (non-aligned) forms are replaced; the aligned operator
+// new/delete pairs keep their defaults, which is a valid mix.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<int64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
 
 namespace {
 
@@ -166,6 +215,140 @@ double MeasureColdStartMs(const serve::BundlePaths& paths, const Snippet& a, con
   return ms[ms.size() / 2];
 }
 
+// -------------------------------------------------------- sustained_qps stage
+
+/// One sustained-throughput run against a live server configuration.
+struct QpsStats {
+  bool ran = false;
+  double seconds = 0.0;     ///< Measured window length.
+  int64_t responses = 0;    ///< Responses inside the measured window.
+  double qps = 0.0;
+  HistogramSnapshot latency;  ///< Client-side round trip, measured window.
+  double allocs_per_request = 0.0;  ///< Whole-process new-calls per response.
+};
+
+/// Drives `conns` pipelined connections (window `window` outstanding pings
+/// each) against `port`. After a 300 ms warmup the allocation counter and
+/// latency histogram switch on for `duration_seconds`; in-order response
+/// delivery makes the oldest-outstanding timestamp the right latency
+/// anchor for every response.
+QpsStats RunSustainedQps(uint16_t port, int conns, int window, double duration_seconds) {
+  QpsStats stats;
+  stats.ran = true;
+  Histogram latency;
+  std::atomic<int64_t> responses{0};
+  std::atomic<int> phase{0};  // 0 warmup, 1 measuring, 2 shutting down.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(conns));
+  for (int w = 0; w < conns; ++w) {
+    workers.emplace_back([&, window] {
+      auto connected = TcpConnect("127.0.0.1", port);
+      if (!connected.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Socket socket(std::move(*connected));
+      const int one = 1;
+      ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      LineReader reader(socket);
+      const std::string ping = "{\"type\":\"ping\"}\n";
+      // Fixed ring of send timestamps: responses come back in order, so
+      // the oldest slot is always the one completing. No steady-state
+      // allocations on the client side either — the metric should see the
+      // server's, not the harness's.
+      std::vector<std::chrono::steady_clock::time_point> sent(
+          static_cast<size_t>(window));
+      size_t head = 0, tail = 0, outstanding = 0;
+      std::string line;
+      line.reserve(256);
+      for (int i = 0; i < window; ++i) {
+        if (!SendAll(socket, ping).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        sent[tail] = std::chrono::steady_clock::now();
+        tail = (tail + 1) % sent.size();
+        ++outstanding;
+      }
+      while (outstanding > 0) {
+        auto got = reader.ReadLine(&line);
+        if (!got.ok() || !*got) {
+          failures.fetch_add(1);
+          return;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        const int current = phase.load(std::memory_order_acquire);
+        if (current == 1) {
+          latency.Record(
+              std::chrono::duration_cast<std::chrono::duration<double>>(now - sent[head])
+                  .count());
+          responses.fetch_add(1, std::memory_order_relaxed);
+        }
+        head = (head + 1) % sent.size();
+        --outstanding;
+        if (current < 2) {
+          if (!SendAll(socket, ping).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          sent[tail] = std::chrono::steady_clock::now();
+          tail = (tail + 1) % sent.size();
+          ++outstanding;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // Warmup.
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_release);
+  WallTimer window_timer;
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(duration_seconds * 1e3)));
+  phase.store(2, std::memory_order_release);
+  stats.seconds = window_timer.ElapsedSeconds();
+  g_count_allocs.store(false, std::memory_order_release);
+  const int64_t allocs = g_alloc_count.load(std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+  stats.responses = responses.load();
+  stats.qps = static_cast<double>(stats.responses) / std::max(1e-9, stats.seconds);
+  stats.latency = latency.Snapshot();
+  stats.allocs_per_request =
+      static_cast<double>(allocs) / std::max<int64_t>(1, stats.responses);
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "serve_bench: sustained_qps had %d connection failures\n",
+                 failures.load());
+    std::exit(1);
+  }
+  return stats;
+}
+
+/// Stands up an epoll-core server in the given (epoll_mode, scheduler)
+/// configuration and runs the sustained load against it.
+QpsStats MeasureQpsConfig(serve::BundleRegistry* registry, serve::EpollMode epoll_mode,
+                          serve::Scheduler scheduler, int server_threads, int conns,
+                          int window, double seconds) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.io_model = serve::IoModel::kEpoll;
+  options.epoll_mode = epoll_mode;
+  options.scheduler = scheduler;
+  options.num_threads = server_threads;
+  options.max_queue = static_cast<size_t>(conns) * static_cast<size_t>(window) + 64;
+  serve::ScoringService service(registry);
+  serve::Server server(&service, options);
+  auto port = server.Start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "serve_bench: sustained_qps server start failed: %s\n",
+                 port.status().ToString().c_str());
+    std::exit(1);
+  }
+  QpsStats stats = RunSustainedQps(*port, conns, window, seconds);
+  server.Stop();
+  return stats;
+}
+
 // ----------------------------------------------------------------- c10k stage
 
 /// Outcome of the 10k-connection soak against a real epoll-core server.
@@ -182,10 +365,14 @@ struct C10kStats {
 
 /// Raises RLIMIT_NOFILE to its hard cap and returns the number of client
 /// connections that fit: the client and server live in one process, so
-/// each connection costs two fds, plus slack for everything else.
-int ClampConnsToFdLimit(int requested) {
+/// each connection costs two fds, plus slack for everything else. When the
+/// request is clamped, `reason` describes the limit that forced it.
+int ClampConnsToFdLimit(int requested, std::string* reason) {
   rlimit limit{};
-  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return requested;
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) {
+    *reason = StrFormat("getrlimit(RLIMIT_NOFILE) failed: %s", std::strerror(errno));
+    return requested;  // Optimistic: connect failures will surface it.
+  }
   if (limit.rlim_cur < limit.rlim_max) {
     limit.rlim_cur = limit.rlim_max;
     (void)setrlimit(RLIMIT_NOFILE, &limit);
@@ -193,11 +380,12 @@ int ClampConnsToFdLimit(int requested) {
   }
   const rlim_t needed = static_cast<rlim_t>(requested) * 2 + 256;
   if (limit.rlim_cur >= needed) return requested;
-  const int fit = static_cast<int>((limit.rlim_cur - 256) / 2);
-  std::fprintf(stderr,
-               "serve_bench: RLIMIT_NOFILE hard cap %llu fits only %d of %d "
-               "connections; scaling the c10k stage down\n",
-               static_cast<unsigned long long>(limit.rlim_cur), fit, requested);
+  const int fit = static_cast<int>((limit.rlim_cur > 256 ? limit.rlim_cur - 256 : 0) / 2);
+  *reason = StrFormat(
+      "RLIMIT_NOFILE hard cap %llu cannot be raised past %llu; %d of %d "
+      "requested connections fit at 2 fds each",
+      static_cast<unsigned long long>(limit.rlim_max),
+      static_cast<unsigned long long>(limit.rlim_cur), fit, requested);
   return std::max(0, fit);
 }
 
@@ -387,7 +575,9 @@ struct SweepRow {
 
 void WriteBenchJson(const std::string& path, double tsv_cold_ms, double mbpack_cold_ms,
                     int cold_reps, bool cold_enforced, double worst_warm_speedup,
-                    const std::vector<SweepRow>& sweep, const C10kStats& c10k,
+                    const std::vector<SweepRow>& sweep, const QpsStats& qps_baseline,
+                    const QpsStats& qps_tuned, bool qps_enforced, const C10kStats& c10k,
+                    const std::string& c10k_skip_reason, const std::string& c10k_epoll_mode,
                     double c10k_p99_bound_ms, bool c10k_enforced) {
   std::ofstream out(path, std::ios::trunc);
   const double cold_speedup = tsv_cold_ms / std::max(1e-9, mbpack_cold_ms);
@@ -416,10 +606,35 @@ void WriteBenchJson(const std::string& path, double tsv_cold_ms, double mbpack_c
         << "\n";
   }
   out << "  ],\n";
+  const auto qps_block = [&out](const char* key, const QpsStats& stats) {
+    out << "    \"" << key << "\": {"
+        << StrFormat("\"qps\": %.1f, ", stats.qps)
+        << StrFormat("\"responses\": %lld, ", static_cast<long long>(stats.responses))
+        << StrFormat("\"p50_ms\": %.3f, \"p99_ms\": %.3f, ", stats.latency.p50 * 1e3,
+                     stats.latency.p99 * 1e3)
+        << StrFormat("\"allocs_per_request\": %.2f}", stats.allocs_per_request);
+  };
+  out << "  \"sustained_qps\": {\n"
+      << "    \"description\": \"pipelined ping throughput over real sockets: "
+         "level+fifo baseline vs edge+steal default\",\n"
+      << "    \"ran\": " << (qps_baseline.ran && qps_tuned.ran ? "true" : "false")
+      << ",\n";
+  if (qps_baseline.ran && qps_tuned.ran) {
+    qps_block("baseline_level_fifo", qps_baseline);
+    out << ",\n";
+    qps_block("tuned_edge_steal", qps_tuned);
+    out << ",\n"
+        << StrFormat("    \"measured_speedup\": %.2f,\n",
+                     qps_tuned.qps / std::max(1e-9, qps_baseline.qps))
+        << "    \"min_speedup\": 2.0,\n";
+  }
+  out << "    \"enforced\": " << (qps_enforced ? "true" : "false") << "\n  },\n";
   out << "  \"c10k\": {\n"
       << "    \"description\": \"concurrent connections against the epoll core, "
          "client-side ping round trip\",\n"
       << "    \"ran\": " << (c10k.ran ? "true" : "false") << ",\n"
+      << "    \"skip_reason\": \"" << c10k_skip_reason << "\",\n"
+      << "    \"epoll_mode\": \"" << c10k_epoll_mode << "\",\n"
       << StrFormat("    \"connections_requested\": %d,\n", c10k.requested)
       << StrFormat("    \"connections_established\": %d,\n", c10k.established)
       << StrFormat("    \"rounds\": %d,\n", c10k.rounds)
@@ -597,6 +812,60 @@ int main() {
                                                     : "(target: >=10x, NOT met)")
                             : "(target: >=10x, informational)");
 
+  // sustained_qps: the tentpole hot-path A/B — the level-triggered FIFO
+  // baseline against the edge-triggered work-stealing default, identical
+  // load, real sockets.
+  const int qps_conns = static_cast<int>(EnvInt("MB_QPS_CONNS", 8));
+  const int qps_window = static_cast<int>(std::max<int64_t>(1, EnvInt("MB_QPS_WINDOW", 16)));
+  const double qps_seconds =
+      static_cast<double>(std::max<int64_t>(1, EnvInt("MB_QPS_SECONDS", 2)));
+  const int qps_threads = static_cast<int>(std::max<int64_t>(1, EnvInt("MB_QPS_THREADS", 4)));
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const bool qps_enforced = EnvInt("MB_REQUIRE_TPUT", 0) > 0 && hw_threads >= 8;
+  QpsStats qps_baseline;
+  QpsStats qps_tuned;
+  bool qps_ok = true;
+  if (qps_conns > 0) {
+    std::printf("\nsustained_qps: %d pipelined conns x window %d for %.0fs per config "
+                "(%d server workers)...\n",
+                qps_conns, qps_window, qps_seconds, qps_threads);
+    qps_baseline =
+        MeasureQpsConfig(&registry, serve::EpollMode::kLevel, serve::Scheduler::kFifo,
+                         qps_threads, qps_conns, qps_window, qps_seconds);
+    qps_tuned =
+        MeasureQpsConfig(&registry, serve::EpollMode::kEdge, serve::Scheduler::kWorkStealing,
+                         qps_threads, qps_conns, qps_window, qps_seconds);
+    const double qps_speedup = qps_tuned.qps / std::max(1e-9, qps_baseline.qps);
+    std::printf(
+        "sustained_qps: level+fifo  %.0f qps  p50 %.3f ms  p99 %.3f ms  "
+        "%.2f allocs/req\n"
+        "sustained_qps: edge+steal  %.0f qps  p50 %.3f ms  p99 %.3f ms  "
+        "%.2f allocs/req\n"
+        "sustained_qps: speedup %.2fx %s\n",
+        qps_baseline.qps, qps_baseline.latency.p50 * 1e3, qps_baseline.latency.p99 * 1e3,
+        qps_baseline.allocs_per_request, qps_tuned.qps, qps_tuned.latency.p50 * 1e3,
+        qps_tuned.latency.p99 * 1e3, qps_tuned.allocs_per_request, qps_speedup,
+        qps_enforced
+            ? "(target: >=2x with p99 no worse, enforced)"
+            : (hw_threads < 8 ? "(informational: <8 hardware threads, gate inactive)"
+                              : "(informational; MB_REQUIRE_TPUT=1 enforces)"));
+    if (qps_enforced) {
+      if (qps_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "serve_bench: sustained_qps speedup %.2fx below the 2x floor\n",
+                     qps_speedup);
+        qps_ok = false;
+      }
+      if (qps_tuned.latency.p99 > qps_baseline.latency.p99 * 1.10) {
+        std::fprintf(stderr,
+                     "serve_bench: sustained_qps tuned p99 %.3f ms worse than "
+                     "baseline %.3f ms\n",
+                     qps_tuned.latency.p99 * 1e3, qps_baseline.latency.p99 * 1e3);
+        qps_ok = false;
+      }
+    }
+  }
+
   // c10k: a real epoll-core server and 10k concurrent socket clients in
   // this one process. Pings keep the payload trivial, so the number is the
   // transport's — event-loop scheduling, queue admission and outbox
@@ -607,13 +876,39 @@ int main() {
   const double c10k_p99_bound_ms =
       static_cast<double>(EnvInt("MB_C10K_P99_MS", 2000));
   const bool c10k_enforced = EnvInt("MB_REQUIRE_C10K", 0) > 0;
+  const char* c10k_mode_env = std::getenv("MB_C10K_EPOLL_MODE");
+  const std::string c10k_epoll_mode =
+      c10k_mode_env != nullptr && std::string(c10k_mode_env) == "level" ? "level" : "edge";
   C10kStats c10k;
+  std::string c10k_skip_reason;
   bool c10k_ok = true;
+  // The stage needs a minimally meaningful swarm: measuring 50 connections
+  // and calling it c10k would be worse than not running.
+  const int c10k_floor = std::min(c10k_requested, 256);
   if (c10k_requested > 0) {
-    const int c10k_conns = ClampConnsToFdLimit(c10k_requested);
+    std::string clamp_reason;
+    const int c10k_conns = ClampConnsToFdLimit(c10k_requested, &clamp_reason);
+    if (c10k_conns < c10k_floor) {
+      // Skip, don't fail: the fd limit is an environment property, and a
+      // clamped-to-nothing run would measure the limit, not the server.
+      c10k_skip_reason = clamp_reason;
+      std::printf("\nc10k: SKIPPED — %s\n", c10k_skip_reason.c_str());
+      if (c10k_enforced) {
+        std::fprintf(stderr,
+                     "serve_bench: MB_REQUIRE_C10K=1 but the stage was skipped (%s)\n",
+                     c10k_skip_reason.c_str());
+        c10k_ok = false;
+      }
+    } else {
+    if (!clamp_reason.empty()) {
+      std::fprintf(stderr, "serve_bench: %s; scaling the c10k stage down\n",
+                   clamp_reason.c_str());
+    }
     serve::ServerOptions c10k_options;
     c10k_options.port = 0;
     c10k_options.io_model = serve::IoModel::kEpoll;
+    c10k_options.epoll_mode = c10k_epoll_mode == "level" ? serve::EpollMode::kLevel
+                                                         : serve::EpollMode::kEdge;
     c10k_options.num_threads = 4;
     // Admission must fit a full sweep: every connection's ping can be
     // queued at once.
@@ -628,8 +923,9 @@ int main() {
                    c10k_port.status().ToString().c_str());
       return 1;
     }
-    std::printf("\nc10k: %d connections x %d ping rounds against the epoll core...\n",
-                c10k_conns, c10k_rounds);
+    std::printf("\nc10k: %d connections x %d ping rounds against the epoll core "
+                "(%s-triggered)...\n",
+                c10k_conns, c10k_rounds, c10k_epoll_mode.c_str());
     c10k = RunC10k(*c10k_port, c10k_conns, c10k_rounds);
     c10k_server.Stop();
     std::printf(
@@ -657,6 +953,7 @@ int main() {
         c10k_ok = false;
       }
     }
+    }  // else (stage not skipped)
   }
 
   const std::string bench_out = [] {
@@ -664,10 +961,12 @@ int main() {
     return env != nullptr && *env != '\0' ? std::string(env) : std::string("BENCH_serve.json");
   }();
   WriteBenchJson(bench_out, tsv_cold_ms, mbpack_cold_ms, cold_reps, cold_enforced,
-                 worst_speedup, sweep, c10k, c10k_p99_bound_ms, c10k_enforced);
+                 worst_speedup, sweep, qps_baseline, qps_tuned, qps_enforced, c10k,
+                 c10k_skip_reason, c10k_epoll_mode, c10k_p99_bound_ms, c10k_enforced);
   std::printf("wrote %s\n", bench_out.c_str());
 
   if (cold_enforced && cold_speedup < 10.0) return 1;
+  if (!qps_ok) return 1;
   if (!c10k_ok) return 1;
   return worst_speedup >= 5.0 ? 0 : 1;
 }

@@ -1,0 +1,97 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// A bump-pointer arena for the serving hot path. Allocation is a pointer
+// increment inside the current block; Reset() rewinds to the first block
+// without returning memory to the heap, so a long-lived arena reaches a
+// steady state where parsing and response building perform zero heap
+// allocations per request (DESIGN.md section 17).
+//
+// Not thread-safe: each arena belongs to exactly one thread (or one
+// request scratch object). Pointers handed out stay valid until Reset()
+// or destruction — moving the Arena does NOT invalidate them, because the
+// blocks themselves are heap allocations owned by unique_ptr.
+
+#ifndef MICROBROWSE_COMMON_ARENA_H_
+#define MICROBROWSE_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace microbrowse {
+
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = 4096)
+      : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `n` bytes (unaligned; callers store character data). The
+  /// returned pointer stays valid until Reset() or destruction.
+  char* Allocate(size_t n) {
+    while (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      if (block.size - offset_ >= n) {
+        char* out = block.data.get() + offset_;
+        offset_ += n;
+        return out;
+      }
+      // Oversized request relative to this block's remaining space: move on
+      // to the next retained block (after Reset they may already exist).
+      ++current_;
+      offset_ = 0;
+    }
+    Block block;
+    block.size = std::max(block_bytes_, n);
+    block.data.reset(new char[block.size]);
+    blocks_.push_back(std::move(block));
+    current_ = blocks_.size() - 1;
+    offset_ = n;
+    return blocks_[current_].data.get();
+  }
+
+  /// Copies `text` into the arena and returns a stable view of the copy.
+  std::string_view Dup(std::string_view text) {
+    if (text.empty()) return std::string_view();
+    char* out = Allocate(text.size());
+    std::memcpy(out, text.data(), text.size());
+    return std::string_view(out, text.size());
+  }
+
+  /// Rewinds to the start, keeping every block for reuse. Everything
+  /// previously allocated becomes dangling.
+  void Reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  /// Test/metrics hooks.
+  size_t block_count() const { return blocks_.size(); }
+  size_t retained_bytes() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+  size_t offset_ = 0;
+};
+
+}  // namespace microbrowse
+
+#endif  // MICROBROWSE_COMMON_ARENA_H_

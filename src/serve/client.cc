@@ -29,7 +29,7 @@ std::string WithDeadline(const std::string& line, int64_t deadline_ms) {
   return out;
 }
 
-int64_t ParseInt64(const std::string& text, int64_t fallback) {
+int64_t ParseInt64(std::string_view text, int64_t fallback) {
   int64_t value = 0;
   const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) return fallback;
@@ -114,7 +114,7 @@ Result<Request> ResilientClient::RoundTripOnce(const std::string& line) {
   if (!response.ok()) return response.status();
   if (response->Get("ok") == "true") return response;
   // The connection survives a refusal; only the request was rejected.
-  const std::string error = response->Get("error", "(no detail)");
+  const std::string error(response->Get("error", "(no detail)"));
   if (error == "overloaded" || error == "draining") {
     last_retry_after_ms_ = ParseInt64(response->Get("retry_after_ms"), 0);
     return Status::Unavailable("server refused: " + error);
@@ -152,7 +152,7 @@ Result<double> ResilientClient::ScorePair(const std::string& a, const std::strin
   request.String("type", "score_pair").String("a", a).String("b", b);
   auto response = Call(request.Finish());
   if (!response.ok()) return response.status();
-  const std::string margin_text = response->Get("margin");
+  const std::string margin_text(response->Get("margin"));
   char* end = nullptr;
   const double margin = std::strtod(margin_text.c_str(), &end);
   if (margin_text.empty() || end != margin_text.c_str() + margin_text.size()) {

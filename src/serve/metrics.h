@@ -10,7 +10,8 @@
 // mb.serve.<endpoint>.{requests,errors,cache_hits,cache_misses,latency}
 // plus the server-level counters mb.serve.rejected_overload,
 // mb.serve.deadline_exceeded, mb.serve.drained, mb.serve.idle_evicted,
-// mb.serve.write_timeout and the mb.serve.batch_size histogram. The four
+// mb.serve.write_timeout, mb.serve.steal_count and the mb.serve.batch_size
+// histogram. The four
 // refusal counters plus per-
 // endpoint ok responses exactly account for every request the server ever
 // read — the invariant the chaos soak harness asserts.
@@ -106,8 +107,12 @@ class ServerMetrics {
   /// may be dropped on such a connection — eviction is connection-scoped,
   /// so this counter sits outside the request accounting invariant.
   Counter* write_timeout;
-  /// Batch-size distribution of the worker drain loop.
+  /// Batch-size distribution of the worker drain loop (both the FIFO
+  /// baseline and the work-stealing pool record here).
   ShardedHistogram* batch_size;
+  /// Tasks migrated between workers by the work-stealing scheduler
+  /// (steal-half events count every task moved).
+  Counter* steal_count;
 
   /// Renders the nested statsz JSON object (cache stats are appended by
   /// the service, which owns the caches): {"score_pair":{"requests":...},

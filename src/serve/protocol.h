@@ -12,11 +12,15 @@
 //   {"type":"healthz"}         {"type":"readyz"}          {"type":"metricsz"}
 //
 // Responses always carry "ok":true|false; an optional request "id" is
-// echoed verbatim so pipelined clients can match responses processed out
-// of order by the batching workers (in-order delivery is NOT guaranteed
-// across a pipelined connection). Response values may be nested JSON
-// (examine's per-token breakdown, statsz's per-endpoint maps) — emitted
-// via JsonWriter::Raw, never parsed back by this codec.
+// echoed verbatim. Responses for one connection flush in request order:
+// every line read from a connection is stamped with a per-connection
+// sequence number at intake, and the transport holds any response that
+// completes early until its predecessors have been written (DESIGN.md
+// section 17) — so pipelined clients may match responses positionally,
+// with "id" kept as a debugging aid and a guard against lossy proxies.
+// Response values may be nested JSON (examine's per-token breakdown,
+// statsz's per-endpoint maps) — emitted via JsonWriter::Raw, never parsed
+// back by this codec.
 //
 // Deadlines: any request may carry "deadline_ms":N, the client's queue-wait
 // budget measured from the moment the server reads the line (monotonic
@@ -46,39 +50,85 @@
 #ifndef MICROBROWSE_SERVE_PROTOCOL_H_
 #define MICROBROWSE_SERVE_PROTOCOL_H_
 
-#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 
 namespace microbrowse {
 namespace serve {
 
-/// A parsed flat JSON object: field name -> value. Numeric and boolean
-/// values are stored as their literal text ("3.5", "true"); string values
-/// are stored unescaped.
-struct Request {
-  std::map<std::string, std::string> fields;
+struct Request;
 
-  /// Value of `key`, or `fallback` when absent.
-  std::string Get(const std::string& key, const std::string& fallback = "") const {
-    auto it = fields.find(key);
-    return it != fields.end() ? it->second : fallback;
-  }
-  bool Has(const std::string& key) const { return fields.count(key) > 0; }
-};
-
-/// Parses one request line. Accepts exactly one flat JSON object with
+/// Parses one request line into `out`, reusing its arena and field vector —
+/// after warmup a scratch Request parses with zero heap allocations. On
+/// failure `out` is left empty. Accepts exactly one flat JSON object with
 /// string / number / boolean / null values; anything else (nesting,
 /// trailing garbage, bad escapes) is InvalidArgument with a position hint.
+Status ParseRequestInto(std::string_view line, Request* out);
+
+/// A parsed flat JSON object. Field order is insertion order; duplicate
+/// keys keep one entry (last value wins). Numeric and boolean values are
+/// stored as their literal text ("3.5", "true"); string values are stored
+/// unescaped. All views point into the Request's own arena, so a Request
+/// is self-contained: moving it keeps the views valid, copying re-copies
+/// the bytes.
+struct Request {
+  std::vector<std::pair<std::string_view, std::string_view>> fields;
+
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  Request(const Request& other) { *this = other; }
+  Request& operator=(const Request& other) {
+    if (this == &other) return *this;
+    fields.clear();
+    arena_.Reset();
+    fields.reserve(other.fields.size());
+    for (const auto& [key, value] : other.fields) {
+      fields.emplace_back(arena_.Dup(key), arena_.Dup(value));
+    }
+    return *this;
+  }
+
+  /// Value of `key`, or `fallback` when absent. The view is valid for the
+  /// lifetime of this Request (or until it is re-parsed into).
+  std::string_view Get(std::string_view key, std::string_view fallback = {}) const {
+    for (const auto& field : fields) {
+      if (field.first == key) return field.second;
+    }
+    return fallback;
+  }
+  bool Has(std::string_view key) const {
+    for (const auto& field : fields) {
+      if (field.first == key) return true;
+    }
+    return false;
+  }
+
+ private:
+  friend Status ParseRequestInto(std::string_view line, Request* out);
+  Arena arena_{1024};
+};
+
+/// Parses one request line into a fresh Request. Convenience wrapper over
+/// ParseRequestInto for cold paths; the hot path reuses a scratch Request.
 Result<Request> ParseRequest(std::string_view line);
 
 /// Escapes `text` as a JSON string literal body (no surrounding quotes).
 std::string JsonEscape(std::string_view text);
 
+/// Appending variant: escapes `text` onto `*out` without intermediate
+/// allocations.
+void JsonEscapeTo(std::string_view text, std::string* out);
+
 /// Builds one response line. Fields appear in insertion order; Raw splices
-/// pre-serialized JSON (arrays / objects) under a key.
+/// pre-serialized JSON (arrays / objects) under a key. Reset() clears the
+/// writer while keeping its buffer capacity, so a per-worker writer builds
+/// responses with zero steady-state allocations.
 class JsonWriter {
  public:
   JsonWriter& String(std::string_view key, std::string_view value);
@@ -87,8 +137,20 @@ class JsonWriter {
   JsonWriter& Bool(std::string_view key, bool value);
   JsonWriter& Raw(std::string_view key, std::string_view json);
 
+  /// Clears the fields while retaining buffer capacity for reuse.
+  void Reset() { body_.clear(); }
+
   /// The finished object, e.g. {"ok":true,"margin":0.25}. No newline.
   std::string Finish() const { return "{" + body_ + "}"; }
+
+  /// Appends the finished object to `*out` (which is cleared first).
+  void FinishTo(std::string* out) const {
+    out->clear();
+    out->reserve(body_.size() + 2);
+    out->push_back('{');
+    out->append(body_);
+    out->push_back('}');
+  }
 
  private:
   void Key(std::string_view key);

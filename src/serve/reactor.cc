@@ -138,8 +138,13 @@ void Reactor::Run() {
       listener_registered_ = false;
     }
 
+    // Connections still owed an edge-mode read pass must not wait for the
+    // next kernel event (none may come — the edge already fired): poll
+    // without blocking until the backlog clears.
     const int64_t wait_ms =
-        std::min<int64_t>(options_.tick_ms, next_tick.remaining_millis());
+        pending_reads_.empty()
+            ? std::min<int64_t>(options_.tick_ms, next_tick.remaining_millis())
+            : 0;
     const int n = ::epoll_wait(epoll_fd_, events.data(), kMaxEvents,
                                static_cast<int>(wait_ms));
     if (n < 0) {
@@ -172,6 +177,18 @@ void Reactor::Run() {
     }
 
     DrainWakeups();
+
+    // Service the edge-mode read backlog: one more budgeted pass per
+    // connection per loop iteration, interleaved with fresh events so a
+    // drain-until-EAGAIN on one firehose cannot starve the others.
+    if (!pending_reads_.empty()) {
+      std::vector<std::shared_ptr<ReactorConn>> again;
+      again.swap(pending_reads_);
+      for (const auto& conn : again) {
+        conn->read_pending_ = false;
+        if (!conn->closed_) HandleReadable(conn);
+      }
+    }
 
     if (next_tick.expired()) {
       HandleTick();
@@ -252,6 +269,7 @@ void Reactor::HandleAccept() {
 
     epoll_event ev{};
     ev.events = EPOLLIN;
+    if (options_.edge_triggered) ev.events |= EPOLLET;
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) continue;  // Dtor closes.
     conns_.emplace(fd, std::move(conn));
@@ -262,32 +280,59 @@ void Reactor::HandleAccept() {
 void Reactor::HandleReadable(const std::shared_ptr<ReactorConn>& conn) {
   if (conn->closed_) return;
 
-  char* tail = conn->in_.ReserveTail(options_.read_chunk_bytes);
-  const ssize_t n =
-      ::recv(conn->socket_.fd(), tail, options_.read_chunk_bytes, 0);
-  if (n == 0) {
-    CloseConn(conn, conn->in_.pending_bytes() > 0 ? CloseReason::kError
-                                                  : CloseReason::kEof);
-    return;
-  }
-  if (n < 0) {
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
-    CloseConn(conn, CloseReason::kError);
-    return;
-  }
-  conn->in_.CommitTail(static_cast<size_t>(n));
-  if (conn->in_.overlong()) {
-    CloseConn(conn, CloseReason::kOverlongLine);
-    return;
-  }
+  // Level mode takes one chunk and relies on epoll re-notification; edge
+  // mode must drain until EAGAIN (the kernel will not re-arm) but stops
+  // after max_reads_per_event recvs so one firehose connection cannot
+  // starve the rest of the set — a budget-exhausted connection is
+  // re-queued via pending_reads_.
+  const int max_reads =
+      options_.edge_triggered ? std::max(1, options_.max_reads_per_event) : 1;
+  bool maybe_more = false;
+  for (int read_count = 0; read_count < max_reads; ++read_count) {
+    char* tail = conn->in_.ReserveTail(options_.read_chunk_bytes);
+    const ssize_t n =
+        ::recv(conn->socket_.fd(), tail, options_.read_chunk_bytes, 0);
+    if (n == 0) {
+      CloseConn(conn, conn->in_.pending_bytes() > 0 ? CloseReason::kError
+                                                    : CloseReason::kEof);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        maybe_more = false;
+        break;
+      }
+      CloseConn(conn, CloseReason::kError);
+      return;
+    }
+    conn->in_.CommitTail(static_cast<size_t>(n));
+    if (conn->in_.overlong()) {
+      CloseConn(conn, CloseReason::kOverlongLine);
+      return;
+    }
+    // The budget may expire with bytes still buffered in the kernel; only
+    // a short read proves the socket drained at this instant.
+    maybe_more = static_cast<size_t>(n) == options_.read_chunk_bytes;
 
-  // One recv, then every complete line it finished: pipelined requests
-  // already buffered dispatch without further syscalls. Level-triggered
-  // epoll re-notifies if the socket still has bytes after this chunk.
-  std::string_view line;
-  while (!conn->closed_ && !conn->close_after_flush_ &&
-         conn->alive.load(std::memory_order_acquire) && conn->in_.NextLine(&line)) {
-    handler_->OnLine(conn, line);
+    // Dispatch every complete line this chunk finished: pipelined requests
+    // already buffered dispatch without further syscalls.
+    std::string_view line;
+    while (!conn->closed_ && !conn->close_after_flush_ &&
+           conn->alive.load(std::memory_order_acquire) && conn->in_.NextLine(&line)) {
+      handler_->OnLine(conn, line);
+    }
+    if (conn->closed_) return;
+    if (conn->close_after_flush_ ||
+        !conn->alive.load(std::memory_order_acquire)) {
+      maybe_more = false;
+      break;
+    }
+    if (!maybe_more) break;
+  }
+  if (options_.edge_triggered && maybe_more && !conn->closed_ &&
+      !conn->read_pending_) {
+    conn->read_pending_ = true;
+    pending_reads_.push_back(conn);
   }
   if (!conn->closed_) UpdateWriteInterest(conn);
 }
@@ -323,21 +368,27 @@ void Reactor::UpdateWriteInterest(const std::shared_ptr<ReactorConn>& conn) {
     CloseConn(conn, CloseReason::kHandler);
     return;
   }
+  const uint32_t base_events =
+      options_.edge_triggered ? (EPOLLIN | EPOLLET) : EPOLLIN;
   if (pending == 0) {
-    if (conn->close_after_flush_) {
+    // close_after_flush waits for SeqDrained too: an empty outbox with a
+    // response still parked in the sequencer (an HTTP close racing owed
+    // pipelined responses) is not yet flushed. SeqDrained is checked
+    // outside out_mu_ — seq_mu_ orders before the transport lock.
+    if (conn->close_after_flush_ && conn->SeqDrained()) {
       CloseConn(conn, CloseReason::kHandler);
       return;
     }
     if (conn->want_write_) {
       epoll_event ev{};
-      ev.events = EPOLLIN;
+      ev.events = base_events;
       ev.data.fd = conn->socket_.fd();
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->socket_.fd(), &ev);
       conn->want_write_ = false;
     }
   } else if (!conn->want_write_) {
     epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLOUT;
+    ev.events = base_events | EPOLLOUT;
     ev.data.fd = conn->socket_.fd();
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->socket_.fd(), &ev);
     conn->want_write_ = true;

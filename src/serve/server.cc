@@ -28,9 +28,17 @@ int64_t ReadTickMs(int64_t idle_timeout_ms) {
 
 /// Request types still answered while draining: a drain must stay
 /// observable (health probes, metric scrapes) right up to the hard stop.
-bool ServedDuringDrain(const std::string& type) {
+bool ServedDuringDrain(std::string_view type) {
   return type == "healthz" || type == "readyz" || type == "statsz" ||
          type == "metricsz" || type == "ping";
+}
+
+/// Per-thread scratch for the server's own parses (deadline extraction,
+/// id echo in refusals): the arena-backed Request is reused across
+/// requests, so intake-side parsing allocates nothing steady-state.
+Request& ScratchRequest() {
+  thread_local Request request;
+  return request;
 }
 
 }  // namespace
@@ -61,7 +69,19 @@ Result<uint16_t> Server::Start() {
   health_.retry_after_ms.store(options_.drain_retry_after_ms,
                                std::memory_order_relaxed);
   service_->AttachHealth(&health_);
-  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(options_.num_threads));
+  if (options_.scheduler == Scheduler::kWorkStealing) {
+    ScoringPool::Options pool_options;
+    pool_options.num_workers = options_.num_threads;
+    pool_options.max_queue = options_.max_queue;
+    pool_options.max_batch = options_.max_batch;
+    pool_options.batch_size = service_->metrics().batch_size;
+    pool_options.steal_count = service_->metrics().steal_count;
+    steal_pool_ = std::make_unique<ScoringPool>(
+        pool_options,
+        [this](std::vector<ScoringTask>& batch) { ProcessBatch(batch); });
+  } else {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(options_.num_threads));
+  }
   if (options_.io_model == IoModel::kEpoll) {
     ReactorOptions reactor_options;
     reactor_options.tick_ms = ReadTickMs(options_.idle_timeout_ms);
@@ -70,6 +90,7 @@ Result<uint16_t> Server::Start() {
     reactor_options.write_timeout_ms = options_.write_timeout_ms;
     reactor_options.idle_timeout_ms = options_.idle_timeout_ms;
     reactor_options.sndbuf_bytes = options_.sndbuf_bytes;
+    reactor_options.edge_triggered = options_.epoll_mode == EpollMode::kEdge;
     reactor_ = std::make_unique<Reactor>(static_cast<ReactorHandler*>(this),
                                          reactor_options);
     const Status init = reactor_->Init(listener_.fd());
@@ -175,8 +196,12 @@ void Server::Stop() {
   for (std::thread& reader : finished) {
     if (reader.joinable()) reader.join();
   }
-  // Drain the worker pool: queued batches still run (their writes drop or
-  // fail fast on the dead connections), then the workers exit.
+  // Drain the scheduler: queued work still runs (its writes drop or fail
+  // fast on the dead connections), then the workers exit.
+  if (steal_pool_ != nullptr) {
+    steal_pool_->Stop();
+    steal_pool_.reset();
+  }
   if (pool_ != nullptr) {
     pool_->Wait();
     pool_.reset();
@@ -207,8 +232,9 @@ Deadline Server::RequestDeadline(std::string_view line) const {
   // parsed once here and once by the service, which is still cheap next
   // to scoring.
   if (line.find("\"deadline_ms\"") != std::string_view::npos) {
-    if (auto request = ParseRequest(line); request.ok() && request->Has("deadline_ms")) {
-      const std::string value = request->Get("deadline_ms");
+    Request& request = ScratchRequest();
+    if (ParseRequestInto(line, &request).ok() && request.Has("deadline_ms")) {
+      const std::string_view value = request.Get("deadline_ms");
       int64_t ms = 0;
       auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), ms);
       if (ec == std::errc() && end == value.data() + value.size()) {
@@ -233,8 +259,12 @@ void Server::HandleRequestLine(const std::shared_ptr<Conn>& connection,
     connection->Kill();
     return;
   }
+  // Stamp the response slot on the intake thread, in read order: every
+  // path below (served, refused, drained) answers exactly once through
+  // WriteSeq, which is what keeps pipelined responses in request order.
+  const uint64_t seq = connection->AssignSeq();
   if (state == kDraining) {
-    HandleLineDuringDrain(*connection, line);
+    HandleLineDuringDrain(*connection, line, seq);
     return;
   }
 
@@ -246,62 +276,83 @@ void Server::HandleRequestLine(const std::shared_ptr<Conn>& connection,
     // per-connection slice of admission control, so it reports as the
     // same "overloaded" refusal as a full queue.
     service_->metrics().rejected_overload->Increment(1);
-    WriteRefusal(*connection, line, "overloaded", -1);
+    WriteRefusal(*connection, line, "overloaded", -1, seq);
     return;
   }
 
   const Deadline request_deadline = RequestDeadline(line);
   bool admitted = false;
-  {
+  if (steal_pool_ != nullptr) {
+    // Work-stealing path: account the request in flight before Submit so
+    // a worker that claims it instantly still decrements a non-zero
+    // count; undone below when admission refuses it.
+    connection->inflight.fetch_add(1, std::memory_order_acq_rel);
+    inflight_total_.fetch_add(1, std::memory_order_acq_rel);
+    admitted = steal_pool_->Submit(connection, line, request_deadline, seq);
+    if (!admitted) {
+      connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      inflight_total_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } else {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() < options_.max_queue &&
         state_.load(std::memory_order_relaxed) == kServing) {
       // The only copy a served request ever takes: framing handed the
       // line as a view into the connection's input buffer, and it must
       // outlive the buffer once queued.
-      queue_.push_back(PendingRequest{connection, std::string(line), request_deadline});
+      queue_.push_back(
+          PendingRequest{connection, std::string(line), request_deadline, seq});
       connection->inflight.fetch_add(1, std::memory_order_acq_rel);
       inflight_total_.fetch_add(1, std::memory_order_acq_rel);
       admitted = true;
     }
   }
   if (admitted) {
-    pool_->Submit([this] { DrainBatch(); });
+    if (pool_ != nullptr) pool_->Submit([this] { DrainBatch(); });
     return;
   }
   if (state_.load(std::memory_order_acquire) == kDraining) {
     // The drain flipped between the line read and the queue lock.
-    HandleLineDuringDrain(*connection, line);
+    HandleLineDuringDrain(*connection, line, seq);
     return;
   }
   // Admission control: reject instead of queueing unboundedly. The
   // response still echoes the id (when parseable) so pipelined clients
   // can account for the shed request.
   service_->metrics().rejected_overload->Increment(1);
-  WriteRefusal(*connection, line, "overloaded", -1);
+  WriteRefusal(*connection, line, "overloaded", -1, seq);
 }
 
-void Server::HandleLineDuringDrain(Conn& connection, std::string_view line) {
-  auto request = ParseRequest(line);
-  const std::string type = request.ok() ? request->Get("type") : "";
+void Server::HandleLineDuringDrain(Conn& connection, std::string_view line,
+                                   uint64_t seq) {
+  Request& request = ScratchRequest();
+  const bool parsed = ParseRequestInto(line, &request).ok();
+  const std::string_view type = parsed ? request.Get("type") : std::string_view();
   if (ServedDuringDrain(type)) {
-    connection.Write(service_->HandleLine(line));
+    thread_local std::string response;
+    service_->HandleLineTo(line, &response);
+    connection.WriteSeq(seq, response);
     return;
   }
   service_->metrics().drained->Increment(1);
   WriteRefusal(connection, line, "draining",
-               health_.retry_after_ms.load(std::memory_order_relaxed));
+               health_.retry_after_ms.load(std::memory_order_relaxed), seq);
 }
 
 void Server::WriteRefusal(Conn& connection, std::string_view line,
-                          std::string_view error, int64_t retry_after_ms) {
-  JsonWriter response;
-  if (auto request = ParseRequest(line); request.ok() && request->Has("id")) {
-    response.String("id", request->Get("id"));
+                          std::string_view error, int64_t retry_after_ms,
+                          uint64_t seq) {
+  thread_local JsonWriter response;
+  response.Reset();
+  Request& request = ScratchRequest();
+  if (ParseRequestInto(line, &request).ok() && request.Has("id")) {
+    response.String("id", request.Get("id"));
   }
   response.Bool("ok", false).String("error", error);
   if (retry_after_ms >= 0) response.Int("retry_after_ms", retry_after_ms);
-  connection.Write(response.Finish());
+  thread_local std::string rendered;
+  response.FinishTo(&rendered);
+  connection.WriteSeq(seq, rendered);
 }
 
 void Server::DrainBatch() {
@@ -325,11 +376,34 @@ void Server::DrainBatch() {
     // starts in time finishes and is delivered.
     if (pending.deadline.expired()) {
       service_->metrics().deadline_exceeded->Increment(1);
-      WriteRefusal(*pending.connection, pending.line, "deadline_exceeded", -1);
+      WriteRefusal(*pending.connection, pending.line, "deadline_exceeded", -1,
+                   pending.seq);
     } else {
-      pending.connection->Write(service_->HandleLine(pending.line));
+      thread_local std::string response;
+      service_->HandleLineTo(pending.line, &response);
+      pending.connection->WriteSeq(pending.seq, response);
     }
+    // Deliver before the decrements: when inflight_total_ reaches zero
+    // during a drain, every admitted response has already been handed to
+    // its transport.
     pending.connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    inflight_total_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void Server::ProcessBatch(std::vector<ScoringTask>& batch) {
+  // The work-stealing scheduler records batch_size itself; everything else
+  // mirrors DrainBatch so the two schedulers answer identically.
+  thread_local std::string response;
+  for (ScoringTask& task : batch) {
+    if (task.deadline.expired()) {
+      service_->metrics().deadline_exceeded->Increment(1);
+      WriteRefusal(*task.connection, task.line, "deadline_exceeded", -1, task.seq);
+    } else {
+      service_->HandleLineTo(task.line, &response);
+      task.connection->WriteSeq(task.seq, response);
+    }
+    task.connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
     inflight_total_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
@@ -395,8 +469,11 @@ void Server::OnLine(const std::shared_ptr<ReactorConn>& conn, std::string_view l
   if (StartsWith(line, "GET ")) {
     // Plain-HTTP fast path so `curl http://host:port/metricsz` (and
     // /healthz, /readyz) works without speaking the newline-JSON
-    // protocol. One response, then close (HTTP/1.0 semantics).
+    // protocol. One response, then close (HTTP/1.0 semantics). The GET
+    // takes a response slot like any other line, so its response cannot
+    // outrun still-owed pipelined protocol responses.
     conn->http_pending = true;
+    conn->http_seq = conn->AssignSeq();
     conn->http_request_line.assign(line.data(), line.size());
     return;
   }
@@ -405,7 +482,8 @@ void Server::OnLine(const std::shared_ptr<ReactorConn>& conn, std::string_view l
 
 void Server::FinishHttp(const std::shared_ptr<ReactorConn>& conn) {
   conn->http_pending = false;
-  conn->WriteRaw(BuildHttpResponse(conn->http_request_line));
+  conn->WriteSeq(conn->http_seq, BuildHttpResponse(conn->http_request_line),
+                 /*raw=*/true);
   conn->CloseAfterFlush();
 }
 
@@ -553,7 +631,18 @@ void Server::ReadLoop(std::shared_ptr<LegacyConn> connection) {
                                : Deadline::Infinite();
     if (line.empty()) continue;
     if (StartsWith(line, "GET ")) {
-      HandleHttpGet(*connection, reader, line);
+      HandleHttpGet(*connection, reader, line, connection->AssignSeq());
+      // The HTTP response may be parked behind still-owed pipelined
+      // responses; give the workers a bounded window to deliver them (and
+      // it) before the shutdown below tears the socket down.
+      const int64_t wait_ms =
+          options_.write_timeout_ms > 0 ? options_.write_timeout_ms : 5'000;
+      const Deadline flush_deadline = Deadline::AfterMillis(wait_ms);
+      while (!connection->SeqDrained() &&
+             connection->alive.load(std::memory_order_acquire) &&
+             !flush_deadline.expired()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
       break;
     }
     HandleRequestLine(connection, line);
@@ -587,7 +676,7 @@ void Server::ReadLoop(std::shared_ptr<LegacyConn> connection) {
 }
 
 void Server::HandleHttpGet(LegacyConn& connection, LineReader& reader,
-                           const std::string& request_line) {
+                           const std::string& request_line, uint64_t seq) {
   // Drain the request headers up to the blank line; their content is
   // irrelevant for a scrape. (The receive-timeout tick bounds this loop
   // too: a slow-loris that sends "GET / HTTP/1.0" and then dribbles
@@ -598,7 +687,7 @@ void Server::HandleHttpGet(LegacyConn& connection, LineReader& reader,
     if (!got.ok() || !*got) break;
     if (header.empty() || header == "\r") break;
   }
-  connection.WriteRaw(BuildHttpResponse(request_line));
+  connection.WriteSeq(seq, BuildHttpResponse(request_line), /*raw=*/true);
 }
 
 }  // namespace serve

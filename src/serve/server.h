@@ -43,9 +43,21 @@
 // up to a drain deadline, then hard-stops. healthz/readyz keep answering
 // through the drain so routers can see the state flip.
 //
-// Responses to a pipelined connection may arrive out of order (batching
-// workers run concurrently); clients that pipeline tag requests with
-// "id" and match on the echo. mbctl and serve_bench both do.
+// Responses to a pipelined connection are delivered in request order:
+// every response-bearing line is stamped with a per-connection sequence
+// number at intake, and workers deliver through Conn::WriteSeq, which
+// holds early completions until their predecessors flush (serve/conn.h,
+// DESIGN.md §17). Clients that pipeline may still tag requests with "id"
+// and match on the echo — mbctl and serve_bench both do — but ordering
+// alone now suffices.
+//
+// Scoring is scheduled by one of two interchangeable schedulers
+// (ServerOptions.scheduler): the work-stealing ScoringPool (default) —
+// per-worker bounded deques, randomized steal-half, near-zero lock
+// contention at saturation — or the original single-mutex FIFO queue
+// drained through the mb_common thread pool, kept as the bench baseline
+// and operational escape hatch. Admission, deadline and refusal
+// semantics are identical between the two.
 
 #ifndef MICROBROWSE_SERVE_SERVER_H_
 #define MICROBROWSE_SERVE_SERVER_H_
@@ -67,6 +79,7 @@
 #include "serve/conn.h"
 #include "serve/health.h"
 #include "serve/reactor.h"
+#include "serve/scoring_pool.h"
 #include "serve/service.h"
 
 namespace microbrowse {
@@ -78,6 +91,20 @@ enum class IoModel {
   kLegacyThreads = 1,  ///< One blocking reader thread per connection.
 };
 
+/// Reactor epoll triggering discipline (kEpoll only).
+enum class EpollMode {
+  kLevel = 0,  ///< Level-triggered: one recv per readiness event.
+  kEdge = 1,   ///< Edge-triggered: drain until EAGAIN, starvation-bounded
+               ///< per wakeup (default).
+};
+
+/// Which scheduler feeds admitted requests to the scoring workers.
+enum class Scheduler {
+  kFifo = 0,          ///< Single-mutex FIFO queue + mb_common thread pool
+                      ///< (the pre-work-stealing baseline).
+  kWorkStealing = 1,  ///< Per-worker deques with steal-half (default).
+};
+
 /// Server configuration.
 struct ServerOptions {
   uint16_t port = 7077;  ///< 0 = kernel-assigned (tests).
@@ -85,6 +112,13 @@ struct ServerOptions {
   /// Serving core; kLegacyThreads is the operational escape hatch should
   /// the reactor misbehave in some environment.
   IoModel io_model = IoModel::kEpoll;
+  /// Reactor triggering discipline (mbserved --epoll-mode level|edge).
+  /// Edge-triggered is the throughput default; level-triggered is the
+  /// baseline and escape hatch. Ignored under kLegacyThreads.
+  EpollMode epoll_mode = EpollMode::kEdge;
+  /// Request scheduler. kWorkStealing is the throughput default; kFifo is
+  /// the pre-PR-10 baseline kept for benchmarking and as an escape hatch.
+  Scheduler scheduler = Scheduler::kWorkStealing;
   /// Bounded request queue; requests beyond it are rejected with
   /// "overloaded".
   size_t max_queue = 1024;
@@ -210,6 +244,7 @@ class Server : private ReactorHandler {
     std::shared_ptr<Conn> connection;
     std::string line;
     Deadline deadline;
+    uint64_t seq = 0;
   };
 
   // --- Request path shared by both cores -----------------------------------
@@ -218,16 +253,20 @@ class Server : private ReactorHandler {
   /// control, deadline stamping, queueing. Refusals are written inline.
   void HandleRequestLine(const std::shared_ptr<Conn>& connection, std::string_view line);
   void DrainBatch();
+  /// Work-stealing scheduler's batch handler: deadline check, scoring,
+  /// ordered delivery and drain accounting for one claimed batch.
+  void ProcessBatch(std::vector<ScoringTask>& batch);
   /// The deadline for one request line: its own "deadline_ms" field when
   /// present and parsable, else the server default.
   Deadline RequestDeadline(std::string_view line) const;
   /// Answers one request received while draining: observability types are
   /// served inline, everything else is refused with "draining".
-  void HandleLineDuringDrain(Conn& connection, std::string_view line);
-  /// Writes an {"ok":false,...} refusal, echoing the request id when the
-  /// line parses. `retry_after_ms` < 0 omits the field.
+  void HandleLineDuringDrain(Conn& connection, std::string_view line, uint64_t seq);
+  /// Writes an {"ok":false,...} refusal into response slot `seq`, echoing
+  /// the request id when the line parses. `retry_after_ms` < 0 omits the
+  /// field.
   void WriteRefusal(Conn& connection, std::string_view line, std::string_view error,
-                    int64_t retry_after_ms);
+                    int64_t retry_after_ms, uint64_t seq);
   /// The full raw response (status line, headers, body) for one plain-HTTP
   /// GET request line — the /metricsz, /healthz and /readyz scrape paths.
   std::string BuildHttpResponse(std::string_view request_line);
@@ -244,10 +283,10 @@ class Server : private ReactorHandler {
 
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<LegacyConn> connection);
-  /// Answers one plain-HTTP GET and leaves the connection to be closed by
-  /// the caller.
+  /// Answers one plain-HTTP GET into response slot `seq` and leaves the
+  /// connection to be closed by the caller.
   void HandleHttpGet(LegacyConn& connection, LineReader& reader,
-                     const std::string& request_line);
+                     const std::string& request_line, uint64_t seq);
   /// Joins reader threads whose connections already ended (the threads
   /// have exited or are about to).
   void ReapFinishedReaders();
@@ -257,7 +296,10 @@ class Server : private ReactorHandler {
   Socket listener_;
   uint16_t port_ = 0;
 
+  /// FIFO scheduler only (options.scheduler == kFifo).
   std::unique_ptr<ThreadPool> pool_;
+  /// Work-stealing scheduler only (options.scheduler == kWorkStealing).
+  std::unique_ptr<ScoringPool> steal_pool_;
 
   std::unique_ptr<Reactor> reactor_;
   std::thread reactor_thread_;

@@ -27,7 +27,7 @@ constexpr size_t kMaxInternedGrowth = 1 << 16;
 /// Free-context pool bound; beyond it returned contexts are dropped.
 constexpr size_t kMaxPooledContexts = 64;
 
-Snippet ParseSnippetField(const std::string& field) {
+Snippet ParseSnippetField(std::string_view field) {
   return Snippet::FromLines(Split(field, '|'));
 }
 
@@ -83,25 +83,36 @@ void ScoringService::ReturnContext(std::unique_ptr<EvalContext> context) {
 }
 
 std::string ScoringService::HandleLine(std::string_view line) {
+  std::string response;
+  HandleLineTo(line, &response);
+  return response;
+}
+
+void ScoringService::HandleLineTo(std::string_view line, std::string* out) {
   WallTimer timer;
-  auto parsed = ParseRequest(line);
-  JsonWriter response;
+  // Per-thread scratch: the Request's arena and the writer's buffer reach a
+  // steady-state capacity after a few requests, after which this function
+  // performs no heap allocations for cached/refused/ping traffic.
+  thread_local Request request;
+  thread_local JsonWriter response;
+  response.Reset();
+  const Status parsed = ParseRequestInto(line, &request);
   Endpoint endpoint = Endpoint::kOther;
   bool ok = false;
   if (!parsed.ok()) {
-    response.Bool("ok", false).String("error", parsed.status().message());
+    response.Bool("ok", false).String("error", parsed.message());
   } else {
-    const std::string type = parsed->Get("type");
+    const std::string_view type = request.Get("type");
     endpoint = EndpointByName(type);
-    if (parsed->Has("id")) response.String("id", parsed->Get("id"));
-    Dispatch(*parsed, endpoint, response, &ok);
+    if (request.Has("id")) response.String("id", request.Get("id"));
+    Dispatch(request, endpoint, response, &ok);
   }
   metrics_.endpoint(endpoint).RecordRequest(timer.ElapsedSeconds(), ok);
-  return response.Finish();
+  response.FinishTo(out);
 }
 
-std::string ScoringService::Dispatch(const Request& request, Endpoint endpoint,
-                                     JsonWriter& response, bool* ok) {
+void ScoringService::Dispatch(const Request& request, Endpoint endpoint,
+                              JsonWriter& response, bool* ok) {
   Status status = Status::OK();
   switch (endpoint) {
     case Endpoint::kScorePair:
@@ -131,16 +142,17 @@ std::string ScoringService::Dispatch(const Request& request, Endpoint endpoint,
     case Endpoint::kPing:
       break;
     case Endpoint::kOther: {
-      const std::string type = request.Get("type");
+      const std::string_view type = request.Get("type");
       if (type == "debug_sleep" && options_.allow_debug_sleep) {
         int64_t ms = 0;
-        const std::string text = request.Get("ms", "0");
+        const std::string_view text = request.Get("ms", "0");
         std::from_chars(text.data(), text.data() + text.size(), ms);
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
         break;
       }
       status = Status::InvalidArgument(
-          type.empty() ? "missing request field 'type'" : "unknown type '" + type + "'");
+          type.empty() ? "missing request field 'type'"
+                       : "unknown type '" + std::string(type) + "'");
       break;
     }
   }
@@ -150,12 +162,11 @@ std::string ScoringService::Dispatch(const Request& request, Endpoint endpoint,
   } else {
     response.Bool("ok", false).String("error", status.message());
   }
-  return status.ok() ? "" : std::string(status.message());
 }
 
 Status ScoringService::HandleScorePair(const Request& request, JsonWriter& response) {
-  const std::string a_text = request.Get("a");
-  const std::string b_text = request.Get("b");
+  const std::string_view a_text = request.Get("a");
+  const std::string_view b_text = request.Get("b");
   if (a_text.empty() || b_text.empty()) {
     return Status::InvalidArgument("score_pair needs non-empty 'a' and 'b' fields");
   }
@@ -193,7 +204,7 @@ Status ScoringService::HandleScorePair(const Request& request, JsonWriter& respo
 }
 
 Status ScoringService::HandlePredictCtr(const Request& request, JsonWriter& response) {
-  const std::string text = request.Get("snippet");
+  const std::string_view text = request.Get("snippet");
   if (text.empty()) {
     return Status::InvalidArgument("predict_ctr needs a non-empty 'snippet' field");
   }
@@ -224,7 +235,7 @@ Status ScoringService::HandlePredictCtr(const Request& request, JsonWriter& resp
 }
 
 Status ScoringService::HandleExamine(const Request& request, JsonWriter& response) {
-  const std::string text = request.Get("snippet");
+  const std::string_view text = request.Get("snippet");
   if (text.empty()) {
     return Status::InvalidArgument("examine needs a non-empty 'snippet' field");
   }

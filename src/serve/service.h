@@ -63,6 +63,13 @@ class ScoringService {
   /// newline). Never throws; every failure is an {"ok":false,...} response.
   std::string HandleLine(std::string_view line);
 
+  /// Allocation-free variant for the serving hot path: parses into a
+  /// per-thread scratch Request (arena-backed) and builds the response into
+  /// `*response` (cleared first), so a warm worker thread handles a cached
+  /// request with zero heap allocations. Byte-identical output to
+  /// HandleLine.
+  void HandleLineTo(std::string_view line, std::string* response);
+
   /// Attaches the server's drain-state bits so healthz/readyz can report
   /// "draining". Called by Server::Start; tests driving the service
   /// in-process may leave it unset (the service then reports serving or
@@ -97,8 +104,8 @@ class ScoringService {
   std::unique_ptr<EvalContext> BorrowContext(const ModelBundle& bundle);
   void ReturnContext(std::unique_ptr<EvalContext> context);
 
-  std::string Dispatch(const Request& request, Endpoint endpoint, JsonWriter& response,
-                       bool* ok);
+  void Dispatch(const Request& request, Endpoint endpoint, JsonWriter& response,
+                bool* ok);
   Status HandleScorePair(const Request& request, JsonWriter& response);
   Status HandlePredictCtr(const Request& request, JsonWriter& response);
   Status HandleExamine(const Request& request, JsonWriter& response);

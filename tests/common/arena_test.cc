@@ -1,0 +1,113 @@
+// Copyright 2026 The Microbrowse Authors
+//
+// Bump-pointer arena tests: pointer stability across block growth, Reset
+// block reuse (the zero-steady-state-allocation property the serving hot
+// path depends on), oversized allocations and move semantics.
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace microbrowse {
+namespace {
+
+TEST(ArenaTest, DupReturnsStableIndependentCopies) {
+  Arena arena(64);
+  std::string original = "hello arena";
+  const std::string_view copy = arena.Dup(original);
+  EXPECT_EQ(copy, "hello arena");
+  EXPECT_NE(copy.data(), original.data());
+  // Mutating (or destroying) the source must not affect the copy.
+  original.assign(original.size(), 'x');
+  EXPECT_EQ(copy, "hello arena");
+}
+
+TEST(ArenaTest, EmptyDupIsValidAndAllocatesNothing) {
+  Arena arena(64);
+  const std::string_view empty = arena.Dup("");
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(arena.block_count(), 0u);
+}
+
+TEST(ArenaTest, PointersSurviveBlockGrowth) {
+  // Block bookkeeping lives in a vector, but the character storage is a
+  // separately heap-allocated unique_ptr per block — growing the vector
+  // must not invalidate previously returned views.
+  Arena arena(16);
+  std::vector<std::string_view> views;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 200; ++i) {
+    expected.push_back("value-" + std::to_string(i));
+    views.push_back(arena.Dup(expected.back()));
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], expected[i]) << i;
+  }
+}
+
+TEST(ArenaTest, ResetReusesBlocksWithoutGrowing) {
+  Arena arena(64);
+  auto fill = [&arena] {
+    for (int i = 0; i < 50; ++i) {
+      (void)arena.Dup("a request-sized chunk of text #" + std::to_string(i));
+    }
+  };
+  fill();
+  const size_t blocks_after_warmup = arena.block_count();
+  const size_t bytes_after_warmup = arena.retained_bytes();
+  ASSERT_GT(blocks_after_warmup, 0u);
+  // Steady state: the same workload after Reset must fit in the retained
+  // blocks — zero further block allocations, the §17 hot-path property.
+  for (int round = 0; round < 10; ++round) {
+    arena.Reset();
+    fill();
+    EXPECT_EQ(arena.block_count(), blocks_after_warmup) << "round " << round;
+    EXPECT_EQ(arena.retained_bytes(), bytes_after_warmup) << "round " << round;
+  }
+}
+
+TEST(ArenaTest, OversizedAllocationGetsItsOwnBlock) {
+  Arena arena(32);
+  const std::string big(1000, 'b');
+  const std::string_view view = arena.Dup(big);
+  EXPECT_EQ(view, big);
+  EXPECT_GE(arena.retained_bytes(), 1000u);
+  // Small allocations keep working afterwards.
+  EXPECT_EQ(arena.Dup("tail"), "tail");
+}
+
+TEST(ArenaTest, ResetWalksPastSpentOversizedBlocks) {
+  // After Reset, Allocate rewinds to block 0; a request too large for the
+  // remaining space in early blocks must advance to (or allocate) a block
+  // that fits, without corrupting earlier allocations.
+  Arena arena(16);
+  (void)arena.Dup(std::string(100, 'a'));  // Oversized block.
+  arena.Reset();
+  const std::string_view small = arena.Dup("tiny");
+  const std::string_view large = arena.Dup(std::string(60, 'z'));
+  EXPECT_EQ(small, "tiny");
+  EXPECT_EQ(large, std::string(60, 'z'));
+}
+
+TEST(ArenaTest, MoveKeepsOutstandingViewsValid) {
+  Arena arena(32);
+  const std::string_view view = arena.Dup("survives the move");
+  Arena moved(std::move(arena));
+  EXPECT_EQ(view, "survives the move");
+  EXPECT_EQ(moved.Dup("post-move"), "post-move");
+}
+
+TEST(ArenaTest, ZeroBlockSizeIsClampedNotUndefined) {
+  Arena arena(0);
+  EXPECT_EQ(arena.Dup("x"), "x");
+  EXPECT_EQ(arena.Dup("yz"), "yz");
+}
+
+}  // namespace
+}  // namespace microbrowse

@@ -93,7 +93,7 @@ TEST(TraceTest, NestedSpansCarryParentAndDepth) {
   ASSERT_EQ(spans.size(), 4u);
 
   std::map<std::string, serve::Request> by_name;
-  for (const auto& span : spans) by_name[span.Get("name")] = span;
+  for (const auto& span : spans) by_name[std::string(span.Get("name"))] = span;
   ASSERT_EQ(by_name.size(), 4u);
   const auto id_of = [&](const char* name) { return by_name[name].Get("id"); };
   EXPECT_EQ(by_name["mb.test.outer"].Get("parent"), "-1");
@@ -106,8 +106,8 @@ TEST(TraceTest, NestedSpansCarryParentAndDepth) {
   EXPECT_EQ(by_name["mb.test.sibling"].Get("parent"), id_of("mb.test.outer"));
   EXPECT_EQ(by_name["mb.test.sibling"].Get("depth"), "1");
   for (const auto& span : spans) {
-    EXPECT_GE(std::stod(span.Get("dur_us")), 0.0);
-    EXPECT_GE(std::stod(span.Get("start_us")), 0.0);
+    EXPECT_GE(std::stod(std::string(span.Get("dur_us"))), 0.0);
+    EXPECT_GE(std::stod(std::string(span.Get("start_us"))), 0.0);
   }
 }
 
@@ -132,7 +132,7 @@ TEST(TraceTest, SpansFromExitedThreadsSurviveAsOrphans) {
   for (const auto& span : spans) {
     EXPECT_EQ(span.Get("name"), "mb.test.worker");
     EXPECT_EQ(span.Get("parent"), "-1");
-    ++tids[span.Get("tid")];
+    ++tids[std::string(span.Get("tid"))];
   }
   EXPECT_EQ(tids.size(), 4u);
 }

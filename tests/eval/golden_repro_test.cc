@@ -112,12 +112,12 @@ TEST(GoldenReproTest, Table2SmallMatchesCheckedInGolden) {
   mismatch |= actual->fields.size() != golden->fields.size();
   for (const auto& [key, golden_value] : golden->fields) {
     ASSERT_TRUE(actual->Has(key)) << key;
-    const std::string actual_value = actual->Get(key);
+    const std::string actual_value(actual->Get(key));
     if (key == "num_pairs" || key == "num_adgroups" || key == "num_models") {
       EXPECT_EQ(actual_value, golden_value) << key;
       mismatch |= actual_value != golden_value;
     } else {
-      const double expected = std::stod(golden_value);
+      const double expected = std::stod(std::string(golden_value));
       const double computed = std::stod(actual_value);
       EXPECT_NEAR(computed, expected, 1e-9) << key;
       mismatch |= std::fabs(computed - expected) > 1e-9;

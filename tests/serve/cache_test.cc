@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -128,6 +130,96 @@ TEST(ShardedLruCacheTest, ConcurrentPutGetIsSafe) {
   for (std::thread& worker : workers) worker.join();
   const CacheStats stats = cache.Stats();
   EXPECT_GT(stats.hits + stats.misses, 0);
+}
+
+// --- Generation churn -------------------------------------------------
+// The service embeds the bundle generation in every cache key and flushes
+// on hot reload. These tests cover that lifecycle at the cache layer:
+// stale generations can never be served, and Clear racing live traffic is
+// safe and leaves a consistent, working cache.
+
+/// A generation-tagged key the way the service builds them: the same
+/// payload hash under a new generation is a different key.
+constexpr uint64_t GenKey(uint64_t generation, uint64_t payload) {
+  return (generation << 32) ^ payload;
+}
+
+TEST(ShardedLruCacheTest, GenerationChurnNeverServesStaleValues) {
+  ShardedLruCache<double> cache(/*capacity=*/64, /*num_shards=*/4);
+  for (uint64_t payload = 0; payload < 16; ++payload) {
+    cache.Put(GenKey(1, payload), 100.0 + static_cast<double>(payload));
+  }
+  // Hot reload: generation 1 dies, the cache is flushed eagerly.
+  cache.Clear();
+  for (uint64_t payload = 0; payload < 16; ++payload) {
+    cache.Put(GenKey(2, payload), 200.0 + static_cast<double>(payload));
+  }
+  for (uint64_t payload = 0; payload < 16; ++payload) {
+    EXPECT_FALSE(cache.Get(GenKey(1, payload)).has_value())
+        << "stale generation-1 entry survived the flush, payload " << payload;
+    auto value = cache.Get(GenKey(2, payload));
+    ASSERT_TRUE(value.has_value()) << payload;
+    EXPECT_DOUBLE_EQ(*value, 200.0 + static_cast<double>(payload));
+  }
+}
+
+TEST(ShardedLruCacheTest, RepeatedChurnKeepsSizeBounded) {
+  // Ten reload cycles: each generation fills the cache, then dies. Size
+  // must track only the live generation; counters accumulate across all.
+  ShardedLruCache<double> cache(/*capacity=*/32, /*num_shards=*/4);
+  for (uint64_t generation = 1; generation <= 10; ++generation) {
+    cache.Clear();
+    for (uint64_t payload = 0; payload < 24; ++payload) {
+      cache.Put(GenKey(generation, payload), static_cast<double>(generation));
+    }
+    EXPECT_LE(cache.Stats().size, 32) << "generation " << generation;
+    auto value = cache.Get(GenKey(generation, 0));
+    if (value.has_value()) {
+      EXPECT_DOUBLE_EQ(*value, static_cast<double>(generation));
+    }
+  }
+  EXPECT_GT(cache.Stats().hits + cache.Stats().misses, 0);
+}
+
+TEST(ShardedLruCacheTest, ClearRacingTrafficIsSafeAndNeverCrossesGenerations) {
+  // Reader/writer threads cycle through generations while a churn thread
+  // flushes repeatedly (the reload race). Any value read must equal the
+  // value written for that exact generation-tagged key — a flush may lose
+  // entries, but it must never surface a wrong or torn one.
+  ShardedLruCache<double> cache(/*capacity=*/256, /*num_shards=*/8);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&cache, &stop, &violations, w] {
+      for (uint64_t i = 0; !stop.load(); ++i) {
+        const uint64_t generation = i % 5;
+        const uint64_t payload = (i + static_cast<uint64_t>(w)) % 64;
+        const uint64_t key = GenKey(generation, payload);
+        const double expected =
+            static_cast<double>(generation) * 1000.0 + static_cast<double>(payload);
+        cache.Put(key, expected);
+        if (auto value = cache.Get(key)) {
+          if (*value != expected) violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread churner([&cache, &stop] {
+    for (int i = 0; i < 200; ++i) {
+      cache.Clear();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    stop.store(true);
+  });
+  churner.join();
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(violations.load(), 0);
+  // The cache still works after the churn storm.
+  cache.Put(GenKey(99, 1), 42.0);
+  auto value = cache.Get(GenKey(99, 1));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value, 42.0);
 }
 
 TEST(HistogramTest, EmptySnapshotIsZero) {

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace microbrowse {
 namespace serve {
@@ -111,6 +113,76 @@ TEST(BufferPoolTest, ReleasedStorageIsReused) {
     EXPECT_EQ(line, "world");  // No leftover bytes from the prior owner.
   }
   EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(BufferPoolTest, ReusedStorageCarriesNoStaleFragments) {
+  // A connection that dies mid-line leaves unconsumed bytes in its buffer.
+  // The next connection acquiring that storage must start empty: no
+  // pending bytes, no overlong verdict, and its first line must be exactly
+  // what it received — never a splice with the previous owner's fragment.
+  BufferPool pool;
+  {
+    ConnBuffer buffer(1024, &pool);
+    Feed(buffer, "half-finished request with no newline");
+    EXPECT_GT(buffer.pending_bytes(), 0u);
+  }  // Dies with the fragment still buffered.
+  ASSERT_EQ(pool.pooled(), 1u);
+  {
+    ConnBuffer buffer(1024, &pool);
+    EXPECT_EQ(buffer.pending_bytes(), 0u);
+    EXPECT_EQ(buffer.total_bytes(), 0u);
+    EXPECT_FALSE(buffer.overlong());
+    Feed(buffer, "fresh\n");
+    std::string_view line;
+    ASSERT_TRUE(buffer.NextLine(&line));
+    EXPECT_EQ(line, "fresh");
+    EXPECT_FALSE(buffer.NextLine(&line)) << "stale fragment resurfaced: " << line;
+  }
+}
+
+TEST(BufferPoolTest, OverlongVerdictDoesNotFollowTheStorage) {
+  // The overlong flag condemns a connection, not the recycled storage.
+  BufferPool pool;
+  {
+    ConnBuffer buffer(8, &pool);
+    Feed(buffer, std::string(64, 'a'));
+    EXPECT_TRUE(buffer.overlong());
+  }
+  ConnBuffer buffer(8, &pool);
+  EXPECT_FALSE(buffer.overlong());
+  Feed(buffer, "ok\n");
+  std::string_view line;
+  ASSERT_TRUE(buffer.NextLine(&line));
+  EXPECT_EQ(line, "ok");
+}
+
+TEST(BufferPoolTest, ChurnReachesSteadyStateReuse) {
+  // Connection churn: after the first cycle the pool supplies every
+  // subsequent buffer, so steady-state accepts allocate nothing.
+  BufferPool pool;
+  for (int i = 0; i < 100; ++i) {
+    ConnBuffer buffer(1024, &pool);
+    EXPECT_EQ(pool.pooled(), 0u) << "cycle " << i;  // Always reacquired.
+    Feed(buffer, "req-" + std::to_string(i) + "\n");
+    std::string_view line;
+    ASSERT_TRUE(buffer.NextLine(&line));
+    EXPECT_EQ(line, "req-" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(BufferPoolTest, PoolRetentionIsBounded) {
+  // More concurrent buffers than kMaxPooled: the overflow is freed, not
+  // hoarded.
+  BufferPool pool;
+  {
+    std::vector<std::unique_ptr<ConnBuffer>> buffers;
+    for (size_t i = 0; i < BufferPool::kMaxPooled + 32; ++i) {
+      buffers.push_back(std::make_unique<ConnBuffer>(1024, &pool));
+      Feed(*buffers.back(), "x\n");
+    }
+  }
+  EXPECT_EQ(pool.pooled(), BufferPool::kMaxPooled);
 }
 
 TEST(BufferPoolTest, OversizedBuffersAreDroppedNotPooled) {

@@ -106,7 +106,7 @@ TEST(JsonWriterTest, NumbersSerializeWithRoundTripPrecision) {
     writer.Number("v", value);
     auto response = ParseRequest(writer.Finish());
     ASSERT_TRUE(response.ok()) << writer.Finish();
-    EXPECT_EQ(std::strtod(response->Get("v").c_str(), nullptr), value)
+    EXPECT_EQ(std::strtod(std::string(response->Get("v")).c_str(), nullptr), value)
         << response->Get("v");
   }
 }

@@ -8,6 +8,12 @@
 // compared byte for byte. Endpoints whose payload is inherently
 // non-deterministic (statsz/metricsz latency percentiles) are compared
 // structurally instead.
+//
+// The whole suite is parameterised over epoll triggering mode (level and
+// edge) crossed with the request scheduler (FIFO baseline and work
+// stealing): every combination must be byte-identical to the legacy core
+// running the same scheduler, which makes all io_model × epoll_mode ×
+// scheduler combinations pairwise equivalent by transitivity.
 
 #include <gtest/gtest.h>
 
@@ -18,6 +24,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/socket.h"
@@ -34,7 +41,8 @@ namespace microbrowse {
 namespace serve {
 namespace {
 
-class ParityTest : public ::testing::Test {
+class ParityTest
+    : public ::testing::TestWithParam<std::tuple<EpollMode, Scheduler>> {
  protected:
   static void SetUpTestSuite() {
     const std::string dir =
@@ -63,6 +71,15 @@ class ParityTest : public ::testing::Test {
   static void TearDownTestSuite() { delete paths_; }
 
   void SetUp() override { ASSERT_TRUE(registry_.LoadInitial(*paths_).ok()); }
+
+  /// Base server options carrying this instantiation's epoll mode and
+  /// scheduler (the legacy core ignores the epoll mode).
+  ServerOptions BaseOptions() const {
+    ServerOptions options;
+    options.epoll_mode = std::get<0>(GetParam());
+    options.scheduler = std::get<1>(GetParam());
+    return options;
+  }
 
   static BundlePaths* paths_;
   BundleRegistry registry_;
@@ -155,8 +172,8 @@ std::string OneShot(uint16_t port, const std::string& request) {
   return client.ReadLine();
 }
 
-TEST_F(ParityTest, DeterministicResponsesAreByteIdentical) {
-  ParityServers servers(&registry_, ServerOptions{});
+TEST_P(ParityTest, DeterministicResponsesAreByteIdentical) {
+  ParityServers servers(&registry_, BaseOptions());
   const std::vector<std::string> requests = {
       R"({"type":"ping","id":"p1"})",
       R"({"type":"ping"})",
@@ -179,10 +196,10 @@ TEST_F(ParityTest, DeterministicResponsesAreByteIdentical) {
   }
 }
 
-TEST_F(ParityTest, PipelinedBurstKeepsOrderWithOneWorker) {
+TEST_P(ParityTest, PipelinedBurstKeepsOrderWithOneWorker) {
   // With one worker and max_batch 1 the queue is FIFO end to end, so both
   // cores must deliver the identical response *sequence*, not just set.
-  ServerOptions options;
+  ServerOptions options = BaseOptions();
   options.num_threads = 1;
   options.max_batch = 1;
   ParityServers servers(&registry_, options);
@@ -212,38 +229,75 @@ TEST_F(ParityTest, PipelinedBurstKeepsOrderWithOneWorker) {
   }
 }
 
-TEST_F(ParityTest, OverloadRefusalIsByteIdentical) {
+TEST_P(ParityTest, OverloadRefusalIsByteIdentical) {
   ServiceOptions service_options;
   service_options.allow_debug_sleep = true;
-  ServerOptions options;
+  ServerOptions options = BaseOptions();
   options.num_threads = 1;  // One worker occupied by the sleep...
   options.max_queue = 1;    // ...and room for exactly one queued request.
   ParityServers servers(&registry_, options, service_options);
 
-  auto refusal_on = [](uint16_t port) -> std::string {
+  auto exchange_on = [](uint16_t port) -> std::vector<std::string> {
     Client client(port);
     EXPECT_TRUE(client.ok());
     EXPECT_TRUE(client.SendLine(R"({"type":"debug_sleep","ms":600,"id":"z"})").ok());
     std::this_thread::sleep_for(std::chrono::milliseconds(150));
     // q0 takes the queue slot; q1 must be shed. Same connection, so the
-    // intake order is deterministic.
+    // intake order is deterministic. The refusal is produced inline by the
+    // intake path but *delivered* in request order — the sequencer holds
+    // it until the sleeper's response and q0's pong have flushed — so the
+    // three lines arrive as z, q0, q1 on both cores.
     EXPECT_TRUE(client.SendLine(R"({"type":"ping","id":"q0"})").ok());
     EXPECT_TRUE(client.SendLine(R"({"type":"ping","id":"q1"})").ok());
-    // The refusal is written inline by the intake path, well before the
-    // sleeping worker answers anything: it is the first response line.
-    return client.ReadLine();
+    return {client.ReadLine(), client.ReadLine(), client.ReadLine()};
   };
-  const std::string epoll_refusal = refusal_on(servers.epoll_port());
-  const std::string legacy_refusal = refusal_on(servers.legacy_port());
-  EXPECT_EQ(epoll_refusal, legacy_refusal);
-  EXPECT_NE(epoll_refusal.find("\"overloaded\""), std::string::npos) << epoll_refusal;
-  EXPECT_NE(epoll_refusal.find("\"id\":\"q1\""), std::string::npos) << epoll_refusal;
+  const std::vector<std::string> epoll_exchange = exchange_on(servers.epoll_port());
+  const std::vector<std::string> legacy_exchange = exchange_on(servers.legacy_port());
+  ASSERT_EQ(epoll_exchange.size(), legacy_exchange.size());
+  for (size_t i = 0; i < epoll_exchange.size(); ++i) {
+    EXPECT_EQ(epoll_exchange[i], legacy_exchange[i]) << "line " << i;
+  }
+  EXPECT_NE(epoll_exchange[0].find("\"id\":\"z\""), std::string::npos)
+      << epoll_exchange[0];
+  EXPECT_NE(epoll_exchange[1].find("\"id\":\"q0\""), std::string::npos)
+      << epoll_exchange[1];
+  const std::string& refusal = epoll_exchange[2];
+  EXPECT_NE(refusal.find("\"overloaded\""), std::string::npos) << refusal;
+  EXPECT_NE(refusal.find("\"id\":\"q1\""), std::string::npos) << refusal;
 }
 
-TEST_F(ParityTest, DrainRefusalsAndHealthAreByteIdentical) {
+TEST_P(ParityTest, PipelinedBurstKeepsOrderWithManyWorkers) {
+  // Many workers finish pipelined requests out of order — the first
+  // request sleeps while the pings behind it complete instantly — but the
+  // per-connection sequencer must still deliver responses in request
+  // order, identically on both cores.
   ServiceOptions service_options;
   service_options.allow_debug_sleep = true;
-  ServerOptions options;
+  ServerOptions options = BaseOptions();
+  options.num_threads = 4;
+  ParityServers servers(&registry_, options, service_options);
+  std::string burst = R"({"type":"debug_sleep","ms":300,"id":"q0"})" "\n";
+  for (int i = 1; i < 8; ++i) {
+    burst += R"({"type":"ping","id":"q)" + std::to_string(i) + "\"}\n";
+  }
+  Client epoll_client(servers.epoll_port());
+  Client legacy_client(servers.legacy_port());
+  ASSERT_TRUE(epoll_client.ok() && legacy_client.ok());
+  ASSERT_TRUE(epoll_client.SendRaw(burst).ok());
+  ASSERT_TRUE(legacy_client.SendRaw(burst).ok());
+  for (int i = 0; i < 8; ++i) {
+    const std::string epoll_line = epoll_client.ReadLine();
+    EXPECT_EQ(epoll_line, legacy_client.ReadLine()) << "position " << i;
+    EXPECT_NE(epoll_line.find("\"id\":\"q" + std::to_string(i) + "\""),
+              std::string::npos)
+        << "position " << i << ": " << epoll_line;
+  }
+}
+
+TEST_P(ParityTest, DrainRefusalsAndHealthAreByteIdentical) {
+  ServiceOptions service_options;
+  service_options.allow_debug_sleep = true;
+  ServerOptions options = BaseOptions();
   options.num_threads = 1;
   options.drain_deadline_ms = 5000;
   ParityServers servers(&registry_, options, service_options);
@@ -288,10 +342,10 @@ TEST_F(ParityTest, DrainRefusalsAndHealthAreByteIdentical) {
   EXPECT_NE(epoll_exchange[1].find("draining"), std::string::npos) << epoll_exchange[1];
 }
 
-TEST_F(ParityTest, ScoringRefusalDuringDrainIsByteIdentical) {
+TEST_P(ParityTest, ScoringRefusalDuringDrainIsByteIdentical) {
   ServiceOptions service_options;
   service_options.allow_debug_sleep = true;
-  ServerOptions options;
+  ServerOptions options = BaseOptions();
   options.num_threads = 1;
   options.drain_deadline_ms = 5000;
   options.drain_retry_after_ms = 250;
@@ -322,8 +376,8 @@ TEST_F(ParityTest, ScoringRefusalDuringDrainIsByteIdentical) {
       << epoll_refusal;
 }
 
-TEST_F(ParityTest, HttpExchangesAreByteIdentical) {
-  ParityServers servers(&registry_, ServerOptions{});
+TEST_P(ParityTest, HttpExchangesAreByteIdentical) {
+  ParityServers servers(&registry_, BaseOptions());
   const std::vector<std::string> gets = {
       "GET /healthz HTTP/1.0\r\n\r\n",
       "GET /readyz HTTP/1.1\r\nHost: x\r\nUser-Agent: parity\r\n\r\n",
@@ -344,10 +398,10 @@ TEST_F(ParityTest, HttpExchangesAreByteIdentical) {
   }
 }
 
-TEST_F(ParityTest, MetricsScrapeIsStructurallyEquivalent) {
+TEST_P(ParityTest, MetricsScrapeIsStructurallyEquivalent) {
   // /metricsz and statsz payloads embed latency percentiles, so the two
   // cores cannot be byte-compared; the envelope must still match.
-  ParityServers servers(&registry_, ServerOptions{});
+  ParityServers servers(&registry_, BaseOptions());
   auto scrape = [](uint16_t port) {
     Client client(port);
     EXPECT_TRUE(client.ok());
@@ -377,8 +431,8 @@ TEST_F(ParityTest, MetricsScrapeIsStructurallyEquivalent) {
   }
 }
 
-TEST_F(ParityTest, OverlongLineClosesTheConnectionOnBothCores) {
-  ServerOptions options;
+TEST_P(ParityTest, OverlongLineClosesTheConnectionOnBothCores) {
+  ServerOptions options = BaseOptions();
   options.max_line_bytes = 1024;
   ParityServers servers(&registry_, options);
   for (uint16_t port : {servers.epoll_port(), servers.legacy_port()}) {
@@ -389,6 +443,19 @@ TEST_F(ParityTest, OverlongLineClosesTheConnectionOnBothCores) {
     EXPECT_EQ(client.ReadLine(), "") << "port " << port;
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ParityTest,
+    ::testing::Combine(::testing::Values(EpollMode::kLevel, EpollMode::kEdge),
+                       ::testing::Values(Scheduler::kFifo,
+                                         Scheduler::kWorkStealing)),
+    [](const ::testing::TestParamInfo<std::tuple<EpollMode, Scheduler>>& info) {
+      const std::string mode =
+          std::get<0>(info.param) == EpollMode::kEdge ? "Edge" : "Level";
+      const std::string sched =
+          std::get<1>(info.param) == Scheduler::kWorkStealing ? "Steal" : "Fifo";
+      return mode + sched;
+    });
 
 }  // namespace
 }  // namespace serve

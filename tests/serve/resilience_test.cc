@@ -156,7 +156,7 @@ TEST_F(ResilienceTest, ExpiredDeadlineIsRefusedBeforeScoring) {
   std::map<std::string, Request> by_id;
   for (int i = 0; i < 3; ++i) {
     const Request response = client->ReadResponse();
-    by_id[response.Get("id")] = response;
+    by_id[std::string(response.Get("id"))] = response;
   }
   ASSERT_EQ(by_id.size(), 3u);
   EXPECT_EQ(by_id["slow"].Get("ok"), "true");
@@ -191,7 +191,7 @@ TEST_F(ResilienceTest, DefaultDeadlineAppliesToRequestsWithoutOne) {
   std::map<std::string, Request> by_id;
   for (int i = 0; i < 3; ++i) {
     const Request response = client->ReadResponse();
-    by_id[response.Get("id")] = response;
+    by_id[std::string(response.Get("id"))] = response;
   }
   EXPECT_EQ(by_id["first"].Get("ok"), "true");
   EXPECT_EQ(by_id["behind"].Get("error"), "deadline_exceeded");
@@ -294,7 +294,7 @@ TEST_F(ResilienceTest, DrainFinishesInflightAndRefusesNewWork) {
   std::map<std::string, Request> by_id;
   for (int i = 0; i < 3; ++i) {
     const Request response = client->ReadResponse();
-    by_id[response.Get("id")] = response;
+    by_id[std::string(response.Get("id"))] = response;
   }
   drainer.join();
 

@@ -208,20 +208,47 @@ TEST_P(ServerTest, PipelinedRequestsMatchedByIdEcho) {
         .String("b", "gamma line|delta");
     burst += request.Finish() + "\n";
   }
-  // One write, many requests: responses may arrive out of order across the
-  // batching workers; the id echo is the contract that lets the client
-  // reassemble them.
+  // One write, many requests: the batching workers may *complete* them out
+  // of order, but the per-connection sequencer delivers responses in
+  // request order; the id echo remains the client-visible contract.
   ASSERT_TRUE(client->SendRaw(burst).ok());
   std::map<std::string, std::string> margin_by_id;
   for (int i = 0; i < kRequests; ++i) {
     const Request response = client->ReadResponse();
     EXPECT_EQ(response.Get("ok"), "true");
-    margin_by_id[response.Get("id")] = response.Get("margin");
+    margin_by_id[std::string(response.Get("id"))] = std::string(response.Get("margin"));
   }
   ASSERT_EQ(margin_by_id.size(), static_cast<size_t>(kRequests));
   for (int i = 0; i < kRequests; ++i) {
     EXPECT_TRUE(margin_by_id.count("r" + std::to_string(i))) << i;
   }
+  server.Stop();
+}
+
+TEST_P(ServerTest, SchedulerMetricsRenderInPrometheusScrape) {
+  // The work-stealing scheduler's observability surface: after traffic has
+  // flowed through the steal pool, a /metricsz scrape must expose the
+  // batch-size summary and the steal counter under their Prometheus names.
+  ScoringService service(&registry_);
+  ServerOptions options = BaseOptions();
+  options.scheduler = Scheduler::kWorkStealing;
+  Server server(&service, options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto client = TestClient::ConnectTo(*port);
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client->Send(R"({"type":"ping","id":"m)" + std::to_string(i) + "\"}").ok());
+    EXPECT_EQ(client->ReadResponse().Get("ok"), "true");
+  }
+  ASSERT_TRUE(client->Send(R"({"type":"metricsz","id":"scrape"})").ok());
+  const Request response = client->ReadResponse();
+  EXPECT_EQ(response.Get("ok"), "true");
+  const std::string text(response.Get("metrics"));
+  EXPECT_NE(text.find("mb_serve_batch_size{quantile="), std::string::npos) << text;
+  EXPECT_NE(text.find("mb_serve_batch_size_count"), std::string::npos) << text;
+  EXPECT_NE(text.find("mb_serve_steal_count"), std::string::npos) << text;
   server.Stop();
 }
 

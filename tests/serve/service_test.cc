@@ -53,7 +53,7 @@ std::string ScorePairLine(const std::string& a, const std::string& b) {
 }
 
 double FieldAsDouble(const Request& response, const std::string& key) {
-  return std::stod(response.Get(key, "nan"));
+  return std::stod(std::string(response.Get(key, "nan")));
 }
 
 int CountOccurrences(const std::string& text, const std::string& needle) {
@@ -375,7 +375,7 @@ TEST_F(ServiceTest, ConcurrentScoringAgreesAcrossGenerations) {
   // and across worker contexts — no torn bundles, no registry divergence.
   ScoringService service(&registry_);
   const std::string line = ScorePairLine((*fields_)[5], (*fields_)[6]);
-  const std::string expected = HandleOk(service, line).Get("margin");
+  const std::string expected(HandleOk(service, line).Get("margin"));
 
   std::atomic<int> mismatches{0};
   std::vector<std::thread> workers;

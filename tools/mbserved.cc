@@ -7,12 +7,18 @@
 //            [--cache-capacity N] [--default-deadline-ms N]
 //            [--idle-timeout-ms N] [--write-timeout-ms N]
 //            [--drain-deadline-ms N] [--drain-retry-after-ms N]
-//            [--io-model epoll|threads]
+//            [--io-model epoll|threads] [--epoll-mode level|edge]
+//            [--scheduler fifo|steal]
 //
 // --io-model picks the serving core: "epoll" (default) multiplexes every
 // connection through one reactor thread; "threads" is the legacy
 // thread-per-connection escape hatch, should the reactor misbehave in
-// some environment. --write-timeout-ms bounds how long a peer may stop
+// some environment. --epoll-mode picks the reactor's triggering
+// discipline: "edge" (default) drains each readable socket until EAGAIN
+// with a per-wakeup starvation bound, "level" is the one-chunk-per-event
+// baseline. --scheduler picks the scoring scheduler: "steal" (default)
+// is the work-stealing per-worker-deque pool, "fifo" the single-mutex
+// queue baseline. --write-timeout-ms bounds how long a peer may stop
 // reading our responses before its connection is evicted
 // (mb.serve.write_timeout).
 //
@@ -76,6 +82,7 @@ struct Flags {
                  "                [--default-deadline-ms N] [--idle-timeout-ms N]\n"
                  "                [--write-timeout-ms N] [--drain-deadline-ms N]\n"
                  "                [--drain-retry-after-ms N] [--io-model epoll|threads]\n"
+                 "                [--epoll-mode level|edge] [--scheduler fifo|steal]\n"
                  "fault injection: MB_FAILPOINTS=name=spec,...\n");
     return 1;
   }
@@ -120,6 +127,12 @@ struct Flags {
       } else if (key == "--io-model" && (value == "epoll" || value == "threads")) {
         server.io_model = value == "epoll" ? serve::IoModel::kEpoll
                                            : serve::IoModel::kLegacyThreads;
+      } else if (key == "--epoll-mode" && (value == "level" || value == "edge")) {
+        server.epoll_mode = value == "edge" ? serve::EpollMode::kEdge
+                                            : serve::EpollMode::kLevel;
+      } else if (key == "--scheduler" && (value == "fifo" || value == "steal")) {
+        server.scheduler = value == "steal" ? serve::Scheduler::kWorkStealing
+                                            : serve::Scheduler::kFifo;
       } else if (key == "--drain-deadline-ms" && ParseInt(value, &n)) {
         server.drain_deadline_ms = n;
       } else if (key == "--drain-retry-after-ms" && ParseInt(value, &n)) {
@@ -168,10 +181,16 @@ int main(int argc, char** argv) {
   serve::Server server(&service, flags.server);
   auto port = server.Start();
   if (!port.ok()) return Fail(port.status());
-  std::printf("mbserved listening on port %u (%s core, %d threads, queue %zu, batch %zu)\n",
-              static_cast<unsigned>(*port),
-              flags.server.io_model == serve::IoModel::kEpoll ? "epoll" : "threads",
-              flags.server.num_threads, flags.server.max_queue, flags.server.max_batch);
+  std::printf(
+      "mbserved listening on port %u (%s core%s, %s scheduler, %d threads, "
+      "queue %zu, batch %zu)\n",
+      static_cast<unsigned>(*port),
+      flags.server.io_model == serve::IoModel::kEpoll ? "epoll" : "threads",
+      flags.server.io_model != serve::IoModel::kEpoll            ? ""
+      : flags.server.epoll_mode == serve::EpollMode::kEdge ? "/edge"
+                                                           : "/level",
+      flags.server.scheduler == serve::Scheduler::kWorkStealing ? "steal" : "fifo",
+      flags.server.num_threads, flags.server.max_queue, flags.server.max_batch);
   std::fflush(stdout);
 
   std::signal(SIGHUP, OnSighup);
